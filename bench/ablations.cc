@@ -1,0 +1,83 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//   1. aging      — without it the search camps on an exhausted vicinity
+//                   (paper §3's motivation for the mechanism);
+//   2. sigma      — the Gaussian mutation width (paper uses |A_i|/5);
+//   3. sensitivity— the per-axis credit window steering axis choice.
+// Each ablation runs the coreutils / webserver campaigns with one knob
+// changed and reports failed tests / unique failures at a fixed budget.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "targets/coreutils/suite.h"
+#include "targets/webserver/suite.h"
+
+using namespace afex;
+
+int main() {
+  // ---- 1. aging ----
+  {
+    TargetSuite suite = webserver::MakeSuite();
+    FaultSpace space = TargetHarness(suite).MakeSpace(10, false);
+    bench::PrintHeader("Ablation 1: aging (WebServer, 1,000 iterations)");
+    std::printf("%-24s %10s %16s\n", "config", "failed", "unique-failures");
+    struct Config {
+      const char* name;
+      double decay;
+      double retirement;
+    };
+    const Config configs[] = {
+        {"aging on (default)", 0.98, 0.05},
+        {"aging off", 1.0, 0.0},
+        {"aggressive aging", 0.90, 0.20},
+    };
+    for (const Config& config : configs) {
+      TargetHarness harness(suite);
+      FitnessExplorerConfig fc;
+      fc.seed = 7;
+      fc.aging_decay = config.decay;
+      fc.retirement_fraction = config.retirement;
+      FitnessExplorer explorer(space, fc);
+      ExplorationSession session(explorer, harness.MakeRunner(space));
+      SessionResult r = session.Run({.max_tests = 1000});
+      std::printf("%-24s %10zu %16zu\n", config.name, r.failed_tests, r.unique_failures);
+    }
+  }
+
+  // ---- 2. Gaussian sigma ----
+  {
+    TargetSuite suite = coreutils::MakeSuite();
+    FaultSpace space = TargetHarness(suite).MakeSpace(2, true);
+    bench::PrintHeader("Ablation 2: mutation sigma (coreutils, 250 iterations)");
+    std::printf("%-24s %10s\n", "sigma fraction", "failed");
+    for (double fraction : {0.05, 0.2, 0.5, 1.0}) {
+      TargetHarness harness(suite);
+      FitnessExplorerConfig fc;
+      fc.seed = 11;
+      fc.sigma_fraction = fraction;
+      FitnessExplorer explorer(space, fc);
+      ExplorationSession session(explorer, harness.MakeRunner(space));
+      SessionResult r = session.Run({.max_tests = 250});
+      std::printf("sigma = %.2f * |A_i| %8zu\n", fraction, r.failed_tests);
+    }
+    std::printf("(the paper's choice is 0.20; very wide sigma degenerates toward random)\n");
+  }
+
+  // ---- 3. sensitivity window ----
+  {
+    TargetSuite suite = webserver::MakeSuite();
+    FaultSpace space = TargetHarness(suite).MakeSpace(10, false);
+    bench::PrintHeader("Ablation 3: sensitivity window (WebServer, 1,000 iterations)");
+    std::printf("%-24s %10s %10s\n", "window", "failed", "crashes");
+    for (size_t window : {size_t{1}, size_t{8}, size_t{32}, size_t{128}}) {
+      TargetHarness harness(suite);
+      FitnessExplorerConfig fc;
+      fc.seed = 13;
+      fc.sensitivity_window = window;
+      FitnessExplorer explorer(space, fc);
+      ExplorationSession session(explorer, harness.MakeRunner(space));
+      SessionResult r = session.Run({.max_tests = 1000});
+      std::printf("last %-4zu mutations   %10zu %10zu\n", window, r.failed_tests, r.crashes);
+    }
+  }
+  return 0;
+}

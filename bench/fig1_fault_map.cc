@@ -1,0 +1,50 @@
+// Reproduces paper Fig. 1: the fault-space map for a small UNIX utility.
+// The horizontal axis is the libc function whose FIRST call fails; the
+// vertical axis is the test of the default suite; a cell is '#' (black in
+// the paper) when the injection makes the test fail, '.' (gray) otherwise.
+// The visible row/column banding is the structure AFEX exploits.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "targets/coreutils/suite.h"
+
+using namespace afex;
+
+int main() {
+  TargetSuite suite = coreutils::MakeSuite();
+  TargetHarness harness(suite);
+  FaultSpace space = harness.MakeSpace(2, /*include_zero_call=*/true);
+  size_t call1 = *space.axis(2).IndexOf("1");
+
+  bench::PrintHeader("Fig. 1: fault-space map (coreutils suite, first-call injection)");
+  std::printf("rows: tests 1..29 (grouped by utility), columns: libc functions\n\n");
+
+  // Column legend.
+  for (size_t f = 0; f < suite.functions.size(); ++f) {
+    std::printf("  col %2zu: %s\n", f, suite.functions[f].c_str());
+  }
+  std::printf("\n        ");
+  for (size_t f = 0; f < suite.functions.size(); ++f) {
+    std::printf("%zu", f % 10);
+  }
+  std::printf("\n");
+
+  const auto& utilities = coreutils::TestUtilities();
+  size_t error_cells = 0;
+  for (size_t t = 0; t < suite.num_tests; ++t) {
+    std::printf("%-6s%2zu ", utilities[t].c_str(), t + 1);
+    for (size_t f = 0; f < suite.functions.size(); ++f) {
+      TestOutcome outcome = harness.RunFault(space, Fault({t, f, call1}));
+      bool error = outcome.test_failed;
+      error_cells += error ? 1 : 0;
+      std::printf("%c", error ? '#' : '.');
+    }
+    std::printf("\n");
+  }
+  std::printf("\n'#' = test fails when the first call to the function fails; '.' = no error\n");
+  std::printf("error cells: %zu / %zu (%.1f%%)\n", error_cells,
+              suite.num_tests * suite.functions.size(),
+              100.0 * error_cells / (suite.num_tests * suite.functions.size()));
+  return 0;
+}

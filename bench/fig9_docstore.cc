@@ -1,0 +1,67 @@
+// Reproduces paper Fig. 9 (§7.6): AFEX's efficiency across development
+// stages — DocStore v0.8 (pre-production) vs v2.0 (industrial strength),
+// 250 fault samples per strategy per version.
+//
+// Paper's shape: fitness/random ratio 2.37x on v0.8, dropping to 1.43x on
+// v2.0; the absolute number of failures is HIGHER in v2.0 (more features =
+// more environment interaction = more failure opportunities); AFEX crashes
+// v2.0 but finds no way to crash v0.8.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "targets/docstore/suite.h"
+
+using namespace afex;
+using bench::Strategy;
+
+int main() {
+  const size_t kBudget = 250;
+  bench::PrintHeader("Fig. 9: DocStore v0.8 vs v2.0, 250 samples per strategy");
+  std::printf("%-16s %-16s %10s %10s\n", "version", "strategy", "failed", "crashes");
+
+  struct VersionResult {
+    size_t fitness_failed = 0;
+    size_t random_failed = 0;
+    size_t crashes = 0;
+  };
+  VersionResult results[2];
+  const TargetSuite suites[2] = {docstore::MakeSuiteV08(), docstore::MakeSuiteV20()};
+  for (int v = 0; v < 2; ++v) {
+    const TargetSuite& suite = suites[v];
+    FaultSpace space = TargetHarness(suite).MakeSpace(10, /*include_zero_call=*/false);
+    for (Strategy strategy : {Strategy::kFitness, Strategy::kRandom}) {
+      // Average over seeds: 250 samples on a small target is noisy.
+      size_t failed = 0;
+      size_t crashes = 0;
+      const uint64_t kSeeds[] = {3, 7, 13, 29};
+      for (uint64_t seed : kSeeds) {
+        bench::CampaignResult r = bench::RunCampaign(suite, space, strategy, kBudget, seed);
+        failed += r.session.failed_tests;
+        crashes += r.session.crashes;
+      }
+      failed /= std::size(kSeeds);
+      crashes /= std::size(kSeeds);
+      std::printf("%-16s %-16s %10zu %10zu\n", suite.name.c_str(),
+                  bench::StrategyName(strategy), failed, crashes);
+      if (strategy == Strategy::kFitness) {
+        results[v].fitness_failed = failed;
+        results[v].crashes += crashes;
+      } else {
+        results[v].random_failed = failed;
+      }
+    }
+  }
+  std::printf("\nfitness/random ratio v0.8: %.2fx (paper: 2.37x)\n",
+              results[0].random_failed
+                  ? static_cast<double>(results[0].fitness_failed) / results[0].random_failed
+                  : 0.0);
+  std::printf("fitness/random ratio v2.0: %.2fx (paper: 1.43x)\n",
+              results[1].random_failed
+                  ? static_cast<double>(results[1].fitness_failed) / results[1].random_failed
+                  : 0.0);
+  std::printf("absolute failures higher in v2.0: %s (paper: yes)\n",
+              results[1].fitness_failed > results[0].fitness_failed ? "yes" : "NO");
+  std::printf("crash found in v2.0 only: %s (paper: yes)\n",
+              results[1].crashes > 0 && results[0].crashes == 0 ? "yes" : "NO");
+  return 0;
+}

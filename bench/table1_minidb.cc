@@ -1,0 +1,64 @@
+// Reproduces paper Table 1: MySQL (here: MiniDb) — effectiveness of
+// fitness-guided fault search vs random search vs the plain test suite on
+// Phi_MySQL (1,147 tests x 19 functions x 100 calls = 2,179,300 faults).
+//
+// The paper ran both strategies for 24 hours; we run both for an equal
+// fixed budget (default 4,000 samples, override with argv[1]). The shape to
+// reproduce: the plain suite finds nothing; fitness finds ~3x more failed
+// tests and ~9x more crashes than random; aggregate coverage is similar
+// across all three (the suite's slightly higher).
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+#include "targets/minidb/suite.h"
+
+using namespace afex;
+using bench::Strategy;
+
+int main(int argc, char** argv) {
+  size_t budget = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 4000;
+  TargetSuite suite = minidb::MakeSuite();
+  FaultSpace space = TargetHarness(suite).MakeSpace(100, /*include_zero_call=*/false);
+
+  bench::PrintHeader("Table 1: MiniDb (MySQL stand-in), equal-budget comparison");
+  std::printf("fault space: %zu points, budget: %zu tests per strategy\n\n", space.TotalPoints(),
+              budget);
+
+  // Row 1: the plain test suite (no injection).
+  TargetHarness suite_harness(suite);
+  size_t suite_failed = suite_harness.RunSuiteWithoutInjection();
+  std::printf("%-16s %10s %10s %10s %12s\n", "strategy", "tests", "failed", "crashes", "coverage");
+  std::printf("%-16s %10zu %10zu %10d %11.2f%%\n", "test suite", suite.num_tests, suite_failed, 0,
+              100 * suite_harness.CoverageFraction());
+
+  // Paper §7: "we use a similar impact metric to that in coreutils, but we
+  // also factor in crashes, which we consider to be worth emphasizing in
+  // the case of MySQL."
+  SessionConfig config;
+  config.policy.points_per_crash = 100.0;
+  config.policy.points_per_hang = 50.0;
+
+  size_t fitness_failed = 0;
+  size_t fitness_crashes = 0;
+  size_t random_failed = 0;
+  size_t random_crashes = 0;
+  for (Strategy strategy : {Strategy::kFitness, Strategy::kRandom}) {
+    bench::CampaignResult r = bench::RunCampaign(suite, space, strategy, budget, 424242, config);
+    std::printf("%-16s %10zu %10zu %10zu %11.2f%%\n", bench::StrategyName(strategy),
+                r.session.tests_executed, r.session.failed_tests, r.session.crashes,
+                100 * r.coverage_fraction);
+    if (strategy == Strategy::kFitness) {
+      fitness_failed = r.session.failed_tests;
+      fitness_crashes = r.session.crashes;
+    } else {
+      random_failed = r.session.failed_tests;
+      random_crashes = r.session.crashes;
+    }
+  }
+  std::printf("\nfailed-test ratio fitness/random: %.2fx (paper: 2.92x)\n",
+              random_failed ? static_cast<double>(fitness_failed) / random_failed : 0.0);
+  std::printf("crash ratio fitness/random:       %.2fx (paper: 9.10x)\n",
+              random_crashes ? static_cast<double>(fitness_crashes) / random_crashes : 0.0);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// NodeManager: the per-machine worker of the AFEX prototype (paper §6.1).
+// It owns the three user-provided hooks — startup (prepare environment),
+// test (arm injectors, run sensors, measure), cleanup (remove side
+// effects) — and executes fault scenarios handed to it by the explorer,
+// reporting a TestOutcome per scenario.
+#ifndef AFEX_CLUSTER_NODE_MANAGER_H_
+#define AFEX_CLUSTER_NODE_MANAGER_H_
+
+#include <functional>
+#include <string>
+
+#include "core/fault.h"
+#include "core/impact.h"
+
+namespace afex {
+
+class NodeManager {
+ public:
+  struct Hooks {
+    // Runs before every test (may be empty).
+    std::function<void()> startup = {};
+    // Executes the fault scenario; required.
+    std::function<TestOutcome(const Fault&)> test = {};
+    // Runs after every test, even if the test reported a crash.
+    std::function<void()> cleanup = {};
+  };
+
+  NodeManager(std::string name, Hooks hooks)
+      : name_(std::move(name)), hooks_(std::move(hooks)) {}
+
+  // Executes one scenario through startup -> test -> cleanup.
+  TestOutcome Execute(const Fault& fault) {
+    if (hooks_.startup) {
+      hooks_.startup();
+    }
+    TestOutcome outcome = hooks_.test(fault);
+    if (hooks_.cleanup) {
+      hooks_.cleanup();
+    }
+    ++executed_;
+    return outcome;
+  }
+
+  const std::string& name() const { return name_; }
+  size_t executed() const { return executed_; }
+
+ private:
+  std::string name_;
+  Hooks hooks_;
+  size_t executed_ = 0;
+};
+
+}  // namespace afex
+
+#endif  // AFEX_CLUSTER_NODE_MANAGER_H_

@@ -1,0 +1,118 @@
+#include "cluster/parallel_session.h"
+
+#include <unordered_set>
+
+namespace afex {
+
+ParallelSession::ParallelSession(Explorer& explorer,
+                                 std::vector<std::unique_ptr<NodeManager>> managers,
+                                 SessionConfig config)
+    : explorer_(&explorer),
+      managers_(std::move(managers)),
+      config_(std::move(config)),
+      pool_(managers_.size()) {}
+
+SessionResult ParallelSession::Run(const SearchTarget& target) {
+  SessionResult result;
+  RedundancyClusterer clusterer(config_.cluster_config);
+  size_t found_above_threshold = 0;
+  size_t crashes_found = 0;
+  bool done = false;
+
+  while (!done) {
+    // Issue one candidate per manager (fewer on the last round).
+    size_t round = managers_.size();
+    if (target.max_tests > 0) {
+      size_t remaining = target.max_tests - result.tests_executed;
+      if (remaining == 0) {
+        break;
+      }
+      round = std::min(round, remaining);
+    }
+    std::vector<Fault> batch;
+    for (size_t i = 0; i < round; ++i) {
+      auto candidate = explorer_->NextCandidate();
+      if (!candidate.has_value()) {
+        result.space_exhausted = true;
+        break;
+      }
+      batch.push_back(std::move(*candidate));
+    }
+    if (batch.empty()) {
+      break;
+    }
+
+    // Execute the round concurrently, one manager per candidate.
+    std::vector<TestOutcome> outcomes(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      pool_.Submit([this, i, &batch, &outcomes] {
+        outcomes[i] = managers_[i]->Execute(batch[i]);
+      });
+    }
+    pool_.Wait();
+
+    // Report results in manager order (deterministic for a fixed count).
+    for (size_t i = 0; i < batch.size(); ++i) {
+      SessionRecord record;
+      record.fault = batch[i];
+      record.outcome = std::move(outcomes[i]);
+      record.impact = config_.policy.Score(record.outcome);
+      record.fitness = record.impact;
+      if (config_.environment_model != nullptr) {
+        record.fitness *= config_.environment_model->Relevance(explorer_->space(), record.fault);
+      }
+      if (config_.redundancy_feedback && record.outcome.fault_triggered) {
+        record.fitness *= (1.0 - clusterer.NearestSimilarity(record.outcome.injection_stack));
+      }
+      record.cluster_id = clusterer.Assign(record.outcome.fault_triggered
+                                               ? record.outcome.injection_stack
+                                               : std::vector<std::string>{});
+      explorer_->ReportResult(record.fault, record.fitness);
+
+      ++result.tests_executed;
+      if (record.outcome.test_failed) {
+        ++result.failed_tests;
+      }
+      if (record.outcome.crashed) {
+        ++result.crashes;
+      }
+      if (record.outcome.hung) {
+        ++result.hangs;
+      }
+      result.total_impact += record.impact;
+
+      if (target.stop_after_found > 0 && record.impact >= target.impact_threshold &&
+          ++found_above_threshold >= target.stop_after_found) {
+        done = true;
+      }
+      if (target.stop_after_crashes > 0 && record.outcome.crashed &&
+          ++crashes_found >= target.stop_after_crashes) {
+        done = true;
+      }
+      result.records.push_back(std::move(record));
+    }
+    if (result.space_exhausted) {
+      break;
+    }
+  }
+
+  std::unordered_set<size_t> failure_clusters;
+  std::unordered_set<size_t> crash_clusters;
+  for (const SessionRecord& r : result.records) {
+    if (!r.outcome.fault_triggered) {
+      continue;
+    }
+    if (r.outcome.test_failed) {
+      failure_clusters.insert(r.cluster_id);
+    }
+    if (r.outcome.crashed) {
+      crash_clusters.insert(r.cluster_id);
+    }
+  }
+  result.clusters = clusterer.cluster_count();
+  result.unique_failures = failure_clusters.size();
+  result.unique_crashes = crash_clusters.size();
+  return result;
+}
+
+}  // namespace afex

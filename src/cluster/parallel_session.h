@@ -1,0 +1,44 @@
+// ParallelSession: the cluster-mode exploration loop (paper §6.1). One
+// explorer feeds a pool of node managers; tests are independent, so the
+// system is embarrassingly parallel — the explorer's candidate generation
+// is orders of magnitude cheaper than test execution, so it never
+// bottlenecks the managers.
+//
+// Execution proceeds in rounds: the explorer issues one candidate per idle
+// manager, the managers run concurrently, then results are reported back in
+// manager order. Round-batching keeps results deterministic for a fixed
+// manager count (at the cost of a barrier per round), which the tests rely
+// on; wall-clock scalability is preserved because all managers in a round
+// run concurrently.
+#ifndef AFEX_CLUSTER_PARALLEL_SESSION_H_
+#define AFEX_CLUSTER_PARALLEL_SESSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/node_manager.h"
+#include "core/session.h"
+#include "util/thread_pool.h"
+
+namespace afex {
+
+class ParallelSession {
+ public:
+  // `managers` must be non-empty; one worker thread per manager.
+  ParallelSession(Explorer& explorer, std::vector<std::unique_ptr<NodeManager>> managers,
+                  SessionConfig config = {});
+
+  SessionResult Run(const SearchTarget& target);
+
+  size_t manager_count() const { return managers_.size(); }
+
+ private:
+  Explorer* explorer_;
+  std::vector<std::unique_ptr<NodeManager>> managers_;
+  SessionConfig config_;
+  ThreadPool pool_;
+};
+
+}  // namespace afex
+
+#endif  // AFEX_CLUSTER_PARALLEL_SESSION_H_

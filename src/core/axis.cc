@@ -1,0 +1,93 @@
+#include "core/axis.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace afex {
+
+Axis Axis::MakeSet(std::string name, std::vector<std::string> labels) {
+  assert(!labels.empty());
+  Axis a;
+  a.name_ = std::move(name);
+  a.kind_ = AxisKind::kSet;
+  a.labels_ = std::move(labels);
+  return a;
+}
+
+Axis Axis::MakeInterval(std::string name, int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  Axis a;
+  a.name_ = std::move(name);
+  a.kind_ = AxisKind::kInterval;
+  a.lo_ = lo;
+  a.hi_ = hi;
+  return a;
+}
+
+Axis Axis::MakeSubInterval(std::string name, int64_t lo, int64_t hi) {
+  Axis a = MakeInterval(std::move(name), lo, hi);
+  a.kind_ = AxisKind::kSubInterval;
+  return a;
+}
+
+size_t Axis::cardinality() const {
+  if (kind_ == AxisKind::kSet) {
+    return labels_.size();
+  }
+  return static_cast<size_t>(hi_ - lo_ + 1);
+}
+
+std::string Axis::Label(size_t index) const {
+  if (kind_ == AxisKind::kSet) {
+    return labels_.at(index);
+  }
+  return std::to_string(Value(index));
+}
+
+int64_t Axis::Value(size_t index) const {
+  if (kind_ == AxisKind::kSet) {
+    throw std::logic_error("Axis::Value on a labeled axis: " + name_);
+  }
+  assert(index < cardinality());
+  return lo_ + static_cast<int64_t>(index);
+}
+
+std::optional<size_t> Axis::IndexOf(const std::string& label) const {
+  if (kind_ == AxisKind::kSet) {
+    for (size_t i = 0; i < labels_.size(); ++i) {
+      if (labels_[i] == label) {
+        return i;
+      }
+    }
+    return std::nullopt;
+  }
+  try {
+    return IndexOfValue(std::stoll(label));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<size_t> Axis::IndexOfValue(int64_t value) const {
+  if (kind_ == AxisKind::kSet) {
+    return std::nullopt;
+  }
+  if (value < lo_ || value > hi_) {
+    return std::nullopt;
+  }
+  return static_cast<size_t>(value - lo_);
+}
+
+Axis Axis::Permuted(const std::vector<size_t>& perm) const {
+  assert(perm.size() == cardinality());
+  // A permuted interval axis becomes a labeled axis: the values no longer
+  // follow the integer order, so they must be materialized.
+  std::vector<std::string> labels;
+  labels.reserve(perm.size());
+  for (size_t original : perm) {
+    labels.push_back(Label(original));
+  }
+  return MakeSet(name_, std::move(labels));
+}
+
+}  // namespace afex

@@ -1,0 +1,71 @@
+// An axis of a fault space: a named, totally ordered, finite set of attribute
+// values (paper §2). Two storage forms:
+//   * labeled sets  — e.g. function : { malloc, read, close }
+//   * integer intervals — e.g. callNumber : [1, 100]; values are virtual
+//     (never materialized), so million-point spaces stay O(1) in memory.
+// Intervals come in two sampling flavours from the description language
+// (paper Fig. 3): "[lo,hi]" axes sample a single number, "<lo,hi>" axes
+// sample whole sub-intervals (used for e.g. time windows).
+#ifndef AFEX_CORE_AXIS_H_
+#define AFEX_CORE_AXIS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace afex {
+
+enum class AxisKind {
+  kSet,          // explicit labeled values
+  kInterval,     // [lo, hi]: point sampling
+  kSubInterval,  // <lo, hi>: sub-interval sampling
+};
+
+class Axis {
+ public:
+  // Labeled axis. Order of `labels` defines the total order.
+  static Axis MakeSet(std::string name, std::vector<std::string> labels);
+  // Integer interval axis over [lo, hi] inclusive.
+  static Axis MakeInterval(std::string name, int64_t lo, int64_t hi);
+  // Integer sub-interval axis over <lo, hi>.
+  static Axis MakeSubInterval(std::string name, int64_t lo, int64_t hi);
+
+  const std::string& name() const { return name_; }
+  AxisKind kind() const { return kind_; }
+
+  // Number of values on the axis (for interval kinds: hi - lo + 1).
+  size_t cardinality() const;
+
+  // Label of the i-th value under the axis order (numbers stringified).
+  std::string Label(size_t index) const;
+
+  // Integer value of the i-th point (interval kinds only).
+  int64_t Value(size_t index) const;
+
+  // Index of a label / integer value; nullopt when absent.
+  std::optional<size_t> IndexOf(const std::string& label) const;
+  std::optional<size_t> IndexOfValue(int64_t value) const;
+
+  int64_t lo() const { return lo_; }
+  int64_t hi() const { return hi_; }
+  const std::vector<std::string>& labels() const { return labels_; }
+
+  // Returns a copy with the value order shuffled according to `perm`
+  // (perm[i] = original index now living at position i). Used by the
+  // structure-randomization experiment (paper Table 4).
+  Axis Permuted(const std::vector<size_t>& perm) const;
+
+ private:
+  Axis() = default;
+
+  std::string name_;
+  AxisKind kind_ = AxisKind::kSet;
+  std::vector<std::string> labels_;  // kSet only
+  int64_t lo_ = 0;                   // interval kinds only
+  int64_t hi_ = -1;
+};
+
+}  // namespace afex
+
+#endif  // AFEX_CORE_AXIS_H_

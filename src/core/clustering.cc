@@ -1,0 +1,48 @@
+#include "core/clustering.h"
+
+#include <limits>
+
+#include "util/levenshtein.h"
+
+namespace afex {
+
+double RedundancyClusterer::NearestSimilarity(const std::vector<std::string>& stack) const {
+  double best = 0.0;
+  bool any = false;
+  // Slot 0 (the never-triggered cluster) is not a behaviour to steer away
+  // from, so it never participates in similarity.
+  for (size_t i = 1; i < representatives_.size(); ++i) {
+    double sim = TokenSimilarity(stack, representatives_[i]);
+    if (!any || sim > best) {
+      best = sim;
+      any = true;
+    }
+  }
+  return any ? best : 0.0;
+}
+
+size_t RedundancyClusterer::Assign(const std::vector<std::string>& stack) {
+  if (stack.empty()) {
+    ++sizes_[0];
+    return 0;
+  }
+  size_t best_cluster = std::numeric_limits<size_t>::max();
+  size_t best_distance = std::numeric_limits<size_t>::max();
+  for (size_t i = 1; i < representatives_.size(); ++i) {
+    size_t d = LevenshteinDistanceTokens(stack, representatives_[i]);
+    if (d < best_distance) {
+      best_distance = d;
+      best_cluster = i;
+    }
+  }
+  if (best_cluster != std::numeric_limits<size_t>::max() &&
+      best_distance <= config_.distance_threshold) {
+    ++sizes_[best_cluster];
+    return best_cluster;
+  }
+  representatives_.push_back(stack);
+  sizes_.push_back(1);
+  return representatives_.size() - 1;
+}
+
+}  // namespace afex

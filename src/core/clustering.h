@@ -1,0 +1,68 @@
+// Redundancy clustering (paper §5): faults whose injection-point stack
+// traces are within a Levenshtein-distance threshold are manifestations of
+// the same system behaviour and land in the same equivalence class. The
+// clusterer is also used *online* in a feedback loop (§7.4): the fitness of
+// a new test is scaled down by its similarity to previously seen traces,
+// steering exploration away from re-triggering the same underlying bug.
+#ifndef AFEX_CORE_CLUSTERING_H_
+#define AFEX_CORE_CLUSTERING_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace afex {
+
+struct ClusterConfig {
+  // Two traces whose token-level edit distance is <= this threshold are
+  // considered redundant (same cluster). The default of 0 (exact match)
+  // suits the synthetic frame-per-subsystem stacks of the simulated
+  // targets, where one frame of difference already means a different
+  // failing callsite; real, deep backtraces warrant a larger threshold.
+  size_t distance_threshold = 0;
+};
+
+class RedundancyClusterer {
+ public:
+  explicit RedundancyClusterer(ClusterConfig config = {}) : config_(config) {
+    // Slot 0 is permanently reserved for "fault never triggered" (empty
+    // trace), so cluster ids handed out earlier never shift.
+    representatives_.push_back({});
+    sizes_.push_back(0);
+  }
+
+  // Similarity in [0,1] of `stack` to the nearest cluster representative
+  // seen so far; 0 when no traces have been added yet. Used by the feedback
+  // loop: fitness *= (1 - similarity) on a linear scale (paper §7.4 — 100%
+  // similarity zeroes the fitness, 0% leaves it unmodified).
+  double NearestSimilarity(const std::vector<std::string>& stack) const;
+
+  // Assigns `stack` to a cluster (the nearest representative within the
+  // distance threshold, else a brand-new cluster) and returns the cluster
+  // id. Empty stacks (fault never triggered) all share cluster 0, which is
+  // reserved for them.
+  size_t Assign(const std::vector<std::string>& stack);
+
+  // Number of clusters with at least one member, including the reserved
+  // empty-trace cluster once anything has been assigned to it.
+  size_t cluster_count() const {
+    return representatives_.size() - (sizes_[0] == 0 ? 1 : 0);
+  }
+
+  // Representative trace of a cluster (empty for the reserved cluster 0).
+  const std::vector<std::string>& representative(size_t cluster_id) const {
+    return representatives_.at(cluster_id);
+  }
+
+  // Number of members assigned to each cluster.
+  const std::vector<size_t>& cluster_sizes() const { return sizes_; }
+
+ private:
+  ClusterConfig config_;
+  std::vector<std::vector<std::string>> representatives_;  // [0] reserved
+  std::vector<size_t> sizes_;
+};
+
+}  // namespace afex
+
+#endif  // AFEX_CORE_CLUSTERING_H_

@@ -1,0 +1,25 @@
+#include "core/exhaustive_explorer.h"
+
+namespace afex {
+
+ExhaustiveExplorer::ExhaustiveExplorer(const FaultSpace& space) : space_(&space) {}
+
+std::optional<Fault> ExhaustiveExplorer::NextCandidate() {
+  if (!started_) {
+    started_ = true;
+    next_ = space_->FirstValid();
+  }
+  if (!next_.has_value()) {
+    return std::nullopt;
+  }
+  Fault current = *next_;
+  next_ = space_->NextValid(current);
+  ++issued_count_;
+  return current;
+}
+
+void ExhaustiveExplorer::ReportResult(const Fault& /*fault*/, double /*fitness*/) {
+  // Open-loop: exhaustive search ignores feedback.
+}
+
+}  // namespace afex

@@ -1,0 +1,31 @@
+// Exhaustive lexicographic enumeration of the fault space — the complete but
+// slow baseline (paper §3; used by Gunawi et al.'s FATE). Only feasible for
+// small spaces like Phi_coreutils (1,653 points).
+#ifndef AFEX_CORE_EXHAUSTIVE_EXPLORER_H_
+#define AFEX_CORE_EXHAUSTIVE_EXPLORER_H_
+
+#include <optional>
+
+#include "core/explorer.h"
+
+namespace afex {
+
+class ExhaustiveExplorer : public Explorer {
+ public:
+  explicit ExhaustiveExplorer(const FaultSpace& space);
+
+  const FaultSpace& space() const override { return *space_; }
+  std::optional<Fault> NextCandidate() override;
+  void ReportResult(const Fault& fault, double fitness) override;
+  size_t issued_count() const override { return issued_count_; }
+
+ private:
+  const FaultSpace* space_;
+  std::optional<Fault> next_;
+  bool started_ = false;
+  size_t issued_count_ = 0;
+};
+
+}  // namespace afex
+
+#endif  // AFEX_CORE_EXHAUSTIVE_EXPLORER_H_

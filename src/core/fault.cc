@@ -1,0 +1,30 @@
+#include "core/fault.h"
+
+#include <cassert>
+
+namespace afex {
+
+size_t Fault::ManhattanDistanceTo(const Fault& other) const {
+  assert(dimensions() == other.dimensions());
+  size_t d = 0;
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    size_t a = indices_[i];
+    size_t b = other.indices_[i];
+    d += a > b ? a - b : b - a;
+  }
+  return d;
+}
+
+std::string Fault::ToString() const {
+  std::string out = "<";
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += std::to_string(indices_[i]);
+  }
+  out += ">";
+  return out;
+}
+
+}  // namespace afex

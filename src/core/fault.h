@@ -1,0 +1,54 @@
+// A fault is a point in a fault space (paper §2): a vector of attribute
+// *indices*, one per axis. Index representation (rather than raw attribute
+// values) is what lets the search measure Manhattan distances and mutate
+// attributes by +/- increments along each axis's total order.
+#ifndef AFEX_CORE_FAULT_H_
+#define AFEX_CORE_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace afex {
+
+class Fault {
+ public:
+  Fault() = default;
+  explicit Fault(std::vector<size_t> indices) : indices_(std::move(indices)) {}
+
+  size_t dimensions() const { return indices_.size(); }
+  size_t operator[](size_t axis) const { return indices_[axis]; }
+  size_t& operator[](size_t axis) { return indices_[axis]; }
+  const std::vector<size_t>& indices() const { return indices_; }
+
+  bool operator==(const Fault& other) const = default;
+
+  // Manhattan (city-block) distance: the smallest number of single-step
+  // attribute increments/decrements that turn one fault into the other
+  // (paper §2). Both faults must have the same dimensionality.
+  size_t ManhattanDistanceTo(const Fault& other) const;
+
+  // "<2,5,1>" — for logs and reports.
+  std::string ToString() const;
+
+ private:
+  std::vector<size_t> indices_;
+};
+
+struct FaultHash {
+  size_t operator()(const Fault& f) const {
+    // FNV-1a over the index words; cheap and adequate for dedup sets.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (size_t v : f.indices()) {
+      h ^= static_cast<uint64_t>(v);
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace afex
+
+#endif  // AFEX_CORE_FAULT_H_

@@ -1,0 +1,171 @@
+#include "core/fitness_explorer.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/gaussian.h"
+
+namespace afex {
+
+FitnessExplorer::FitnessExplorer(const FaultSpace& space, FitnessExplorerConfig config)
+    : space_(&space),
+      config_(config),
+      rng_(config.seed),
+      axis_history_(space.dimensions()),
+      sensitivity_(space.dimensions(), 1.0) {
+  assert(space.dimensions() > 0);
+}
+
+std::optional<Fault> FitnessExplorer::NextCandidate() {
+  // Step 1 of the algorithm: seed the pool with random tests. Also fall back
+  // to random whenever the pool is empty (e.g. all entries retired) and mix
+  // in occasional random restarts.
+  bool want_random = issued_.size() < config_.initial_batch || priority_.empty() ||
+                     rng_.NextBernoulli(config_.random_restart_prob);
+  if (!want_random) {
+    if (auto mutation = GenerateMutation()) {
+      exhausted_probes_ = 0;
+      return mutation;
+    }
+    // Mutation space around the pool is exhausted; fall through to random.
+  }
+  if (auto random = SampleRandomNovel()) {
+    exhausted_probes_ = 0;
+    return random;
+  }
+  // Both mutation and random sampling failed to find novelty. Scan
+  // lexicographically for any unvisited valid point before giving up; this
+  // keeps the guarantee that coverage grows with budget (paper §3: AFEX
+  // "does not discard any tests, rather only prioritizes their execution").
+  for (auto f = space_->FirstValid(); f.has_value(); f = space_->NextValid(*f)) {
+    if (!AlreadyIssued(*f)) {
+      issued_.insert(*f);
+      return f;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Fault> FitnessExplorer::SampleRandomNovel() {
+  for (int attempt = 0; attempt < config_.max_generation_attempts; ++attempt) {
+    auto f = space_->SampleUniform(rng_);
+    if (f && !AlreadyIssued(*f)) {
+      issued_.insert(*f);
+      return f;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Fault> FitnessExplorer::GenerateMutation() {
+  assert(!priority_.empty());
+  for (int attempt = 0; attempt < config_.max_generation_attempts; ++attempt) {
+    // Lines 1-4: sample a parent proportionally to fitness, with an epsilon
+    // floor so low-fitness tests keep a non-zero chance.
+    double max_fitness = 0.0;
+    for (const Entry& e : priority_) {
+      max_fitness = std::max(max_fitness, e.fitness);
+    }
+    std::vector<double> weights;
+    weights.reserve(priority_.size());
+    double floor = config_.min_selection_weight * std::max(max_fitness, 1.0);
+    for (const Entry& e : priority_) {
+      weights.push_back(e.fitness + floor);
+    }
+    const Entry& parent = priority_[rng_.SampleWeighted(weights)];
+
+    // Lines 5-6: choose the attribute to mutate proportionally to the
+    // normalized sensitivity vector.
+    size_t axis = rng_.SampleWeighted(sensitivity_);
+    size_t cardinality = space_->axis(axis).cardinality();
+    if (cardinality <= 1) {
+      continue;  // nothing to mutate on this axis
+    }
+
+    // Lines 7-11: Gaussian-mutate that attribute, clone the parent.
+    double sigma = config_.sigma_fraction * static_cast<double>(cardinality);
+    size_t new_value =
+        SampleDiscreteGaussianExcludingCenter(rng_, parent.fault[axis], sigma, cardinality);
+    Fault child = parent.fault;
+    child[axis] = new_value;
+
+    // Lines 12-14: only enqueue genuinely new, valid tests.
+    if (AlreadyIssued(child) || !space_->IsValid(child)) {
+      continue;
+    }
+    issued_.insert(child);
+    pending_axis_.emplace(child, axis);
+    return child;
+  }
+  return std::nullopt;
+}
+
+void FitnessExplorer::ReportResult(const Fault& fault, double fitness) {
+  // Sensitivity update: credit the axis whose mutation produced this test.
+  auto it = pending_axis_.find(fault);
+  if (it != pending_axis_.end()) {
+    size_t axis = it->second;
+    pending_axis_.erase(it);
+    auto& window = axis_history_[axis];
+    window.push_back(fitness);
+    while (window.size() > config_.sensitivity_window) {
+      window.pop_front();
+    }
+    double sum = 0.0;
+    for (double v : window) {
+      sum += v;
+    }
+    // Keep the 1.0 baseline so axes that have not paid off recently still
+    // get occasional exploration (and normalization stays well-defined).
+    sensitivity_[axis] = 1.0 + sum;
+  }
+
+  InsertIntoPriority(Entry{fault, fitness, fitness});
+  AgeAndRetire();
+}
+
+void FitnessExplorer::InsertIntoPriority(Entry entry) {
+  if (priority_.size() < config_.priority_capacity) {
+    priority_.push_back(std::move(entry));
+    return;
+  }
+  // Evict a victim sampled with probability inversely proportional to
+  // fitness, so the queue's average fitness rises over time (paper §3).
+  double max_fitness = 0.0;
+  for (const Entry& e : priority_) {
+    max_fitness = std::max(max_fitness, e.fitness);
+  }
+  std::vector<double> weights;
+  weights.reserve(priority_.size());
+  for (const Entry& e : priority_) {
+    weights.push_back(max_fitness - e.fitness + 1.0);
+  }
+  size_t victim = rng_.SampleWeighted(weights);
+  priority_[victim] = std::move(entry);
+}
+
+void FitnessExplorer::AgeAndRetire() {
+  for (Entry& e : priority_) {
+    e.fitness *= config_.aging_decay;
+  }
+  std::erase_if(priority_, [this](const Entry& e) {
+    return e.impact > 0.0 && e.fitness < config_.retirement_fraction * e.impact;
+  });
+}
+
+std::vector<double> FitnessExplorer::NormalizedSensitivity() const {
+  double total = 0.0;
+  for (double s : sensitivity_) {
+    total += s;
+  }
+  std::vector<double> out(sensitivity_.size(), 0.0);
+  if (total <= 0.0) {
+    return out;
+  }
+  for (size_t i = 0; i < sensitivity_.size(); ++i) {
+    out[i] = sensitivity_[i] / total;
+  }
+  return out;
+}
+
+}  // namespace afex

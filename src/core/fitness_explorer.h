@@ -1,0 +1,106 @@
+// Fitness-guided fault exploration — the paper's Algorithm 1 plus the aging
+// mechanism described alongside it (§3). In essence a stochastic beam search:
+// a bounded pool of executed high-fitness tests (Qpriority) is sampled
+// fitness-proportionally for a parent; one attribute — chosen proportionally
+// to per-axis *sensitivity* (recent fitness gain of mutations along that
+// axis) — is mutated by a discrete Gaussian centered on the parent's value;
+// duplicates are suppressed via a history set; queued fitness ages so the
+// search cannot camp forever on one vicinity.
+#ifndef AFEX_CORE_FITNESS_EXPLORER_H_
+#define AFEX_CORE_FITNESS_EXPLORER_H_
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/explorer.h"
+#include "util/rng.h"
+
+namespace afex {
+
+struct FitnessExplorerConfig {
+  uint64_t seed = 1;
+
+  // Size of the initial random batch (Algorithm step 1).
+  size_t initial_batch = 16;
+
+  // Capacity of Qpriority; on overflow an entry is evicted, sampled with
+  // probability inversely proportional to fitness (paper §3).
+  size_t priority_capacity = 64;
+
+  // Sensitivity of axis i = sum of the fitness of the last
+  // `sensitivity_window` executed tests whose generation mutated axis i.
+  size_t sensitivity_window = 32;
+
+  // Gaussian mutation sigma = sigma_fraction * |A_i|. The paper evaluates
+  // with sigma = |A_i| / 5.
+  double sigma_fraction = 0.2;
+
+  // Aging: every reported result multiplies all queued fitness by this
+  // factor; an entry retires (leaves Qpriority for good) once its fitness
+  // falls below retirement_fraction of its original impact.
+  double aging_decay = 0.98;
+  double retirement_fraction = 0.05;
+
+  // Epsilon floor on parent-selection weights so zero-fitness tests retain
+  // a small chance of being chosen (Algorithm 1 line 2).
+  double min_selection_weight = 0.05;
+
+  // Probability of issuing a fresh uniform-random candidate instead of a
+  // mutation; keeps discovering new vicinities (complements aging).
+  double random_restart_prob = 0.05;
+
+  // Attempts at producing a novel, valid mutation before falling back to a
+  // random sample.
+  int max_generation_attempts = 64;
+};
+
+class FitnessExplorer : public Explorer {
+ public:
+  FitnessExplorer(const FaultSpace& space, FitnessExplorerConfig config = {});
+
+  const FaultSpace& space() const override { return *space_; }
+  std::optional<Fault> NextCandidate() override;
+  void ReportResult(const Fault& fault, double fitness) override;
+  size_t issued_count() const override { return issued_.size(); }
+
+  // Normalized per-axis sensitivity (sums to 1); exposed for the structure
+  // experiments (paper §7.3 inspects its convergence).
+  std::vector<double> NormalizedSensitivity() const;
+
+  // Current number of live entries in Qpriority.
+  size_t priority_queue_size() const { return priority_.size(); }
+
+ private:
+  struct Entry {
+    Fault fault;
+    double fitness;  // aged
+    double impact;   // as reported, never aged
+  };
+
+  std::optional<Fault> SampleRandomNovel();
+  std::optional<Fault> GenerateMutation();
+  void InsertIntoPriority(Entry entry);
+  void AgeAndRetire();
+  bool AlreadyIssued(const Fault& f) const { return issued_.contains(f); }
+
+  const FaultSpace* space_;
+  FitnessExplorerConfig config_;
+  Rng rng_;
+
+  std::vector<Entry> priority_;  // Qpriority (unordered; sampling scans it)
+  std::unordered_set<Fault, FaultHash> issued_;  // Qpending ∪ History ∪ Qpriority
+  // Which axis was mutated to generate each outstanding candidate; absent for
+  // random candidates. Keyed by the candidate fault.
+  std::unordered_map<Fault, size_t, FaultHash> pending_axis_;
+  // Sliding window of recent mutation fitness per axis.
+  std::vector<std::deque<double>> axis_history_;
+  std::vector<double> sensitivity_;
+  size_t exhausted_probes_ = 0;  // consecutive failures to find novelty
+};
+
+}  // namespace afex
+
+#endif  // AFEX_CORE_FITNESS_EXPLORER_H_

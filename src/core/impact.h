@@ -1,0 +1,61 @@
+// Impact metric machinery (paper §2 and §6.4 step 3). A TestOutcome captures
+// what the sensors observed for one fault-injection test; an ImpactPolicy
+// turns the observation into the scalar I_S(phi) that guides exploration.
+// The paper's suggested design — "1 point for each newly covered basic
+// block, 10 points for each hang bug found, 20 points for each crash" —
+// is the default.
+#ifndef AFEX_CORE_IMPACT_H_
+#define AFEX_CORE_IMPACT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace afex {
+
+// What happened when a single fault-injection test ran.
+struct TestOutcome {
+  // Did the target's own test check fail (non-zero exit)?
+  bool test_failed = false;
+  // Did the target crash (simulated SIGSEGV / SIGABRT)?
+  bool crashed = false;
+  // Did the target exceed its step budget (hang)?
+  bool hung = false;
+  // Exit code reported by the test (0 = pass).
+  int exit_code = 0;
+  // Basic blocks covered by this run that no earlier run had covered.
+  size_t new_blocks_covered = 0;
+  // Did the planned fault actually trigger during the run?
+  bool fault_triggered = false;
+  // Synthetic stack trace captured at the injection point (empty when the
+  // fault did not trigger). Used by redundancy clustering (paper §5).
+  std::vector<std::string> injection_stack;
+  // Free-form diagnostic (crash reason, failed assertion, ...).
+  std::string detail;
+};
+
+// Linear scoring of a TestOutcome.
+struct ImpactPolicy {
+  double points_per_new_block = 1.0;
+  double points_per_failed_test = 10.0;
+  double points_per_hang = 10.0;
+  double points_per_crash = 20.0;
+
+  double Score(const TestOutcome& outcome) const {
+    double score = points_per_new_block * static_cast<double>(outcome.new_blocks_covered);
+    if (outcome.test_failed) {
+      score += points_per_failed_test;
+    }
+    if (outcome.hung) {
+      score += points_per_hang;
+    }
+    if (outcome.crashed) {
+      score += points_per_crash;
+    }
+    return score;
+  }
+};
+
+}  // namespace afex
+
+#endif  // AFEX_CORE_IMPACT_H_

@@ -1,0 +1,29 @@
+#include "core/precision.h"
+
+#include "util/stats.h"
+
+namespace afex {
+
+PrecisionReport MeasurePrecision(const std::function<double()>& run_once, size_t n) {
+  PrecisionReport report;
+  if (n == 0) {
+    return report;
+  }
+  RunningStats stats;
+  for (size_t i = 0; i < n; ++i) {
+    stats.Add(run_once());
+  }
+  report.trials = n;
+  report.mean_impact = stats.mean();
+  report.variance = stats.variance();
+  if (report.variance <= 0.0) {
+    report.precision = kMaxPrecision;
+    report.deterministic = true;
+  } else {
+    report.precision = 1.0 / report.variance;
+    report.deterministic = false;
+  }
+  return report;
+}
+
+}  // namespace afex

@@ -1,0 +1,30 @@
+// Impact precision (paper §5): re-run the same fault n times and report
+// 1/Var of the measured impact. High precision means the system's response
+// to the fault is likely deterministic and therefore easy to debug.
+#ifndef AFEX_CORE_PRECISION_H_
+#define AFEX_CORE_PRECISION_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace afex {
+
+struct PrecisionReport {
+  size_t trials = 0;
+  double mean_impact = 0.0;
+  double variance = 0.0;
+  // 1/variance; kMaxPrecision when variance is exactly zero (fully
+  // reproducible impact).
+  double precision = 0.0;
+  bool deterministic = false;
+};
+
+// Cap used instead of dividing by a zero variance.
+inline constexpr double kMaxPrecision = 1e12;
+
+// Runs `run_once` n times (n >= 1) and summarizes the impact distribution.
+PrecisionReport MeasurePrecision(const std::function<double()>& run_once, size_t n);
+
+}  // namespace afex
+
+#endif  // AFEX_CORE_PRECISION_H_

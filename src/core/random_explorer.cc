@@ -1,0 +1,31 @@
+#include "core/random_explorer.h"
+
+namespace afex {
+
+RandomExplorer::RandomExplorer(const FaultSpace& space, uint64_t seed)
+    : space_(&space), rng_(seed) {}
+
+std::optional<Fault> RandomExplorer::NextCandidate() {
+  // Rejection-sample for novelty; when the space is nearly drained, fall
+  // back to a lexicographic scan so exhaustion terminates cleanly.
+  for (int attempt = 0; attempt < 512; ++attempt) {
+    auto f = space_->SampleUniform(rng_);
+    if (f && !issued_.contains(*f)) {
+      issued_.insert(*f);
+      return f;
+    }
+  }
+  for (auto f = space_->FirstValid(); f.has_value(); f = space_->NextValid(*f)) {
+    if (!issued_.contains(*f)) {
+      issued_.insert(*f);
+      return f;
+    }
+  }
+  return std::nullopt;
+}
+
+void RandomExplorer::ReportResult(const Fault& /*fault*/, double /*fitness*/) {
+  // Open-loop: random search ignores feedback.
+}
+
+}  // namespace afex

@@ -1,0 +1,32 @@
+// Uniform random sampling of the fault space without repetition — the
+// baseline every AFEX experiment compares against (paper §3, "random
+// exploration").
+#ifndef AFEX_CORE_RANDOM_EXPLORER_H_
+#define AFEX_CORE_RANDOM_EXPLORER_H_
+
+#include <optional>
+#include <unordered_set>
+
+#include "core/explorer.h"
+#include "util/rng.h"
+
+namespace afex {
+
+class RandomExplorer : public Explorer {
+ public:
+  explicit RandomExplorer(const FaultSpace& space, uint64_t seed = 1);
+
+  const FaultSpace& space() const override { return *space_; }
+  std::optional<Fault> NextCandidate() override;
+  void ReportResult(const Fault& fault, double fitness) override;
+  size_t issued_count() const override { return issued_.size(); }
+
+ private:
+  const FaultSpace* space_;
+  Rng rng_;
+  std::unordered_set<Fault, FaultHash> issued_;
+};
+
+}  // namespace afex
+
+#endif  // AFEX_CORE_RANDOM_EXPLORER_H_

@@ -1,0 +1,33 @@
+#include "core/relevance.h"
+
+namespace afex {
+namespace {
+
+std::string Key(const std::string& axis_name, const std::string& label) {
+  std::string key = axis_name;
+  key.push_back('\0');
+  key += label;
+  return key;
+}
+
+}  // namespace
+
+void EnvironmentModel::SetClassWeight(const std::string& axis_name, const std::string& label,
+                                      double weight) {
+  weights_[Key(axis_name, label)] = weight;
+}
+
+double EnvironmentModel::Relevance(const FaultSpace& space, const Fault& fault) const {
+  double relevance = 1.0;
+  bool matched = false;
+  for (size_t i = 0; i < space.dimensions() && i < fault.dimensions(); ++i) {
+    auto it = weights_.find(Key(space.axis(i).name(), space.axis(i).Label(fault[i])));
+    if (it != weights_.end()) {
+      relevance *= it->second;
+      matched = true;
+    }
+  }
+  return matched ? relevance : default_weight_;
+}
+
+}  // namespace afex

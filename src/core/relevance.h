@@ -1,0 +1,43 @@
+// Statistical environment models (paper §5 "practical relevance" and §7.5):
+// developers attach occurrence probabilities to classes of faults; AFEX
+// weighs each test's measured impact by the relevance of its fault, steering
+// exploration toward failures that matter in the target environment.
+//
+// A fault class is identified by (axis name, attribute label); e.g. the
+// §7.5 model gives { function=malloc: 0.40, file ops: 0.50 combined,
+// opendir/chdir: 0.10 combined }.
+#ifndef AFEX_CORE_RELEVANCE_H_
+#define AFEX_CORE_RELEVANCE_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "core/fault.h"
+#include "core/fault_space.h"
+
+namespace afex {
+
+class EnvironmentModel {
+ public:
+  // Relevance weight for faults whose `axis_name` attribute equals `label`.
+  void SetClassWeight(const std::string& axis_name, const std::string& label, double weight);
+
+  // Weight applied when no class matches (default 1.0 — unknown faults are
+  // neither promoted nor demoted).
+  void SetDefaultWeight(double weight) { default_weight_ = weight; }
+
+  // Product of the weights of every matching (axis, label) class, or the
+  // default weight if none match.
+  double Relevance(const FaultSpace& space, const Fault& fault) const;
+
+  bool empty() const { return weights_.empty(); }
+
+ private:
+  // Key: axis_name + '\0' + label.
+  std::unordered_map<std::string, double> weights_;
+  double default_weight_ = 1.0;
+};
+
+}  // namespace afex
+
+#endif  // AFEX_CORE_RELEVANCE_H_

@@ -1,0 +1,110 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace afex {
+
+Report ReportBuilder::Build(const SessionResult& result, const RedundancyClusterer& clusterer,
+                            double min_impact) const {
+  Report report;
+  const auto& sizes = clusterer.cluster_sizes();
+  for (const SessionRecord& r : result.records) {
+    if (r.impact < min_impact) {
+      continue;
+    }
+    Finding f;
+    f.fault = r.fault;
+    f.description = space_->Describe(r.fault);
+    f.impact = r.impact;
+    f.cluster_id = r.cluster_id;
+    f.cluster_size = r.cluster_id < sizes.size() ? sizes[r.cluster_id] : 1;
+    f.crashed = r.outcome.crashed;
+    f.test_failed = r.outcome.test_failed;
+    f.hung = r.outcome.hung;
+    f.injection_stack = r.outcome.injection_stack;
+    report.findings.push_back(std::move(f));
+  }
+  std::stable_sort(report.findings.begin(), report.findings.end(),
+                   [](const Finding& a, const Finding& b) { return a.impact > b.impact; });
+
+  // One representative per cluster: the highest-impact member (findings are
+  // already sorted, so first wins).
+  std::unordered_map<size_t, bool> seen_cluster;
+  for (const Finding& f : report.findings) {
+    if (!seen_cluster[f.cluster_id]) {
+      seen_cluster[f.cluster_id] = true;
+      report.representatives.push_back(f);
+    }
+  }
+
+  std::ostringstream synopsis;
+  synopsis << "algorithm=" << algorithm_name_ << " space=" << space_->name()
+           << " explored=" << result.tests_executed << " failed=" << result.failed_tests
+           << " crashes=" << result.crashes << " hangs=" << result.hangs
+           << " clusters=" << result.clusters << " unique_failures=" << result.unique_failures
+           << " unique_crashes=" << result.unique_crashes;
+  report.synopsis = synopsis.str();
+  return report;
+}
+
+void ReportBuilder::MeasurePrecisionForTop(Report& report, size_t k, size_t trials,
+                                           const std::function<TestOutcome(const Fault&)>& runner,
+                                           const ImpactPolicy& policy) const {
+  for (size_t i = 0; i < report.findings.size() && i < k; ++i) {
+    Finding& f = report.findings[i];
+    f.precision = MeasurePrecision(
+        [&] {
+          TestOutcome outcome = runner(f.fault);
+          return policy.Score(outcome);
+        },
+        trials);
+  }
+}
+
+std::string ReportBuilder::GenerateReproScript(const Finding& finding) const {
+  std::ostringstream out;
+  out << "# AFEX generated reproduction test case\n";
+  out << "# space: " << space_->name() << "\n";
+  out << "# expected impact: " << finding.impact;
+  if (finding.crashed) {
+    out << " (crash)";
+  }
+  if (finding.hung) {
+    out << " (hang)";
+  }
+  if (finding.test_failed) {
+    out << " (test failure)";
+  }
+  out << "\n";
+  for (size_t i = 0; i < space_->dimensions(); ++i) {
+    out << space_->axis(i).name() << " " << space_->axis(i).Label(finding.fault[i]) << "\n";
+  }
+  if (!finding.injection_stack.empty()) {
+    out << "# injection-point stack:\n";
+    for (const std::string& frame : finding.injection_stack) {
+      out << "#   " << frame << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string ReportBuilder::Render(const Report& report) const {
+  std::ostringstream out;
+  out << report.synopsis << "\n";
+  out << "rank  impact  cluster(size)  kind      fault\n";
+  size_t rank = 1;
+  for (const Finding& f : report.findings) {
+    const char* kind = f.crashed ? "crash" : (f.hung ? "hang" : (f.test_failed ? "fail" : "ok"));
+    out << rank++ << "  " << f.impact << "  " << f.cluster_id << "(" << f.cluster_size << ")  "
+        << kind << "  " << f.description << "\n";
+    if (rank > 50) {
+      out << "... (" << (report.findings.size() - 50) << " more)\n";
+      break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace afex

@@ -1,0 +1,107 @@
+#include "core/session.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/log.h"
+
+namespace afex {
+
+ExplorationSession::ExplorationSession(Explorer& explorer, Runner runner, SessionConfig config)
+    : explorer_(&explorer),
+      runner_(std::move(runner)),
+      config_(std::move(config)),
+      clusterer_(config_.cluster_config) {}
+
+bool ExplorationSession::Step() {
+  auto candidate = explorer_->NextCandidate();
+  if (!candidate.has_value()) {
+    result_.space_exhausted = true;
+    return false;
+  }
+
+  SessionRecord record;
+  record.fault = *candidate;
+  record.outcome = runner_(*candidate);
+  record.impact = config_.policy.Score(record.outcome);
+  record.fitness = record.impact;
+
+  if (config_.environment_model != nullptr) {
+    record.fitness *= config_.environment_model->Relevance(explorer_->space(), record.fault);
+  }
+  if (config_.redundancy_feedback && record.outcome.fault_triggered) {
+    // Paper §7.4: 100% stack similarity zeroes the fitness, 0% leaves it as
+    // is; linear in between.
+    double similarity = clusterer_.NearestSimilarity(record.outcome.injection_stack);
+    record.fitness *= (1.0 - similarity);
+  }
+  record.cluster_id = clusterer_.Assign(record.outcome.fault_triggered
+                                            ? record.outcome.injection_stack
+                                            : std::vector<std::string>{});
+
+  explorer_->ReportResult(record.fault, record.fitness);
+
+  ++result_.tests_executed;
+  if (record.outcome.test_failed) {
+    ++result_.failed_tests;
+  }
+  if (record.outcome.crashed) {
+    ++result_.crashes;
+  }
+  if (record.outcome.hung) {
+    ++result_.hangs;
+  }
+  result_.total_impact += record.impact;
+  result_.records.push_back(std::move(record));
+  return true;
+}
+
+SessionResult ExplorationSession::Run(const SearchTarget& target) {
+  size_t found_above_threshold = 0;
+  size_t crashes_found = 0;
+  while (true) {
+    if (target.max_tests > 0 && result_.tests_executed >= target.max_tests) {
+      break;
+    }
+    if (!Step()) {
+      break;
+    }
+    const SessionRecord& last = result_.records.back();
+    if (target.stop_after_found > 0 && last.impact >= target.impact_threshold) {
+      if (++found_above_threshold >= target.stop_after_found) {
+        break;
+      }
+    }
+    if (target.stop_after_crashes > 0 && last.outcome.crashed) {
+      if (++crashes_found >= target.stop_after_crashes) {
+        break;
+      }
+    }
+    if (result_.tests_executed % 1000 == 0) {
+      AFEX_LOG(kInfo) << "session: " << result_.tests_executed << " tests, "
+                      << result_.failed_tests << " failed, " << result_.crashes << " crashes";
+    }
+  }
+
+  // Final quality characterization: count distinct behaviour clusters among
+  // failures and crashes (paper Table 5's "unique" rows).
+  std::unordered_set<size_t> failure_clusters;
+  std::unordered_set<size_t> crash_clusters;
+  for (const SessionRecord& r : result_.records) {
+    if (!r.outcome.fault_triggered) {
+      continue;
+    }
+    if (r.outcome.test_failed) {
+      failure_clusters.insert(r.cluster_id);
+    }
+    if (r.outcome.crashed) {
+      crash_clusters.insert(r.cluster_id);
+    }
+  }
+  result_.clusters = clusterer_.cluster_count();
+  result_.unique_failures = failure_clusters.size();
+  result_.unique_crashes = crash_clusters.size();
+  return result_;
+}
+
+}  // namespace afex

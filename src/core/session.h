@@ -1,0 +1,103 @@
+// ExplorationSession: drives one fault-exploration run end to end (paper
+// §6): pull candidates from an Explorer, execute each via a user-provided
+// runner, score the outcome with the ImpactPolicy, optionally weigh fitness
+// by environment relevance (§7.5) and by online redundancy feedback (§7.4),
+// report fitness back to the explorer, and stop when the search target is
+// met.
+//
+// The runner abstracts the node-manager side (start scripts, injectors,
+// sensors); for the simulated targets it is a closure around a sim harness,
+// and the cluster/ module provides a parallel implementation with the same
+// semantics.
+#ifndef AFEX_CORE_SESSION_H_
+#define AFEX_CORE_SESSION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/clustering.h"
+#include "core/explorer.h"
+#include "core/impact.h"
+#include "core/relevance.h"
+
+namespace afex {
+
+// Stopping criteria (paper §6.4 step 6: time, number of tests, thresholds on
+// coverage / bugs found). Zero-valued fields are "no constraint"; the
+// session stops at the first criterion met, or when the explorer exhausts
+// the space.
+struct SearchTarget {
+  size_t max_tests = 0;
+  // Stop once `stop_after_found` faults with impact >= impact_threshold have
+  // been found (e.g. "find 3 disk faults that hang the DBMS").
+  double impact_threshold = 0.0;
+  size_t stop_after_found = 0;
+  // Stop once this many crash-inducing faults have been found.
+  size_t stop_after_crashes = 0;
+};
+
+struct SessionConfig {
+  ImpactPolicy policy;
+  // Online redundancy feedback (paper §7.4): scale fitness linearly by
+  // (1 - similarity to nearest previously seen injection stack trace).
+  bool redundancy_feedback = false;
+  ClusterConfig cluster_config;
+  // Optional environment relevance model (paper §7.5); fitness is weighted
+  // by the fault's relevance before being reported to the explorer.
+  const EnvironmentModel* environment_model = nullptr;
+};
+
+// One executed test, in execution order.
+struct SessionRecord {
+  Fault fault;
+  TestOutcome outcome;
+  double impact = 0.0;   // ImpactPolicy score
+  double fitness = 0.0;  // impact after relevance / redundancy weighting
+  size_t cluster_id = 0;
+};
+
+struct SessionResult {
+  std::vector<SessionRecord> records;
+
+  size_t tests_executed = 0;
+  size_t failed_tests = 0;
+  size_t crashes = 0;
+  size_t hangs = 0;
+  // Equivalence classes among *triggered* faults (paper §5); "unique"
+  // counts are distinct clusters containing at least one failure / crash.
+  size_t clusters = 0;
+  size_t unique_failures = 0;
+  size_t unique_crashes = 0;
+  double total_impact = 0.0;
+  bool space_exhausted = false;
+};
+
+class ExplorationSession {
+ public:
+  using Runner = std::function<TestOutcome(const Fault&)>;
+
+  ExplorationSession(Explorer& explorer, Runner runner, SessionConfig config = {});
+
+  // Runs until the target is met or the space is exhausted.
+  SessionResult Run(const SearchTarget& target);
+
+  // Runs exactly one more test; returns false when the space is exhausted.
+  // Exposed so callers can interleave their own bookkeeping (the figure
+  // benches sample the failure curve every iteration this way).
+  bool Step();
+
+  const SessionResult& result() const { return result_; }
+  const RedundancyClusterer& clusterer() const { return clusterer_; }
+
+ private:
+  Explorer* explorer_;
+  Runner runner_;
+  SessionConfig config_;
+  RedundancyClusterer clusterer_;
+  SessionResult result_;
+};
+
+}  // namespace afex
+
+#endif  // AFEX_CORE_SESSION_H_

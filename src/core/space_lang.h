@@ -1,0 +1,78 @@
+// The AFEX fault-space description language (paper §6.2, Fig. 3):
+//
+//   syntax    = {space};
+//   space     = (subtype | parameter)+ ";";
+//   subtype   = identifier;
+//   parameter = identifier ":" ( "{" ident ("," ident)+ "}"
+//                              | "[" number "," number "]"
+//                              | "<" number "," number ">" );
+//
+// A description is a union of subspaces separated by ";". Each subspace is a
+// Cartesian product of its parameters; "[lo,hi]" intervals sample a single
+// number, "<lo,hi>" intervals sample whole sub-intervals. Bare identifiers
+// (subtypes) tag the subspace, e.g. with the injector plugin that handles it.
+//
+// Documented extensions over the paper's grammar (its own Fig. 4 example
+// needs them): set elements and interval bounds may be signed numbers
+// (e.g. retval : { -1 }), singleton sets are allowed, and "#" starts a
+// comment running to end of line.
+#ifndef AFEX_CORE_SPACE_LANG_H_
+#define AFEX_CORE_SPACE_LANG_H_
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/fault_space.h"
+
+namespace afex {
+
+// One "parameter" production: a named axis of a subspace.
+struct ParamSpec {
+  std::string name;
+  AxisKind kind = AxisKind::kSet;
+  std::vector<std::string> set_values;  // kSet
+  int64_t lo = 0;                       // interval kinds
+  int64_t hi = 0;
+};
+
+// One "space" production: a tagged Cartesian product.
+struct SpaceSpec {
+  std::vector<std::string> subtypes;  // bare identifiers, in order
+  std::vector<ParamSpec> params;
+};
+
+struct UniverseSpec {
+  std::vector<SpaceSpec> spaces;
+};
+
+// Thrown on malformed input; carries 1-based line/column of the offence.
+class SpaceLangError : public std::runtime_error {
+ public:
+  SpaceLangError(std::string message, size_t line, size_t column);
+  size_t line() const { return line_; }
+  size_t column() const { return column_; }
+
+ private:
+  size_t line_;
+  size_t column_;
+};
+
+// Parses a description. Throws SpaceLangError on syntax errors.
+UniverseSpec ParseFaultSpaceDescription(std::string_view text);
+
+// Materializes one subspace as a FaultSpace. The space's name is the
+// concatenated subtype tags (or "space<i>" if untagged).
+FaultSpace BuildFaultSpace(const SpaceSpec& spec, std::string fallback_name = "space");
+
+// Materializes the whole union.
+std::vector<FaultSpace> BuildUniverse(const UniverseSpec& spec);
+
+// Round-trip support: renders a spec back into the language (useful for the
+// generated repro test cases, paper §6.3).
+std::string FormatSpaceSpec(const SpaceSpec& spec);
+
+}  // namespace afex
+
+#endif  // AFEX_CORE_SPACE_LANG_H_

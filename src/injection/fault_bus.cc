@@ -1,0 +1,37 @@
+#include "injection/fault_bus.h"
+
+namespace afex {
+
+void FaultBus::Arm(FaultSpec spec) { specs_.push_back(std::move(spec)); }
+
+void FaultBus::Reset() {
+  specs_.clear();
+  counts_.clear();
+  trigger_count_ = 0;
+}
+
+const FaultSpec* FaultBus::OnCall(std::string_view function) {
+  auto it = counts_.find(std::string(function));
+  size_t count;
+  if (it == counts_.end()) {
+    counts_.emplace(std::string(function), 1);
+    count = 1;
+  } else {
+    count = ++it->second;
+  }
+  for (const FaultSpec& spec : specs_) {
+    if (spec.function == function && count >= static_cast<size_t>(spec.call_lo) &&
+        count <= static_cast<size_t>(spec.call_hi)) {
+      ++trigger_count_;
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+size_t FaultBus::CallCount(const std::string& function) const {
+  auto it = counts_.find(function);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace afex

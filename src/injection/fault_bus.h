@@ -1,0 +1,66 @@
+// FaultBus: the injection mechanism at the application-library boundary —
+// our stand-in for LFI [16]. Every simulated-libc call is routed through the
+// bus, which maintains per-function call counters and fails calls matching
+// an armed FaultSpec (function name + call-number window + error return +
+// errno). This exposes exactly the parameter space the paper's fault spaces
+// are built from: <function, callNumber, retval, errno>.
+//
+// Multiple specs can be armed at once (multi-fault scenarios, paper §6:
+// "inject an EINTR error in the third read call, and an ENOMEM error in the
+// seventh malloc call").
+#ifndef AFEX_INJECTION_FAULT_BUS_H_
+#define AFEX_INJECTION_FAULT_BUS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace afex {
+
+struct FaultSpec {
+  std::string function;
+  // Inject when the 1-based call count to `function` falls in
+  // [call_lo, call_hi]. A single-point injection has call_lo == call_hi;
+  // sub-interval axes ("<lo,hi>" in the description language) arm windows.
+  int call_lo = 1;
+  int call_hi = 1;
+  // Value the failed call returns (e.g. -1, or 0 for a NULL pointer).
+  int64_t retval = -1;
+  // errno the failed call sets (0 = none).
+  int errno_value = 0;
+};
+
+class FaultBus {
+ public:
+  // Arms a fault. Counters are NOT reset; arm before running the target.
+  void Arm(FaultSpec spec);
+
+  // Clears armed faults, counters, and trigger records.
+  void Reset();
+
+  // Called by the simulated libc on entry to `function`. Increments the
+  // call counter and returns the matching armed spec if this call must
+  // fail, nullptr otherwise. At most one spec fires per call (first match).
+  const FaultSpec* OnCall(std::string_view function);
+
+  // Calls observed so far, per function (the ltrace-style profile).
+  size_t CallCount(const std::string& function) const;
+  const std::map<std::string, size_t>& call_counts() const { return counts_; }
+
+  // Injection bookkeeping.
+  bool triggered() const { return trigger_count_ > 0; }
+  size_t trigger_count() const { return trigger_count_; }
+
+  const std::vector<FaultSpec>& armed() const { return specs_; }
+
+ private:
+  std::vector<FaultSpec> specs_;
+  std::map<std::string, size_t> counts_;
+  size_t trigger_count_ = 0;
+};
+
+}  // namespace afex
+
+#endif  // AFEX_INJECTION_FAULT_BUS_H_

@@ -1,0 +1,138 @@
+#include "injection/libc_profile.h"
+
+namespace afex {
+
+namespace sim_errno {
+std::string Name(int err) {
+  switch (err) {
+    case kENOMEM:
+      return "ENOMEM";
+    case kEINTR:
+      return "EINTR";
+    case kEIO:
+      return "EIO";
+    case kEACCES:
+      return "EACCES";
+    case kENOENT:
+      return "ENOENT";
+    case kEAGAIN:
+      return "EAGAIN";
+    case kENOSPC:
+      return "ENOSPC";
+    case kEBADF:
+      return "EBADF";
+    case kEMFILE:
+      return "EMFILE";
+    case kECONNRESET:
+      return "ECONNRESET";
+    case 0:
+      return "OK";
+    default:
+      return "E" + std::to_string(err);
+  }
+}
+std::optional<int> ValueFromName(const std::string& name) {
+  static const std::pair<const char*, int> kTable[] = {
+      {"ENOMEM", kENOMEM}, {"EINTR", kEINTR},   {"EIO", kEIO},
+      {"EACCES", kEACCES}, {"ENOENT", kENOENT}, {"EAGAIN", kEAGAIN},
+      {"ENOSPC", kENOSPC}, {"EBADF", kEBADF},   {"EMFILE", kEMFILE},
+      {"ECONNRESET", kECONNRESET},
+  };
+  for (const auto& [n, v] : kTable) {
+    if (name == n) {
+      return v;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace sim_errno
+
+const LibcProfile& LibcProfile::Default() {
+  static const LibcProfile* profile = [] {
+    using namespace sim_errno;
+    auto* p = new LibcProfile();
+    auto add = [&](std::string fn, int64_t retval, std::vector<int> errnos, std::string cat) {
+      p->functions_.push_back({std::move(fn), retval, std::move(errnos), std::move(cat)});
+    };
+    // Memory management. A failed allocator returns NULL (0).
+    add("malloc", 0, {kENOMEM}, "memory");
+    add("calloc", 0, {kENOMEM}, "memory");
+    add("realloc", 0, {kENOMEM}, "memory");
+    add("strdup", 0, {kENOMEM}, "memory");
+    // Stream / file descriptor I/O.
+    add("fopen", 0, {kENOENT, kEACCES, kEMFILE}, "file");
+    add("fclose", -1, {kEIO, kEBADF}, "file");
+    add("fread", 0, {kEIO, kEINTR}, "file");
+    add("fwrite", 0, {kEIO, kENOSPC}, "file");
+    add("fgets", 0, {kEIO, kEINTR}, "file");
+    add("fflush", -1, {kEIO, kENOSPC}, "file");
+    add("ferror", 1, {}, "file");  // injected "error indicator set"
+    add("fputc", -1, {kEIO, kENOSPC}, "file");
+    add("open", -1, {kENOENT, kEACCES, kEMFILE}, "file");
+    add("close", -1, {kEIO, kEBADF}, "file");
+    add("read", -1, {kEINTR, kEIO, kEAGAIN}, "file");
+    add("write", -1, {kEINTR, kEIO, kENOSPC}, "file");
+    add("lseek", -1, {kEBADF}, "file");
+    add("stat", -1, {kENOENT, kEACCES}, "file");
+    add("rename", -1, {kEACCES, kENOENT}, "file");
+    add("unlink", -1, {kENOENT, kEACCES}, "file");
+    // Directory operations.
+    add("opendir", 0, {kENOENT, kEACCES, kEMFILE}, "dir");
+    add("readdir", 0, {kEIO}, "dir");
+    add("closedir", -1, {kEBADF}, "dir");
+    add("chdir", -1, {kENOENT, kEACCES}, "dir");
+    add("getcwd", 0, {kENOMEM}, "dir");
+    add("mkdir", -1, {kEACCES, kENOSPC}, "dir");
+    // Networking.
+    add("socket", -1, {kEMFILE, kENOMEM}, "net");
+    add("bind", -1, {kEACCES}, "net");
+    add("listen", -1, {kEMFILE}, "net");
+    add("accept", -1, {kEINTR, kEMFILE, kECONNRESET}, "net");
+    add("connect", -1, {kECONNRESET, kEINTR}, "net");
+    add("send", -1, {kECONNRESET, kEINTR, kEAGAIN}, "net");
+    add("recv", -1, {kECONNRESET, kEINTR, kEAGAIN}, "net");
+    add("pipe", -1, {kEMFILE}, "net");
+    // Miscellaneous.
+    add("clock_gettime", -1, {kEINTR}, "misc");
+    add("setlocale", 0, {kENOMEM}, "misc");
+    add("getrlimit", -1, {kEINTR}, "misc");
+    add("setrlimit", -1, {kEACCES}, "misc");
+    add("strtol", 0, {}, "misc");
+    add("wait", -1, {kEINTR}, "misc");
+    add("pthread_mutex_lock", -1, {kEAGAIN}, "misc");
+    add("pthread_mutex_unlock", -1, {}, "misc");
+    return p;
+  }();
+  return *profile;
+}
+
+std::optional<FunctionErrorProfile> LibcProfile::Find(const std::string& function) const {
+  for (const FunctionErrorProfile& f : functions_) {
+    if (f.function == function) {
+      return f;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> LibcProfile::FunctionNames() const {
+  std::vector<std::string> names;
+  names.reserve(functions_.size());
+  for (const FunctionErrorProfile& f : functions_) {
+    names.push_back(f.function);
+  }
+  return names;
+}
+
+std::vector<std::string> LibcProfile::FunctionNames(const std::string& category) const {
+  std::vector<std::string> names;
+  for (const FunctionErrorProfile& f : functions_) {
+    if (f.category == category) {
+      names.push_back(f.function);
+    }
+  }
+  return names;
+}
+
+}  // namespace afex

@@ -1,0 +1,67 @@
+// Per-function error profiles — the equivalent of LFI's callsite analyzer
+// applied to libc.so (paper §7, "Fault Space Definition Methodology"): for
+// each interposable function, the plausible error return value and the errno
+// codes it can set. Fault spaces and injectors consult this so they only
+// inject faults the real library interface could produce (holes in the
+// fault space correspond to impossible combinations, paper §2).
+#ifndef AFEX_INJECTION_LIBC_PROFILE_H_
+#define AFEX_INJECTION_LIBC_PROFILE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace afex {
+
+struct FunctionErrorProfile {
+  std::string function;
+  int64_t error_retval = -1;       // what a failed call returns
+  std::vector<int> errnos;         // plausible errno values
+  std::string category;            // memory | file | dir | net | misc
+};
+
+// The built-in profile table for the simulated libc. Ordering groups
+// functions by category (memory, then file, then dir, net, misc), giving
+// the function axis the neighbour-similarity that AFEX's Gaussian mutation
+// exploits (paper §3: "close is related to open").
+class LibcProfile {
+ public:
+  // Profile table covering every function SimLibc implements.
+  static const LibcProfile& Default();
+
+  const std::vector<FunctionErrorProfile>& functions() const { return functions_; }
+  std::optional<FunctionErrorProfile> Find(const std::string& function) const;
+
+  // All function names in table order (used to build Xfunc axes).
+  std::vector<std::string> FunctionNames() const;
+  // Names restricted to a category.
+  std::vector<std::string> FunctionNames(const std::string& category) const;
+
+ private:
+  std::vector<FunctionErrorProfile> functions_;
+};
+
+// Symbolic errno values used throughout the simulation. We define our own
+// constants instead of <cerrno> macros so the simulated environment is
+// fully host-independent.
+namespace sim_errno {
+inline constexpr int kENOMEM = 12;
+inline constexpr int kEINTR = 4;
+inline constexpr int kEIO = 5;
+inline constexpr int kEACCES = 13;
+inline constexpr int kENOENT = 2;
+inline constexpr int kEAGAIN = 11;
+inline constexpr int kENOSPC = 28;
+inline constexpr int kEBADF = 9;
+inline constexpr int kEMFILE = 24;
+inline constexpr int kECONNRESET = 104;
+
+std::string Name(int err);
+// Reverse lookup; nullopt for unknown names.
+std::optional<int> ValueFromName(const std::string& name);
+}  // namespace sim_errno
+
+}  // namespace afex
+
+#endif  // AFEX_INJECTION_LIBC_PROFILE_H_

@@ -1,0 +1,78 @@
+#include "injection/plan.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace afex {
+
+InjectionPlan DecodeFault(const FaultSpace& space, const Fault& fault,
+                          const LibcProfile& profile) {
+  InjectionPlan plan;
+
+  auto test_axis = space.AxisIndexByName("test");
+  if (!test_axis.has_value()) {
+    throw std::invalid_argument("fault space has no 'test' axis: " + space.name());
+  }
+  uint64_t test_label = 0;
+  if (!ParseUint(space.axis(*test_axis).Label(fault[*test_axis]), test_label) || test_label == 0) {
+    throw std::invalid_argument("unparsable test label in space " + space.name());
+  }
+  plan.test_id = static_cast<size_t>(test_label - 1);  // labels are 1-based
+
+  auto func_axis = space.AxisIndexByName("function");
+  auto call_axis = space.AxisIndexByName("call");
+  if (!func_axis.has_value() || !call_axis.has_value()) {
+    return plan;  // a test-only space: no injection
+  }
+
+  uint64_t call_number = 0;
+  if (!ParseUint(space.axis(*call_axis).Label(fault[*call_axis]), call_number)) {
+    throw std::invalid_argument("unparsable call label in space " + space.name());
+  }
+  if (call_number == 0) {
+    return plan;  // call 0 = the no-injection point (Phi_coreutils convention)
+  }
+
+  FaultSpec spec;
+  spec.function = space.axis(*func_axis).Label(fault[*func_axis]);
+  spec.call_lo = static_cast<int>(call_number);
+  spec.call_hi = static_cast<int>(call_number);
+
+  auto fn_profile = profile.Find(spec.function);
+  spec.retval = fn_profile.has_value() ? fn_profile->error_retval : -1;
+  spec.errno_value =
+      fn_profile.has_value() && !fn_profile->errnos.empty() ? fn_profile->errnos.front() : 0;
+
+  if (auto errno_axis = space.AxisIndexByName("errno")) {
+    std::string label = space.axis(*errno_axis).Label(fault[*errno_axis]);
+    if (auto value = sim_errno::ValueFromName(label)) {
+      spec.errno_value = *value;
+    } else {
+      throw std::invalid_argument("unknown errno label '" + label + "'");
+    }
+  }
+  if (auto retval_axis = space.AxisIndexByName("retval")) {
+    spec.retval = std::stoll(space.axis(*retval_axis).Label(fault[*retval_axis]));
+  }
+
+  plan.spec = std::move(spec);
+  return plan;
+}
+
+std::string FormatPlan(const InjectionPlan& plan) {
+  std::string out = "test " + std::to_string(plan.test_id + 1);
+  if (!plan.spec.has_value()) {
+    return out + " (no injection)";
+  }
+  out += " function " + plan.spec->function;
+  out += " errno " + sim_errno::Name(plan.spec->errno_value);
+  out += " retval " + std::to_string(plan.spec->retval);
+  out += " callNumber " + std::to_string(plan.spec->call_lo);
+  if (plan.spec->call_hi != plan.spec->call_lo) {
+    out += "-" + std::to_string(plan.spec->call_hi);
+  }
+  return out;
+}
+
+}  // namespace afex

@@ -1,0 +1,47 @@
+// Mapping between abstract faults (points in a FaultSpace) and concrete
+// injection plans (a test to run + a FaultSpec to arm) — the role of the
+// node manager's plugins in the prototype (paper §6.1): "each plugin adapts
+// a subspace of the fault space to the particulars of its associated
+// injector".
+//
+// The canonical evaluation spaces use axes named
+//   test      — which test of the target's suite to run (1-based labels)
+//   function  — which libc function fails
+//   call      — the call number at which it fails; the label "0" (when the
+//               axis includes it) means "no injection", matching the
+//               Phi_coreutils definition in §7
+// and optionally
+//   errno     — the errno to set (defaults to the function's first profiled
+//               errno)
+//   retval    — the error return (defaults to the function's profiled one)
+#ifndef AFEX_INJECTION_PLAN_H_
+#define AFEX_INJECTION_PLAN_H_
+
+#include <optional>
+#include <string>
+
+#include "core/fault.h"
+#include "core/fault_space.h"
+#include "injection/fault_bus.h"
+#include "injection/libc_profile.h"
+
+namespace afex {
+
+struct InjectionPlan {
+  size_t test_id = 0;                  // 0-based test index
+  std::optional<FaultSpec> spec;       // nullopt = run with no injection
+};
+
+// Decodes `fault` against `space` using the axis-name conventions above.
+// Throws std::invalid_argument when the space lacks a "test" axis or labels
+// don't parse.
+InjectionPlan DecodeFault(const FaultSpace& space, const Fault& fault,
+                          const LibcProfile& profile = LibcProfile::Default());
+
+// Renders the plan in the paper's Fig. 5 scenario form, e.g.
+// "function malloc errno ENOMEM retval 0 callNumber 23".
+std::string FormatPlan(const InjectionPlan& plan);
+
+}  // namespace afex
+
+#endif  // AFEX_INJECTION_PLAN_H_

@@ -1,0 +1,36 @@
+#include "sim/coverage.h"
+
+namespace afex {
+
+size_t CoverageAccumulator::Merge(const CoverageSet& run) {
+  size_t fresh = 0;
+  for (uint32_t b : run.blocks()) {
+    if (covered_.insert(b).second) {
+      ++fresh;
+    }
+  }
+  return fresh;
+}
+
+size_t CoverageAccumulator::recovery_covered() const {
+  if (recovery_base_ == 0) {
+    return 0;
+  }
+  size_t n = 0;
+  for (uint32_t b : covered_) {
+    if (b >= recovery_base_) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+double CoverageAccumulator::RecoveryFraction() const {
+  uint32_t total = recovery_total();
+  if (total == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(recovery_covered()) / total;
+}
+
+}  // namespace afex

@@ -1,0 +1,69 @@
+// Basic-block coverage for simulated targets — the gcov stand-in. Every
+// target annotates its code with AFEX_COV(env, id) at block granularity;
+// block ids are small integers unique within a target. A CoverageAccumulator
+// aggregates hits across a whole exploration session so the harness can
+// compute "new blocks covered by this run" (the coverage term of the impact
+// metric) and the aggregate coverage percentages the paper's tables report.
+//
+// Targets register their recovery-code blocks (ids >= recovery_base) so the
+// recovery-coverage analysis of §7.2 is reproducible.
+#ifndef AFEX_SIM_COVERAGE_H_
+#define AFEX_SIM_COVERAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace afex {
+
+// Per-run hit set.
+class CoverageSet {
+ public:
+  void Hit(uint32_t block) { blocks_.insert(block); }
+  bool Contains(uint32_t block) const { return blocks_.contains(block); }
+  size_t size() const { return blocks_.size(); }
+  const std::unordered_set<uint32_t>& blocks() const { return blocks_; }
+  void Clear() { blocks_.clear(); }
+
+ private:
+  std::unordered_set<uint32_t> blocks_;
+};
+
+// Session-wide accumulation.
+class CoverageAccumulator {
+ public:
+  // `total_blocks` is the number of instrumented blocks in the target;
+  // blocks with id >= recovery_base are recovery code (0 = none marked).
+  explicit CoverageAccumulator(uint32_t total_blocks = 0, uint32_t recovery_base = 0)
+      : total_blocks_(total_blocks), recovery_base_(recovery_base) {}
+
+  // Merges a run's hits; returns how many blocks were new to the session.
+  size_t Merge(const CoverageSet& run);
+
+  size_t covered() const { return covered_.size(); }
+  uint32_t total_blocks() const { return total_blocks_; }
+  double Fraction() const {
+    return total_blocks_ == 0 ? 0.0
+                              : static_cast<double>(covered_.size()) / total_blocks_;
+  }
+
+  // Recovery-code coverage (blocks with id >= recovery_base).
+  size_t recovery_covered() const;
+  uint32_t recovery_total() const {
+    return recovery_base_ == 0 || recovery_base_ >= total_blocks_ ? 0
+                                                                  : total_blocks_ - recovery_base_;
+  }
+  double RecoveryFraction() const;
+
+  bool Contains(uint32_t block) const { return covered_.contains(block); }
+
+ private:
+  uint32_t total_blocks_;
+  uint32_t recovery_base_;
+  std::unordered_set<uint32_t> covered_;
+};
+
+}  // namespace afex
+
+#endif  // AFEX_SIM_COVERAGE_H_

@@ -1,0 +1,51 @@
+// Termination model for simulated targets. Real targets die by signal
+// (SIGSEGV on a bad dereference, SIGABRT from glibc's mutex consistency
+// checks) or are killed by a watchdog when they hang; in the simulation
+// these become exceptions that unwind out of the target body and are caught
+// by RunProgram (sim/process.h), which converts them into a TestOutcome.
+#ifndef AFEX_SIM_CRASH_H_
+#define AFEX_SIM_CRASH_H_
+
+#include <stdexcept>
+#include <string>
+
+namespace afex {
+
+// Base of all simulated-termination exceptions.
+class TargetTermination : public std::runtime_error {
+ public:
+  explicit TargetTermination(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Simulated SIGSEGV (NULL/invalid pointer dereference).
+class SimCrash : public TargetTermination {
+ public:
+  explicit SimCrash(const std::string& what) : TargetTermination("SIGSEGV: " + what) {}
+};
+
+// Simulated SIGABRT (assertion failure, glibc consistency check such as
+// unlocking a mutex that is not locked).
+class SimAbort : public TargetTermination {
+ public:
+  explicit SimAbort(const std::string& what) : TargetTermination("SIGABRT: " + what) {}
+};
+
+// Watchdog fired: the target exceeded its step budget.
+class SimHang : public TargetTermination {
+ public:
+  explicit SimHang(const std::string& what) : TargetTermination("HANG: " + what) {}
+};
+
+// Non-local exit(code) — e.g. a utility calling exit() deep in a helper.
+class SimExit : public TargetTermination {
+ public:
+  explicit SimExit(int code) : TargetTermination("exit(" + std::to_string(code) + ")"), code_(code) {}
+  int code() const { return code_; }
+
+ private:
+  int code_;
+};
+
+}  // namespace afex
+
+#endif  // AFEX_SIM_CRASH_H_

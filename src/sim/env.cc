@@ -1,0 +1,133 @@
+#include "sim/env.h"
+
+#include "sim/simlibc.h"
+
+namespace afex {
+
+SimEnv::SimEnv(uint64_t seed, size_t step_budget)
+    : rng_(seed), step_budget_(step_budget), libc_(new SimLibc(*this)) {}
+
+SimEnv::~SimEnv() { delete libc_; }
+
+void SimEnv::RecordInjection(const char* function) {
+  if (injection_stack_.empty()) {
+    injection_stack_ = CaptureStack();
+    if (injection_stack_.empty()) {
+      // A trigger outside any annotated frame still counts as triggered.
+      injection_stack_.push_back("<top>");
+    }
+    injection_stack_.push_back(function);
+  }
+}
+
+void SimEnv::Tick(size_t cost) {
+  steps_ += cost;
+  if (steps_ > step_budget_) {
+    throw SimHang("step budget " + std::to_string(step_budget_) + " exceeded");
+  }
+}
+
+void SimEnv::AddFile(const std::string& path, std::string content) {
+  fs_[path] = FileNode{std::move(content), /*is_dir=*/false, true, true};
+}
+
+void SimEnv::AddDir(const std::string& path) {
+  fs_[path] = FileNode{"", /*is_dir=*/true, true, true};
+}
+
+bool SimEnv::Exists(const std::string& path) const { return fs_.contains(path); }
+
+bool SimEnv::IsDir(const std::string& path) const {
+  auto it = fs_.find(path);
+  return it != fs_.end() && it->second.is_dir;
+}
+
+const SimEnv::FileNode* SimEnv::Find(const std::string& path) const {
+  auto it = fs_.find(path);
+  return it == fs_.end() ? nullptr : &it->second;
+}
+
+SimEnv::FileNode* SimEnv::FindMutable(const std::string& path) {
+  auto it = fs_.find(path);
+  return it == fs_.end() ? nullptr : &it->second;
+}
+
+void SimEnv::Remove(const std::string& path) { fs_.erase(path); }
+
+std::vector<std::string> SimEnv::ListDir(const std::string& dir) const {
+  std::string prefix = dir;
+  if (!prefix.empty() && prefix.back() != '/') {
+    prefix += '/';
+  }
+  std::vector<std::string> entries;
+  for (const auto& [path, node] : fs_) {
+    if (path.size() <= prefix.size() || path.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    // Direct children only: no further '/' in the remainder.
+    std::string rest = path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) {
+      entries.push_back(rest);
+    }
+  }
+  return entries;
+}
+
+uint64_t SimEnv::AllocHandle(size_t bytes) {
+  uint64_t h = next_handle_++;
+  heap_[h] = bytes;
+  return h;
+}
+
+void SimEnv::FreeHandle(uint64_t handle) {
+  heap_.erase(handle);
+  heap_payload_.erase(handle);
+}
+
+bool SimEnv::HandleValid(uint64_t handle) const { return heap_.contains(handle); }
+
+uint64_t SimEnv::Deref(uint64_t handle, const char* what) {
+  if (handle == 0) {
+    throw SimCrash(std::string("null pointer dereference in ") + what);
+  }
+  if (!heap_.contains(handle)) {
+    throw SimCrash(std::string("invalid pointer dereference in ") + what);
+  }
+  return handle;
+}
+
+void SimEnv::SetHandlePayload(uint64_t handle, std::string payload) {
+  heap_payload_[handle] = std::move(payload);
+}
+
+const std::string& SimEnv::HandlePayload(uint64_t handle) {
+  Deref(handle, "payload access");
+  return heap_payload_[handle];
+}
+
+size_t SimEnv::live_allocations() const { return heap_.size(); }
+
+void SimEnv::MutexLock(const std::string& name) {
+  bool& locked = mutexes_[name];
+  if (locked) {
+    // Self-deadlock on a non-recursive mutex: the thread blocks forever,
+    // which the watchdog reports as a hang.
+    throw SimHang("deadlock: mutex '" + name + "' locked twice");
+  }
+  locked = true;
+}
+
+void SimEnv::MutexUnlock(const std::string& name) {
+  auto it = mutexes_.find(name);
+  if (it == mutexes_.end() || !it->second) {
+    throw SimAbort("pthread_mutex_unlock of unlocked mutex '" + name + "'");
+  }
+  it->second = false;
+}
+
+bool SimEnv::MutexLocked(const std::string& name) const {
+  auto it = mutexes_.find(name);
+  return it != mutexes_.end() && it->second;
+}
+
+}  // namespace afex

@@ -1,0 +1,165 @@
+// SimEnv: the simulated operating environment one target run executes in —
+// virtual filesystem, heap handles, sockets, named mutexes, errno, a
+// synthetic call stack, a step-budget watchdog, and the FaultBus that makes
+// the environment injectable. One SimEnv per test execution; everything is
+// deterministic given the seed.
+#ifndef AFEX_SIM_ENV_H_
+#define AFEX_SIM_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "injection/fault_bus.h"
+#include "sim/coverage.h"
+#include "sim/crash.h"
+#include "util/rng.h"
+
+namespace afex {
+
+class SimLibc;
+
+class SimEnv {
+ public:
+  explicit SimEnv(uint64_t seed = 1, size_t step_budget = 1'000'000);
+  ~SimEnv();
+
+  SimEnv(const SimEnv&) = delete;
+  SimEnv& operator=(const SimEnv&) = delete;
+
+  FaultBus& bus() { return bus_; }
+  const FaultBus& bus() const { return bus_; }
+  SimLibc& libc() { return *libc_; }
+  CoverageSet& coverage() { return coverage_; }
+  const CoverageSet& coverage() const { return coverage_; }
+  Rng& rng() { return rng_; }
+
+  // ---- errno ----
+  int sim_errno() const { return errno_; }
+  void set_sim_errno(int err) { errno_ = err; }
+
+  // ---- synthetic call stack (for injection-point traces) ----
+  void PushFrame(const char* name) { stack_.emplace_back(name); }
+  void PopFrame() { stack_.pop_back(); }
+  std::vector<std::string> CaptureStack() const { return stack_; }
+  // Stack captured when the first fault triggered this run (empty if none).
+  const std::vector<std::string>& injection_stack() const { return injection_stack_; }
+  bool fault_triggered() const { return !injection_stack_.empty() || bus_.triggered(); }
+  // Called by SimLibc when an armed fault fires; records the first
+  // trigger's stack with the failing libc function as the innermost frame
+  // (exactly what a real backtrace at the interposer would show).
+  void RecordInjection(const char* function);
+
+  // ---- watchdog ----
+  // Consumes `cost` steps; throws SimHang when the budget is exhausted.
+  void Tick(size_t cost = 1);
+  size_t steps_used() const { return steps_; }
+
+  // ---- virtual filesystem (fixture side; targets go through SimLibc) ----
+  struct FileNode {
+    std::string content;
+    bool is_dir = false;
+    bool readable = true;
+    bool writable = true;
+  };
+  void AddFile(const std::string& path, std::string content);
+  void AddDir(const std::string& path);
+  bool Exists(const std::string& path) const;
+  bool IsDir(const std::string& path) const;
+  // nullptr when absent.
+  const FileNode* Find(const std::string& path) const;
+  FileNode* FindMutable(const std::string& path);
+  void Remove(const std::string& path);
+  // Paths directly under `dir` (lexicographic order).
+  std::vector<std::string> ListDir(const std::string& dir) const;
+  const std::map<std::string, FileNode>& filesystem() const { return fs_; }
+
+  // ---- heap handles ----
+  // A "pointer" is an opaque nonzero handle; handle 0 is NULL. Dereferencing
+  // NULL or a never-allocated handle raises SimCrash, which is exactly how
+  // the paper's Apache bug (Fig. 7) manifests.
+  uint64_t AllocHandle(size_t bytes);
+  void FreeHandle(uint64_t handle);
+  bool HandleValid(uint64_t handle) const;
+  // Throws SimCrash on NULL/invalid handle; returns the handle for chaining.
+  uint64_t Deref(uint64_t handle, const char* what);
+  // Payload attached to string allocations (strdup/getcwd).
+  void SetHandlePayload(uint64_t handle, std::string payload);
+  const std::string& HandlePayload(uint64_t handle);
+  size_t live_allocations() const;
+
+  // ---- named mutexes ----
+  // Unlocking a mutex that is not locked aborts, mirroring glibc's
+  // consistency check — the MySQL double-unlock bug's crash mode.
+  void MutexLock(const std::string& name);
+  void MutexUnlock(const std::string& name);
+  bool MutexLocked(const std::string& name) const;
+
+  // ---- fd table (managed by SimLibc) ----
+  struct OpenFile {
+    std::string path;
+    size_t offset = 0;
+    bool append = false;
+    bool for_write = false;
+    bool error_flag = false;  // ferror()
+    std::string dir_snapshot_cursor;  // readdir() position for directories
+    std::vector<std::string> dir_entries;
+    size_t dir_index = 0;
+  };
+  std::map<int, OpenFile>& open_files() { return open_files_; }
+  int NextFd() { return next_fd_++; }
+
+  // ---- sockets (managed by SimLibc) ----
+  struct Socket {
+    bool bound = false;
+    bool listening = false;
+    bool connected = false;
+    std::string peer;
+    std::string inbox;  // bytes available to recv
+  };
+  std::map<int, Socket>& sockets() { return sockets_; }
+
+  // Current working directory (affects nothing but chdir/getcwd round-trips).
+  const std::string& cwd() const { return cwd_; }
+  void set_cwd(std::string cwd) { cwd_ = std::move(cwd); }
+
+ private:
+  FaultBus bus_;
+  CoverageSet coverage_;
+  Rng rng_;
+  int errno_ = 0;
+  std::vector<std::string> stack_;
+  std::vector<std::string> injection_stack_;
+  size_t steps_ = 0;
+  size_t step_budget_;
+  std::map<std::string, FileNode> fs_;
+  std::map<int, OpenFile> open_files_;
+  int next_fd_ = 3;
+  std::map<int, Socket> sockets_;
+  std::map<uint64_t, size_t> heap_;  // handle -> size
+  std::map<uint64_t, std::string> heap_payload_;
+  uint64_t next_handle_ = 0x1000;
+  std::map<std::string, bool> mutexes_;
+  std::string cwd_ = "/";
+  SimLibc* libc_;  // owned; raw to break the include cycle
+};
+
+// RAII frame guard: StackFrame frame(env, "mi_create");
+class StackFrame {
+ public:
+  StackFrame(SimEnv& env, const char* name) : env_(&env) { env_->PushFrame(name); }
+  ~StackFrame() { env_->PopFrame(); }
+  StackFrame(const StackFrame&) = delete;
+  StackFrame& operator=(const StackFrame&) = delete;
+
+ private:
+  SimEnv* env_;
+};
+
+// Coverage annotation used by every simulated target.
+#define AFEX_COV(env, id) (env).coverage().Hit(id)
+
+}  // namespace afex
+
+#endif  // AFEX_SIM_ENV_H_

@@ -1,0 +1,29 @@
+#include "sim/process.h"
+
+namespace afex {
+
+RunOutcome RunProgram(SimEnv& env, const std::function<int(SimEnv&)>& body) {
+  RunOutcome outcome;
+  try {
+    outcome.exit_code = body(env);
+  } catch (const SimExit& e) {
+    outcome.exit_code = e.code();
+    outcome.termination_detail = e.what();
+  } catch (const SimCrash& e) {
+    outcome.crashed = true;
+    outcome.exit_code = 139;  // 128 + SIGSEGV
+    outcome.termination_detail = e.what();
+  } catch (const SimAbort& e) {
+    outcome.crashed = true;
+    outcome.aborted = true;
+    outcome.exit_code = 134;  // 128 + SIGABRT
+    outcome.termination_detail = e.what();
+  } catch (const SimHang& e) {
+    outcome.hung = true;
+    outcome.exit_code = 124;  // timeout convention
+    outcome.termination_detail = e.what();
+  }
+  return outcome;
+}
+
+}  // namespace afex

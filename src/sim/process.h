@@ -1,0 +1,29 @@
+// RunProgram: executes a target body inside a SimEnv and converts simulated
+// terminations (crash, abort, hang, exit) into a structured outcome — the
+// sim equivalent of forking the system under test and inspecting its wait
+// status / core dump.
+#ifndef AFEX_SIM_PROCESS_H_
+#define AFEX_SIM_PROCESS_H_
+
+#include <functional>
+#include <string>
+
+#include "sim/env.h"
+
+namespace afex {
+
+struct RunOutcome {
+  int exit_code = 0;
+  bool crashed = false;  // SIGSEGV or SIGABRT
+  bool aborted = false;  // specifically SIGABRT
+  bool hung = false;     // watchdog
+  std::string termination_detail;
+};
+
+// Runs `body`; never throws for simulated terminations. The SimEnv retains
+// all post-mortem state (coverage, injection stack, filesystem).
+RunOutcome RunProgram(SimEnv& env, const std::function<int(SimEnv&)>& body);
+
+}  // namespace afex
+
+#endif  // AFEX_SIM_PROCESS_H_

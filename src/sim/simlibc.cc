@@ -1,0 +1,657 @@
+#include "sim/simlibc.h"
+
+#include <algorithm>
+
+#include "injection/libc_profile.h"
+#include "sim/env.h"
+
+namespace afex {
+
+using sim_errno::kEBADF;
+using sim_errno::kECONNRESET;
+using sim_errno::kEIO;
+using sim_errno::kENOENT;
+using sim_errno::kENOMEM;
+
+const FaultSpec* SimLibc::CheckFault(const char* function) {
+  env_->Tick();
+  const FaultSpec* spec = env_->bus().OnCall(function);
+  if (spec != nullptr) {
+    env_->RecordInjection(function);
+    env_->set_sim_errno(spec->errno_value);
+  }
+  return spec;
+}
+
+// ---- memory ----
+
+uint64_t SimLibc::Malloc(size_t bytes) {
+  if (CheckFault("malloc")) {
+    return 0;
+  }
+  return env_->AllocHandle(bytes);
+}
+
+uint64_t SimLibc::Calloc(size_t n, size_t bytes) {
+  if (CheckFault("calloc")) {
+    return 0;
+  }
+  return env_->AllocHandle(n * bytes);
+}
+
+uint64_t SimLibc::Realloc(uint64_t handle, size_t bytes) {
+  if (CheckFault("realloc")) {
+    return 0;  // original allocation stays valid, as in C
+  }
+  if (handle != 0) {
+    env_->FreeHandle(handle);
+  }
+  return env_->AllocHandle(bytes);
+}
+
+void SimLibc::Free(uint64_t handle) {
+  if (handle != 0) {
+    env_->FreeHandle(handle);
+  }
+}
+
+uint64_t SimLibc::Strdup(const std::string& s) {
+  if (CheckFault("strdup")) {
+    return 0;
+  }
+  // Real strdup allocates through malloc; an armed malloc fault can
+  // therefore fail a strdup whose own axis value was never injected.
+  uint64_t h = Malloc(s.size() + 1);
+  if (h == 0) {
+    return 0;  // errno already ENOMEM from the failed malloc
+  }
+  env_->SetHandlePayload(h, s);
+  return h;
+}
+
+// ---- stream I/O ----
+
+uint64_t SimLibc::Fopen(const std::string& path, const std::string& mode) {
+  if (CheckFault("fopen")) {
+    return 0;
+  }
+  bool for_write = mode.find('w') != std::string::npos || mode.find('a') != std::string::npos;
+  const SimEnv::FileNode* node = env_->Find(path);
+  if (!for_write) {
+    if (node == nullptr || node->is_dir) {
+      env_->set_sim_errno(kENOENT);
+      return 0;
+    }
+  } else if (node == nullptr || mode.find('w') != std::string::npos) {
+    env_->AddFile(path, "");
+  }
+  int fd = env_->NextFd();
+  SimEnv::OpenFile of;
+  of.path = path;
+  of.for_write = for_write;
+  of.append = mode.find('a') != std::string::npos;
+  if (of.append) {
+    of.offset = env_->Find(path)->content.size();
+  }
+  env_->open_files()[fd] = std::move(of);
+  return static_cast<uint64_t>(fd);
+}
+
+int SimLibc::Fclose(uint64_t stream) {
+  if (const FaultSpec* spec = CheckFault("fclose")) {
+    // Even a failed fclose invalidates the stream, per POSIX.
+    env_->open_files().erase(static_cast<int>(stream));
+    return static_cast<int>(spec->retval);
+  }
+  auto erased = env_->open_files().erase(static_cast<int>(stream));
+  if (erased == 0) {
+    env_->set_sim_errno(kEBADF);
+    return -1;
+  }
+  return 0;
+}
+
+size_t SimLibc::Fread(uint64_t stream, std::string& out, size_t n) {
+  out.clear();
+  if (CheckFault("fread")) {
+    auto it = env_->open_files().find(static_cast<int>(stream));
+    if (it != env_->open_files().end()) {
+      it->second.error_flag = true;
+    }
+    return 0;
+  }
+  auto it = env_->open_files().find(static_cast<int>(stream));
+  if (it == env_->open_files().end()) {
+    env_->set_sim_errno(kEBADF);
+    return 0;
+  }
+  const SimEnv::FileNode* node = env_->Find(it->second.path);
+  if (node == nullptr) {
+    it->second.error_flag = true;
+    return 0;
+  }
+  size_t off = it->second.offset;
+  if (off >= node->content.size()) {
+    return 0;  // EOF
+  }
+  size_t take = std::min(n, node->content.size() - off);
+  out = node->content.substr(off, take);
+  it->second.offset += take;
+  return take;
+}
+
+size_t SimLibc::Fwrite(uint64_t stream, const std::string& data) {
+  if (CheckFault("fwrite")) {
+    auto it = env_->open_files().find(static_cast<int>(stream));
+    if (it != env_->open_files().end()) {
+      it->second.error_flag = true;
+    }
+    return 0;
+  }
+  auto it = env_->open_files().find(static_cast<int>(stream));
+  if (it == env_->open_files().end()) {
+    env_->set_sim_errno(kEBADF);
+    return 0;
+  }
+  SimEnv::FileNode* node = env_->FindMutable(it->second.path);
+  if (node == nullptr) {
+    it->second.error_flag = true;
+    return 0;
+  }
+  size_t off = it->second.offset;
+  if (node->content.size() < off) {
+    node->content.resize(off, '\0');
+  }
+  node->content.replace(off, data.size(), data);
+  it->second.offset += data.size();
+  return data.size();
+}
+
+bool SimLibc::Fgets(uint64_t stream, std::string& line) {
+  line.clear();
+  if (CheckFault("fgets")) {
+    auto it = env_->open_files().find(static_cast<int>(stream));
+    if (it != env_->open_files().end()) {
+      it->second.error_flag = true;
+    }
+    return false;
+  }
+  auto it = env_->open_files().find(static_cast<int>(stream));
+  if (it == env_->open_files().end()) {
+    env_->set_sim_errno(kEBADF);
+    return false;
+  }
+  const SimEnv::FileNode* node = env_->Find(it->second.path);
+  if (node == nullptr || it->second.offset >= node->content.size()) {
+    return false;  // EOF
+  }
+  size_t off = it->second.offset;
+  size_t nl = node->content.find('\n', off);
+  size_t end = nl == std::string::npos ? node->content.size() : nl + 1;
+  line = node->content.substr(off, end - off);
+  it->second.offset = end;
+  return true;
+}
+
+int SimLibc::Fflush(uint64_t stream) {
+  if (const FaultSpec* spec = CheckFault("fflush")) {
+    return static_cast<int>(spec->retval);
+  }
+  if (!env_->open_files().contains(static_cast<int>(stream))) {
+    env_->set_sim_errno(kEBADF);
+    return -1;
+  }
+  return 0;
+}
+
+int SimLibc::Ferror(uint64_t stream) {
+  // ferror itself is injectable in LFI's profile of libc; a fault makes it
+  // report a phantom error.
+  if (const FaultSpec* spec = CheckFault("ferror")) {
+    return static_cast<int>(spec->retval);
+  }
+  auto it = env_->open_files().find(static_cast<int>(stream));
+  return it != env_->open_files().end() && it->second.error_flag ? 1 : 0;
+}
+
+void SimLibc::Clearerr(uint64_t stream) {
+  auto it = env_->open_files().find(static_cast<int>(stream));
+  if (it != env_->open_files().end()) {
+    it->second.error_flag = false;
+  }
+}
+
+int SimLibc::Fputc(uint64_t stream, char c) {
+  if (const FaultSpec* spec = CheckFault("fputc")) {
+    return static_cast<int>(spec->retval);
+  }
+  size_t written = Fwrite(stream, std::string(1, c));
+  return written == 1 ? static_cast<unsigned char>(c) : -1;
+}
+
+// ---- fd I/O ----
+
+int SimLibc::Open(const std::string& path, int flags) {
+  if (const FaultSpec* spec = CheckFault("open")) {
+    return static_cast<int>(spec->retval);
+  }
+  const SimEnv::FileNode* node = env_->Find(path);
+  if (node == nullptr) {
+    if ((flags & kCreate) == 0) {
+      env_->set_sim_errno(kENOENT);
+      return -1;
+    }
+    env_->AddFile(path, "");
+  } else if ((flags & kTrunc) != 0) {
+    env_->FindMutable(path)->content.clear();
+  }
+  int fd = env_->NextFd();
+  SimEnv::OpenFile of;
+  of.path = path;
+  of.for_write = (flags & (kWrOnly | kCreate | kAppend | kTrunc)) != 0;
+  of.append = (flags & kAppend) != 0;
+  if (of.append) {
+    of.offset = env_->Find(path)->content.size();
+  }
+  env_->open_files()[fd] = std::move(of);
+  return fd;
+}
+
+long SimLibc::Read(int fd, std::string& out, size_t n) {
+  out.clear();
+  if (const FaultSpec* spec = CheckFault("read")) {
+    return spec->retval;
+  }
+  auto it = env_->open_files().find(fd);
+  if (it == env_->open_files().end()) {
+    env_->set_sim_errno(kEBADF);
+    return -1;
+  }
+  const SimEnv::FileNode* node = env_->Find(it->second.path);
+  if (node == nullptr) {
+    env_->set_sim_errno(kEIO);
+    return -1;
+  }
+  size_t off = it->second.offset;
+  if (off >= node->content.size()) {
+    return 0;
+  }
+  size_t take = std::min(n, node->content.size() - off);
+  out = node->content.substr(off, take);
+  it->second.offset += take;
+  return static_cast<long>(take);
+}
+
+long SimLibc::Write(int fd, const std::string& data) {
+  if (const FaultSpec* spec = CheckFault("write")) {
+    return spec->retval;
+  }
+  auto it = env_->open_files().find(fd);
+  if (it == env_->open_files().end()) {
+    env_->set_sim_errno(kEBADF);
+    return -1;
+  }
+  SimEnv::FileNode* node = env_->FindMutable(it->second.path);
+  if (node == nullptr) {
+    env_->set_sim_errno(kEIO);
+    return -1;
+  }
+  size_t off = it->second.offset;
+  if (node->content.size() < off) {
+    node->content.resize(off, '\0');
+  }
+  node->content.replace(off, data.size(), data);
+  it->second.offset += data.size();
+  return static_cast<long>(data.size());
+}
+
+int SimLibc::Close(int fd) {
+  if (const FaultSpec* spec = CheckFault("close")) {
+    env_->open_files().erase(fd);  // descriptor state is undefined; drop it
+    return static_cast<int>(spec->retval);
+  }
+  if (env_->open_files().erase(fd) == 0 && env_->sockets().erase(fd) == 0) {
+    env_->set_sim_errno(kEBADF);
+    return -1;
+  }
+  return 0;
+}
+
+long SimLibc::Lseek(int fd, long offset, int whence) {
+  if (const FaultSpec* spec = CheckFault("lseek")) {
+    return spec->retval;
+  }
+  auto it = env_->open_files().find(fd);
+  if (it == env_->open_files().end()) {
+    env_->set_sim_errno(kEBADF);
+    return -1;
+  }
+  const SimEnv::FileNode* node = env_->Find(it->second.path);
+  long size = node == nullptr ? 0 : static_cast<long>(node->content.size());
+  long base = whence == 0 ? 0 : (whence == 1 ? static_cast<long>(it->second.offset) : size);
+  long target = base + offset;
+  if (target < 0) {
+    env_->set_sim_errno(kEBADF);
+    return -1;
+  }
+  it->second.offset = static_cast<size_t>(target);
+  return target;
+}
+
+int SimLibc::Stat(const std::string& path, StatBuf& out) {
+  if (const FaultSpec* spec = CheckFault("stat")) {
+    return static_cast<int>(spec->retval);
+  }
+  const SimEnv::FileNode* node = env_->Find(path);
+  if (node == nullptr) {
+    env_->set_sim_errno(kENOENT);
+    return -1;
+  }
+  out.size = node->content.size();
+  out.is_dir = node->is_dir;
+  return 0;
+}
+
+int SimLibc::Rename(const std::string& from, const std::string& to) {
+  if (const FaultSpec* spec = CheckFault("rename")) {
+    return static_cast<int>(spec->retval);
+  }
+  SimEnv::FileNode* node = env_->FindMutable(from);
+  if (node == nullptr) {
+    env_->set_sim_errno(kENOENT);
+    return -1;
+  }
+  SimEnv::FileNode copy = *node;
+  env_->Remove(from);
+  if (copy.is_dir) {
+    env_->AddDir(to);
+  } else {
+    env_->AddFile(to, copy.content);
+  }
+  return 0;
+}
+
+int SimLibc::Unlink(const std::string& path) {
+  if (const FaultSpec* spec = CheckFault("unlink")) {
+    return static_cast<int>(spec->retval);
+  }
+  if (!env_->Exists(path)) {
+    env_->set_sim_errno(kENOENT);
+    return -1;
+  }
+  env_->Remove(path);
+  return 0;
+}
+
+// ---- directories ----
+
+uint64_t SimLibc::Opendir(const std::string& path) {
+  if (CheckFault("opendir")) {
+    return 0;
+  }
+  if (!env_->IsDir(path)) {
+    env_->set_sim_errno(kENOENT);
+    return 0;
+  }
+  int fd = env_->NextFd();
+  SimEnv::OpenFile of;
+  of.path = path;
+  of.dir_entries = env_->ListDir(path);
+  env_->open_files()[fd] = std::move(of);
+  return static_cast<uint64_t>(fd);
+}
+
+bool SimLibc::Readdir(uint64_t dir, std::string& name) {
+  name.clear();
+  if (CheckFault("readdir")) {
+    return false;
+  }
+  auto it = env_->open_files().find(static_cast<int>(dir));
+  if (it == env_->open_files().end()) {
+    env_->set_sim_errno(kEBADF);
+    return false;
+  }
+  if (it->second.dir_index >= it->second.dir_entries.size()) {
+    env_->set_sim_errno(0);  // end of directory is not an error
+    return false;
+  }
+  name = it->second.dir_entries[it->second.dir_index++];
+  return true;
+}
+
+int SimLibc::Closedir(uint64_t dir) {
+  if (const FaultSpec* spec = CheckFault("closedir")) {
+    env_->open_files().erase(static_cast<int>(dir));
+    return static_cast<int>(spec->retval);
+  }
+  if (env_->open_files().erase(static_cast<int>(dir)) == 0) {
+    env_->set_sim_errno(kEBADF);
+    return -1;
+  }
+  return 0;
+}
+
+int SimLibc::Chdir(const std::string& path) {
+  if (const FaultSpec* spec = CheckFault("chdir")) {
+    return static_cast<int>(spec->retval);
+  }
+  if (!env_->IsDir(path)) {
+    env_->set_sim_errno(kENOENT);
+    return -1;
+  }
+  env_->set_cwd(path);
+  return 0;
+}
+
+uint64_t SimLibc::Getcwd() {
+  if (CheckFault("getcwd")) {
+    return 0;
+  }
+  uint64_t h = env_->AllocHandle(env_->cwd().size() + 1);
+  env_->SetHandlePayload(h, env_->cwd());
+  return h;
+}
+
+int SimLibc::Mkdir(const std::string& path) {
+  if (const FaultSpec* spec = CheckFault("mkdir")) {
+    return static_cast<int>(spec->retval);
+  }
+  if (env_->Exists(path)) {
+    env_->set_sim_errno(sim_errno::kEACCES);
+    return -1;
+  }
+  env_->AddDir(path);
+  return 0;
+}
+
+// ---- networking ----
+
+int SimLibc::Socket() {
+  if (const FaultSpec* spec = CheckFault("socket")) {
+    return static_cast<int>(spec->retval);
+  }
+  int fd = env_->NextFd();
+  env_->sockets()[fd] = SimEnv::Socket{};
+  return fd;
+}
+
+int SimLibc::Bind(int fd, const std::string& address) {
+  if (const FaultSpec* spec = CheckFault("bind")) {
+    return static_cast<int>(spec->retval);
+  }
+  auto it = env_->sockets().find(fd);
+  if (it == env_->sockets().end()) {
+    env_->set_sim_errno(kEBADF);
+    return -1;
+  }
+  it->second.bound = true;
+  it->second.peer = address;
+  return 0;
+}
+
+int SimLibc::Listen(int fd) {
+  if (const FaultSpec* spec = CheckFault("listen")) {
+    return static_cast<int>(spec->retval);
+  }
+  auto it = env_->sockets().find(fd);
+  if (it == env_->sockets().end() || !it->second.bound) {
+    env_->set_sim_errno(kEBADF);
+    return -1;
+  }
+  it->second.listening = true;
+  return 0;
+}
+
+int SimLibc::Accept(int fd) {
+  if (const FaultSpec* spec = CheckFault("accept")) {
+    return static_cast<int>(spec->retval);
+  }
+  auto it = env_->sockets().find(fd);
+  if (it == env_->sockets().end() || !it->second.listening) {
+    env_->set_sim_errno(kEBADF);
+    return -1;
+  }
+  // The simulated peer's request bytes were staged in the listening
+  // socket's inbox by the test fixture; hand them to the accepted socket.
+  int conn = env_->NextFd();
+  SimEnv::Socket s;
+  s.connected = true;
+  s.inbox = std::move(it->second.inbox);
+  it->second.inbox.clear();
+  env_->sockets()[conn] = std::move(s);
+  return conn;
+}
+
+long SimLibc::Send(int fd, const std::string& data) {
+  if (const FaultSpec* spec = CheckFault("send")) {
+    return spec->retval;
+  }
+  auto it = env_->sockets().find(fd);
+  if (it == env_->sockets().end() || !it->second.connected) {
+    env_->set_sim_errno(kECONNRESET);
+    return -1;
+  }
+  return static_cast<long>(data.size());
+}
+
+long SimLibc::Recv(int fd, std::string& out, size_t n) {
+  out.clear();
+  if (const FaultSpec* spec = CheckFault("recv")) {
+    return spec->retval;
+  }
+  auto it = env_->sockets().find(fd);
+  if (it == env_->sockets().end() || !it->second.connected) {
+    env_->set_sim_errno(kECONNRESET);
+    return -1;
+  }
+  size_t take = std::min(n, it->second.inbox.size());
+  out = it->second.inbox.substr(0, take);
+  it->second.inbox.erase(0, take);
+  return static_cast<long>(take);
+}
+
+int SimLibc::Pipe(int& read_fd, int& write_fd) {
+  if (const FaultSpec* spec = CheckFault("pipe")) {
+    return static_cast<int>(spec->retval);
+  }
+  std::string path = "/.pipe/" + std::to_string(env_->NextFd());
+  env_->AddFile(path, "");
+  read_fd = env_->NextFd();
+  write_fd = env_->NextFd();
+  SimEnv::OpenFile r;
+  r.path = path;
+  SimEnv::OpenFile w;
+  w.path = path;
+  w.for_write = true;
+  env_->open_files()[read_fd] = std::move(r);
+  env_->open_files()[write_fd] = std::move(w);
+  return 0;
+}
+
+// ---- misc ----
+
+int SimLibc::ClockGettime(long& out) {
+  if (const FaultSpec* spec = CheckFault("clock_gettime")) {
+    return static_cast<int>(spec->retval);
+  }
+  out = static_cast<long>(env_->steps_used());
+  return 0;
+}
+
+uint64_t SimLibc::Setlocale(const std::string& locale) {
+  if (CheckFault("setlocale")) {
+    return 0;
+  }
+  uint64_t h = env_->AllocHandle(locale.size() + 1);
+  env_->SetHandlePayload(h, locale);
+  return h;
+}
+
+int SimLibc::Getrlimit(long& soft_limit) {
+  if (const FaultSpec* spec = CheckFault("getrlimit")) {
+    return static_cast<int>(spec->retval);
+  }
+  soft_limit = 1024;
+  return 0;
+}
+
+int SimLibc::Setrlimit(long /*soft_limit*/) {
+  if (const FaultSpec* spec = CheckFault("setrlimit")) {
+    return static_cast<int>(spec->retval);
+  }
+  return 0;
+}
+
+long SimLibc::Strtol(const std::string& s, bool& ok) {
+  if (CheckFault("strtol")) {
+    ok = false;
+    return 0;
+  }
+  ok = false;
+  if (s.empty()) {
+    return 0;
+  }
+  size_t i = 0;
+  bool negative = false;
+  if (s[0] == '-' || s[0] == '+') {
+    negative = s[0] == '-';
+    i = 1;
+  }
+  long value = 0;
+  bool any = false;
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') {
+      break;
+    }
+    value = value * 10 + (s[i] - '0');
+    any = true;
+  }
+  ok = any;
+  return negative ? -value : value;
+}
+
+int SimLibc::Wait(int& status) {
+  if (const FaultSpec* spec = CheckFault("wait")) {
+    return static_cast<int>(spec->retval);
+  }
+  status = 0;
+  return 1;  // simulated child pid
+}
+
+int SimLibc::MutexLock(const std::string& name) {
+  if (const FaultSpec* spec = CheckFault("pthread_mutex_lock")) {
+    return static_cast<int>(spec->retval);
+  }
+  env_->MutexLock(name);
+  return 0;
+}
+
+int SimLibc::MutexUnlock(const std::string& name) {
+  if (const FaultSpec* spec = CheckFault("pthread_mutex_unlock")) {
+    return static_cast<int>(spec->retval);
+  }
+  env_->MutexUnlock(name);
+  return 0;
+}
+
+}  // namespace afex

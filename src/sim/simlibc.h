@@ -1,0 +1,117 @@
+// SimLibc: the simulated C library every target runs against. Each entry
+// point routes through the FaultBus (one bus call per libc call, counted
+// per function name), then either performs the simulated effect or fails
+// with the armed error return + errno — the exact failure semantics LFI
+// injects at the real application-library boundary.
+//
+// Conventions:
+//  * Pointer-returning functions return an opaque uint64 handle; 0 is NULL.
+//  * int/ssize_t-returning functions return the armed retval (usually -1)
+//    on injection and set the simulated errno.
+//  * Every call consumes one watchdog step, so hangs are detectable even in
+//    loops made only of libc calls.
+#ifndef AFEX_SIM_SIMLIBC_H_
+#define AFEX_SIM_SIMLIBC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace afex {
+
+class SimEnv;
+struct FaultSpec;
+
+// Open flags for the fd-level API (subset of O_*).
+enum OpenFlags : int {
+  kRdOnly = 0,
+  kWrOnly = 1,
+  kCreate = 2,
+  kAppend = 4,
+  kTrunc = 8,
+};
+
+struct StatBuf {
+  size_t size = 0;
+  bool is_dir = false;
+};
+
+class SimLibc {
+ public:
+  explicit SimLibc(SimEnv& env) : env_(&env) {}
+
+  // ---- memory ----
+  uint64_t Malloc(size_t bytes);
+  uint64_t Calloc(size_t n, size_t bytes);
+  uint64_t Realloc(uint64_t handle, size_t bytes);
+  void Free(uint64_t handle);
+  // strdup allocates via Malloc internally, so an injected malloc failure
+  // propagates through it — the mechanism behind the paper's Fig. 7 bug.
+  uint64_t Strdup(const std::string& s);
+
+  // ---- stream I/O ----
+  uint64_t Fopen(const std::string& path, const std::string& mode);
+  int Fclose(uint64_t stream);
+  // Reads up to n bytes; returns bytes read (0 on EOF or error; error sets
+  // the stream's error flag, distinguishable via Ferror).
+  size_t Fread(uint64_t stream, std::string& out, size_t n);
+  size_t Fwrite(uint64_t stream, const std::string& data);
+  // Reads one '\n'-terminated line (newline included); false on EOF/error.
+  bool Fgets(uint64_t stream, std::string& line);
+  int Fflush(uint64_t stream);
+  int Ferror(uint64_t stream);
+  // clearerr(3): resets the stream's error indicator. Void in C and not
+  // interposable by LFI, so not routed through the fault bus.
+  void Clearerr(uint64_t stream);
+  int Fputc(uint64_t stream, char c);
+
+  // ---- fd I/O ----
+  int Open(const std::string& path, int flags);
+  long Read(int fd, std::string& out, size_t n);
+  long Write(int fd, const std::string& data);
+  int Close(int fd);
+  long Lseek(int fd, long offset, int whence);  // whence: 0=SET 1=CUR 2=END
+  int Stat(const std::string& path, StatBuf& out);
+  int Rename(const std::string& from, const std::string& to);
+  int Unlink(const std::string& path);
+
+  // ---- directories ----
+  uint64_t Opendir(const std::string& path);
+  // False at end-of-directory or on error (errno distinguishes).
+  bool Readdir(uint64_t dir, std::string& name);
+  int Closedir(uint64_t dir);
+  int Chdir(const std::string& path);
+  uint64_t Getcwd();  // allocates; payload holds the path
+  int Mkdir(const std::string& path);
+
+  // ---- networking ----
+  int Socket();
+  int Bind(int fd, const std::string& address);
+  int Listen(int fd);
+  int Accept(int fd);  // pops a pending simulated connection
+  long Send(int fd, const std::string& data);
+  long Recv(int fd, std::string& out, size_t n);
+  int Pipe(int& read_fd, int& write_fd);
+
+  // ---- misc ----
+  int ClockGettime(long& out);  // simulated nanoseconds = steps used
+  uint64_t Setlocale(const std::string& locale);
+  int Getrlimit(long& soft_limit);
+  int Setrlimit(long soft_limit);
+  // strtol; ok=false on injected failure or unparsable input.
+  long Strtol(const std::string& s, bool& ok);
+  int Wait(int& status);
+  int MutexLock(const std::string& name);
+  int MutexUnlock(const std::string& name);
+
+ private:
+  // Routes one call through the bus; on a hit records the injection and
+  // sets errno. Returns the armed spec or nullptr.
+  const FaultSpec* CheckFault(const char* function);
+
+  SimEnv* env_;
+};
+
+}  // namespace afex
+
+#endif  // AFEX_SIM_SIMLIBC_H_

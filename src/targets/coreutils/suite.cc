@@ -1,0 +1,324 @@
+#include "targets/coreutils/suite.h"
+
+#include <cassert>
+
+#include "sim/env.h"
+#include "sim/simlibc.h"
+#include "targets/coreutils/utils.h"
+
+namespace afex {
+namespace coreutils {
+namespace {
+
+// Every test writes utility output to the simulated stdout.
+void CommonFixture(SimEnv& env) { env.AddFile("/dev/stdout", ""); }
+
+std::string Stdout(SimEnv& env) {
+  const SimEnv::FileNode* node = env.Find("/dev/stdout");
+  return node == nullptr ? "" : node->content;
+}
+
+bool FileHas(SimEnv& env, const std::string& path, const std::string& content) {
+  const SimEnv::FileNode* node = env.Find(path);
+  return node != nullptr && !node->is_dir && node->content == content;
+}
+
+// ---- the 29 tests; each returns 0 on pass ----
+
+int TestLsEmpty(SimEnv& env) {
+  env.AddDir("/empty");
+  int rc = LsMain(env, "/empty", false, false);
+  return (rc == 0 && Stdout(env).empty()) ? 0 : 1;
+}
+
+int TestLsFiles(SimEnv& env) {
+  env.AddDir("/d");
+  env.AddFile("/d/alpha", "1");
+  env.AddFile("/d/beta", "22");
+  env.AddFile("/d/gamma", "333");
+  int rc = LsMain(env, "/d", false, false);
+  std::string out = Stdout(env);
+  bool listed = out.find("alpha\n") != std::string::npos &&
+                out.find("beta\n") != std::string::npos &&
+                out.find("gamma\n") != std::string::npos;
+  return (rc == 0 && listed) ? 0 : 1;
+}
+
+int TestLsLong(SimEnv& env) {
+  env.AddDir("/d");
+  env.AddFile("/d/file", "12345");
+  env.AddDir("/d/sub");
+  int rc = LsMain(env, "/d", true, false);
+  std::string out = Stdout(env);
+  bool sizes = out.find("- 5 file\n") != std::string::npos &&
+               out.find("d 0 sub\n") != std::string::npos;
+  return (rc == 0 && sizes) ? 0 : 1;
+}
+
+int TestLsSorted(SimEnv& env) {
+  env.AddDir("/d");
+  env.AddFile("/d/zeta", "");
+  env.AddFile("/d/alpha", "");
+  env.AddFile("/d/mid", "");
+  int rc = LsMain(env, "/d", false, true);
+  std::string out = Stdout(env);
+  size_t a = out.find("alpha");
+  size_t m = out.find("mid");
+  size_t z = out.find("zeta");
+  bool sorted = a != std::string::npos && m != std::string::npos && z != std::string::npos &&
+                a < m && m < z;
+  return (rc == 0 && sorted) ? 0 : 1;
+}
+
+int TestLsMissing(SimEnv& env) {
+  int rc = LsMain(env, "/no/such/dir", false, false);
+  return rc == 2 ? 0 : 1;  // ls must report the error with its exit code
+}
+
+int TestLnSimple(SimEnv& env) {
+  env.AddDir("/src");
+  env.AddFile("/src/f", "data");
+  int rc = LnMain(env, "/src/f", "/src/g", false, false);
+  return (rc == 0 && FileHas(env, "/src/g", "data")) ? 0 : 1;
+}
+
+int TestLnForce(SimEnv& env) {
+  env.AddDir("/src");
+  env.AddFile("/src/f", "new");
+  env.AddFile("/src/g", "old");
+  int rc = LnMain(env, "/src/f", "/src/g", true, false);
+  return (rc == 0 && FileHas(env, "/src/g", "new")) ? 0 : 1;
+}
+
+int TestLnIntoDir(SimEnv& env) {
+  env.AddDir("/src");
+  env.AddDir("/dir");
+  env.AddFile("/src/f", "x");
+  int rc = LnMain(env, "/src/f", "/dir", false, false);
+  return (rc == 0 && FileHas(env, "/dir/f", "x")) ? 0 : 1;
+}
+
+int TestLnSymbolic(SimEnv& env) {
+  env.AddDir("/src");
+  env.AddFile("/src/f", "payload");
+  int rc = LnMain(env, "/src/f", "/src/link", false, true);
+  return (rc == 0 && FileHas(env, "/src/link", "-> /src/f")) ? 0 : 1;
+}
+
+int TestLnMissingSource(SimEnv& env) {
+  // Expected operational error (exit 1). An injected allocation failure
+  // exits 2 instead, which this test correctly flags as a failure.
+  int rc = LnMain(env, "/nope", "/dest", false, false);
+  return rc == 1 ? 0 : 1;
+}
+
+int TestLnExistingDest(SimEnv& env) {
+  env.AddDir("/src");
+  env.AddFile("/src/f", "a");
+  env.AddFile("/src/g", "b");
+  int rc = LnMain(env, "/src/f", "/src/g", false, false);
+  return (rc == 1 && FileHas(env, "/src/g", "b")) ? 0 : 1;
+}
+
+int TestLnRelative(SimEnv& env) {
+  env.AddFile("work/f", "rel");
+  int rc = LnMain(env, "work/f", "work/g", false, false);
+  return (rc == 0 && FileHas(env, "work/g", "rel")) ? 0 : 1;
+}
+
+int TestMvSimple(SimEnv& env) {
+  env.AddDir("/a");
+  env.AddFile("/a/f", "move me");
+  int rc = MvMain(env, "/a/f", "/a/g", false);
+  return (rc == 0 && !env.Exists("/a/f") && FileHas(env, "/a/g", "move me")) ? 0 : 1;
+}
+
+int TestMvOverwrite(SimEnv& env) {
+  env.AddDir("/a");
+  env.AddFile("/a/f", "new");
+  env.AddFile("/a/g", "old");
+  int rc = MvMain(env, "/a/f", "/a/g", true);
+  return (rc == 0 && !env.Exists("/a/f") && FileHas(env, "/a/g", "new")) ? 0 : 1;
+}
+
+int TestMvIntoDir(SimEnv& env) {
+  env.AddDir("/a");
+  env.AddDir("/a/dir");
+  env.AddFile("/a/f", "x");
+  int rc = MvMain(env, "/a/f", "/a/dir", false);
+  return (rc == 0 && !env.Exists("/a/f") && FileHas(env, "/a/dir/f", "x")) ? 0 : 1;
+}
+
+int TestMvCrossDevice(SimEnv& env) {
+  env.AddDir("/a");
+  env.AddDir("/mnt");
+  env.AddFile("/a/f", "cross-device payload");
+  int rc = MvMain(env, "/a/f", "/mnt/f", false);
+  return (rc == 0 && !env.Exists("/a/f") && FileHas(env, "/mnt/f", "cross-device payload")) ? 0
+                                                                                            : 1;
+}
+
+int TestMvMissingSource(SimEnv& env) {
+  int rc = MvMain(env, "/nope", "/dest", false);
+  return rc == 1 ? 0 : 1;
+}
+
+int TestMvDirRename(SimEnv& env) {
+  env.AddDir("/a");
+  env.AddDir("/a/sub");
+  int rc = MvMain(env, "/a/sub", "/a/renamed", false);
+  return (rc == 0 && env.IsDir("/a/renamed") && !env.Exists("/a/sub")) ? 0 : 1;
+}
+
+int TestMvExistingDestNoForce(SimEnv& env) {
+  env.AddDir("/a");
+  env.AddFile("/a/f", "new");
+  env.AddFile("/a/g", "old");
+  int rc = MvMain(env, "/a/f", "/a/g", false);
+  return (rc == 1 && FileHas(env, "/a/g", "old") && env.Exists("/a/f")) ? 0 : 1;
+}
+
+int TestCpSimple(SimEnv& env) {
+  env.AddDir("/a");
+  env.AddFile("/a/src", "copy bytes");
+  int rc = CpMain(env, "/a/src", "/a/dst");
+  return (rc == 0 && FileHas(env, "/a/dst", "copy bytes") && FileHas(env, "/a/src", "copy bytes"))
+             ? 0
+             : 1;
+}
+
+int TestDuTree(SimEnv& env) {
+  env.AddDir("/tree");
+  env.AddFile("/tree/a", "12345");     // 5 bytes
+  env.AddFile("/tree/b", "123");       // 3 bytes
+  env.AddDir("/tree/sub");
+  env.AddFile("/tree/sub/c", "1234");  // 4 bytes
+  int rc = DuMain(env, "/tree");
+  std::string out = Stdout(env);
+  return (rc == 0 && out.find("12\t/tree") != std::string::npos) ? 0 : 1;
+}
+
+int TestCpMissing(SimEnv& env) {
+  int rc = CpMain(env, "/nope", "/dst");
+  return rc == 1 ? 0 : 1;
+}
+
+int TestRm(SimEnv& env) {
+  env.AddDir("/a");
+  env.AddFile("/a/x", "");
+  env.AddFile("/a/y", "");
+  int rc = RmMain(env, {"/a/x", "/a/y", "/a/missing"}, /*force=*/true);
+  return (rc == 0 && !env.Exists("/a/x") && !env.Exists("/a/y")) ? 0 : 1;
+}
+
+int TestCat(SimEnv& env) {
+  env.AddFile("/one", "first\n");
+  env.AddFile("/two", "second\n");
+  int rc = CatMain(env, {"/one", "/two"});
+  return (rc == 0 && Stdout(env) == "first\nsecond\n") ? 0 : 1;
+}
+
+int TestTouch(SimEnv& env) {
+  int rc = TouchMain(env, "/brand-new");
+  return (rc == 0 && env.Exists("/brand-new")) ? 0 : 1;
+}
+
+int TestMkdirParents(SimEnv& env) {
+  int rc = MkdirMain(env, "/x/y/z", /*parents=*/true);
+  return (rc == 0 && env.IsDir("/x") && env.IsDir("/x/y") && env.IsDir("/x/y/z")) ? 0 : 1;
+}
+
+int TestHead(SimEnv& env) {
+  env.AddFile("/lines", "l1\nl2\nl3\nl4\nl5\n");
+  int rc = HeadMain(env, "/lines", 2);
+  return (rc == 0 && Stdout(env) == "l1\nl2\n") ? 0 : 1;
+}
+
+int TestWc(SimEnv& env) {
+  env.AddFile("/text", "hello world\nbye\n");
+  int rc = WcMain(env, "/text");
+  return (rc == 0 && Stdout(env).find("2 3 16 /text") != std::string::npos) ? 0 : 1;
+}
+
+int TestSort(SimEnv& env) {
+  env.AddFile("/unsorted", "pear\napple\nmango\n");
+  int rc = SortMain(env, "/unsorted");
+  return (rc == 0 && Stdout(env) == "apple\nmango\npear\n") ? 0 : 1;
+}
+
+struct TestEntry {
+  const char* utility;
+  int (*body)(SimEnv&);
+};
+
+constexpr TestEntry kTests[kNumTests] = {
+    {"ls", TestLsEmpty},          {"ls", TestLsFiles},
+    {"ls", TestLsLong},           {"ls", TestLsSorted},
+    {"ls", TestLsMissing},        {"ln", TestLnSimple},
+    {"ln", TestLnForce},          {"ln", TestLnIntoDir},
+    {"ln", TestLnSymbolic},       {"ln", TestLnMissingSource},
+    {"ln", TestLnExistingDest},   {"ln", TestLnRelative},
+    {"mv", TestMvSimple},         {"mv", TestMvOverwrite},
+    {"mv", TestMvIntoDir},        {"mv", TestMvCrossDevice},
+    {"mv", TestMvMissingSource},  {"mv", TestMvDirRename},
+    {"mv", TestMvExistingDestNoForce}, {"cp", TestCpSimple},
+    {"du", TestDuTree},           {"cp", TestCpMissing},
+    {"rm", TestRm},               {"cat", TestCat},
+    {"touch", TestTouch},         {"mkdir", TestMkdirParents},
+    {"head", TestHead},           {"wc", TestWc},
+    {"sort", TestSort},
+};
+
+}  // namespace
+
+TargetSuite MakeSuite() {
+  TargetSuite suite;
+  suite.name = "coreutils";
+  suite.num_tests = kNumTests;
+  suite.total_blocks = kTotalBlocks;
+  suite.recovery_base = kRecoveryBase;
+  // 19 functions, category-grouped (memory, file, dir) as the profile
+  // orders them — the Xfunc axis of Phi_coreutils.
+  suite.functions = {"malloc", "calloc",  "realloc", "strdup",   "fopen",
+                     "fclose", "fgets",   "open",    "close",    "read",
+                     "write",  "stat",    "rename",  "unlink",   "opendir",
+                     "readdir", "closedir", "chdir",  "getcwd"};
+  assert(suite.functions.size() == 19);
+  suite.run_test = [](SimEnv& env, size_t test_id) {
+    assert(test_id < kNumTests);
+    CommonFixture(env);
+    return kTests[test_id].body(env);
+  };
+  suite.step_budget = 100'000;
+  return suite;
+}
+
+const std::vector<std::string>& TestUtilities() {
+  static const std::vector<std::string>* utilities = [] {
+    auto* v = new std::vector<std::string>();
+    for (const TestEntry& t : kTests) {
+      v->emplace_back(t.utility);
+    }
+    return v;
+  }();
+  return *utilities;
+}
+
+std::vector<size_t> TestsForUtility(const std::string& utility) {
+  std::vector<size_t> ids;
+  const auto& utilities = TestUtilities();
+  for (size_t i = 0; i < utilities.size(); ++i) {
+    if (utilities[i] == utility) {
+      ids.push_back(i);
+    }
+  }
+  return ids;
+}
+
+std::vector<std::string> LnMvFunctions() {
+  // ln and mv between them call exactly these nine libc functions.
+  return {"malloc", "open", "close", "read", "write", "stat", "rename", "unlink", "getcwd"};
+}
+
+}  // namespace coreutils
+}  // namespace afex

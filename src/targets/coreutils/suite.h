@@ -1,0 +1,37 @@
+// The coreutils target suite: 29 tests over 12 simulated utilities,
+// mirroring the paper's Phi_coreutils setup (§7: 29 tests x 19 libc
+// functions x call numbers {0,1,2} = 1,653 faults, where call 0 means "no
+// injection").
+#ifndef AFEX_TARGETS_COREUTILS_SUITE_H_
+#define AFEX_TARGETS_COREUTILS_SUITE_H_
+
+#include <string>
+#include <vector>
+
+#include "targets/target.h"
+
+namespace afex {
+namespace coreutils {
+
+// Number of tests in the default suite.
+inline constexpr size_t kNumTests = 29;
+
+// Builds the suite. Deterministic; cheap to call.
+TargetSuite MakeSuite();
+
+// The utility each test exercises ("ls", "ln", "mv", ...), indexed by
+// 0-based test id. Used by the Table 6 bench to identify ln/mv tests and by
+// the Fig. 1 bench to select the ls rows.
+const std::vector<std::string>& TestUtilities();
+
+// 0-based ids of the tests exercising `utility`.
+std::vector<size_t> TestsForUtility(const std::string& utility);
+
+// The 9 libc functions that ln and mv actually call — the trimmed Xfunc
+// axis of the Table 6 "domain knowledge" experiment.
+std::vector<std::string> LnMvFunctions();
+
+}  // namespace coreutils
+}  // namespace afex
+
+#endif  // AFEX_TARGETS_COREUTILS_SUITE_H_

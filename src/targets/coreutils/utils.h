@@ -1,0 +1,83 @@
+// Simulated coreutils — small, real-world-shaped UNIX utilities running on
+// SimLibc (the paper evaluates coreutils 8.1). Each utility follows the
+// structure of its GNU counterpart: initialization, argument-driven work
+// via libc calls, explicit error handling with distinct exit codes, and
+// coverage annotations at basic-block granularity.
+//
+// Exit code conventions (mirroring GNU coreutils):
+//   0 success, 1 operational error (missing file etc.), 2 serious failure
+//   (out of memory, cannot write output).
+//
+// Block id allocation (coreutils target): compact per-utility ranges for
+// normal blocks, recovery/error-handling blocks from kRecoveryBase up.
+// total_blocks is calibrated so the default suite's aggregate coverage
+// lands in the ~36% regime of paper Table 3 (the declared universe also
+// counts uninstrumented cold code, exactly as gcov counts a whole binary).
+#ifndef AFEX_TARGETS_COREUTILS_UTILS_H_
+#define AFEX_TARGETS_COREUTILS_UTILS_H_
+
+#include <string>
+#include <vector>
+
+namespace afex {
+
+class SimEnv;
+
+namespace coreutils {
+
+// Ids [0, 52) are instrumented normal blocks; [52, 90) is the cold-code
+// margin (normal code the 29 tests never reach, counted in the denominator
+// exactly as gcov counts a whole binary); [90, 152) are the 62 recovery
+// blocks, packed so RecoveryFraction's denominator is exact.
+inline constexpr uint32_t kTotalBlocks = 152;
+inline constexpr uint32_t kRecoveryBase = 90;
+
+// Block range bases per utility (normal blocks, ids < kRecoveryBase).
+inline constexpr uint32_t kLsBase = 0;      // +0..7
+inline constexpr uint32_t kCatBase = 8;     // +0..3
+inline constexpr uint32_t kHeadBase = 12;   // +0..2
+inline constexpr uint32_t kWcBase = 15;     // +0..2
+inline constexpr uint32_t kSortBase = 18;   // +0..3
+inline constexpr uint32_t kDuBase = 22;     // +0..3
+inline constexpr uint32_t kLnBase = 26;     // +0..4
+inline constexpr uint32_t kMvBase = 31;     // +0..7 (incl. CopyFile base)
+inline constexpr uint32_t kCpBase = 39;     // +0..3
+inline constexpr uint32_t kRmBase = 43;     // +0..2
+inline constexpr uint32_t kTouchBase = 46;  // +0..1
+inline constexpr uint32_t kMkdirBase = 48;  // +0..3
+
+// Recovery block bases (ids >= kRecoveryBase, packed without gaps).
+inline constexpr uint32_t kLsRecovery = kRecoveryBase + 0;     // +0..7
+inline constexpr uint32_t kCatRecovery = kRecoveryBase + 8;    // +0..5
+inline constexpr uint32_t kHeadRecovery = kRecoveryBase + 14;  // +0..3
+inline constexpr uint32_t kWcRecovery = kRecoveryBase + 18;    // +0..4
+inline constexpr uint32_t kSortRecovery = kRecoveryBase + 23;  // +0..6
+inline constexpr uint32_t kDuRecovery = kRecoveryBase + 30;    // +0..5
+inline constexpr uint32_t kLnRecovery = kRecoveryBase + 36;    // +0..5
+inline constexpr uint32_t kMvRecovery = kRecoveryBase + 42;    // +0..8 (incl. CopyFile)
+inline constexpr uint32_t kCpRecovery = kRecoveryBase + 51;    // +0..6
+inline constexpr uint32_t kRmRecovery = kRecoveryBase + 58;    // +0..1
+inline constexpr uint32_t kTouchRecovery = kRecoveryBase + 60; // +0
+inline constexpr uint32_t kMkdirRecovery = kRecoveryBase + 61; // +0
+
+// ---- listing / text utilities (io_utils.cc) ----
+int LsMain(SimEnv& env, const std::string& dir, bool long_format, bool sort_entries);
+int CatMain(SimEnv& env, const std::vector<std::string>& files);
+int HeadMain(SimEnv& env, const std::string& file, size_t max_lines);
+int WcMain(SimEnv& env, const std::string& file);
+int SortMain(SimEnv& env, const std::string& file);
+int DuMain(SimEnv& env, const std::string& dir);
+
+// ---- filesystem-mutating utilities (fs_utils.cc) ----
+int LnMain(SimEnv& env, const std::string& source, const std::string& dest, bool force,
+           bool symbolic);
+int MvMain(SimEnv& env, const std::string& source, const std::string& dest, bool force);
+int CpMain(SimEnv& env, const std::string& source, const std::string& dest);
+int RmMain(SimEnv& env, const std::vector<std::string>& paths, bool force);
+int TouchMain(SimEnv& env, const std::string& path);
+int MkdirMain(SimEnv& env, const std::string& path, bool parents);
+
+}  // namespace coreutils
+}  // namespace afex
+
+#endif  // AFEX_TARGETS_COREUTILS_UTILS_H_

@@ -1,0 +1,89 @@
+// DocStore: the MongoDB stand-in at two development stages (paper §7.6
+// compares MongoDB 0.8 against 2.0):
+//
+//  * V08 (pre-production): a small in-memory document store with a plain
+//    snapshot file. Light environment interaction — few libc calls, so
+//    fewer failure opportunities, but what structure exists is strong
+//    (all I/O concentrated in the snapshot path).
+//
+//  * V20 (industrial strength): adds a write-ahead journal, BSON-ish
+//    document encoding, compaction, statistics, and journal replay. Much
+//    heavier environment interaction — more opportunities for failure
+//    (the paper's "more features come at the cost of reliability"), and
+//    one crash bug in the replay path: the journal index allocation is
+//    used without a NULL check.
+#ifndef AFEX_TARGETS_DOCSTORE_DOCSTORE_H_
+#define AFEX_TARGETS_DOCSTORE_DOCSTORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace afex {
+
+class SimEnv;
+
+namespace docstore {
+
+inline constexpr uint32_t kTotalBlocks = 400;
+inline constexpr uint32_t kRecoveryBase = 360;
+
+inline constexpr uint32_t kV08Base = 0;
+inline constexpr uint32_t kV20Base = 100;
+inline constexpr uint32_t kV08Recovery = kRecoveryBase + 0;
+inline constexpr uint32_t kV20Recovery = kRecoveryBase + 12;
+
+class DocStoreV08 {
+ public:
+  explicit DocStoreV08(SimEnv& env) : env_(&env) {}
+
+  int Put(const std::string& id, const std::string& doc);
+  int Get(const std::string& id, std::string& doc);
+  int Remove(const std::string& id);
+  // Writes all documents to /data/store.snap.
+  int Save();
+  // Replaces the in-memory state from the snapshot.
+  int Load();
+  size_t size() const { return docs_.size(); }
+
+ private:
+  SimEnv* env_;
+  std::map<std::string, std::string> docs_;
+};
+
+class DocStoreV20 {
+ public:
+  explicit DocStoreV20(SimEnv& env) : env_(&env) {}
+
+  // Opens the journal; must be called first.
+  int Open();
+  int Put(const std::string& id, const std::string& doc);
+  int Get(const std::string& id, std::string& doc);
+  int Remove(const std::string& id);
+  int Save();
+  int Load();
+  // Rewrites the snapshot and truncates the journal (rename + unlink).
+  int Compact();
+  // Reports document count and snapshot size (stat).
+  int Stats(size_t& documents, size_t& snapshot_bytes);
+  // Replays the journal into memory after a simulated crash. Contains the
+  // unchecked-allocation crash bug.
+  int ReplayJournal();
+  size_t size() const { return docs_.size(); }
+
+ private:
+  // BSON-ish length-prefixed encoding; allocates via calloc/realloc.
+  int EncodeDoc(const std::string& id, const std::string& doc, std::string& encoded);
+
+  SimEnv* env_;
+  std::map<std::string, std::string> docs_;
+  int journal_fd_ = -1;
+};
+
+// Fixture for either version: /data directory plus empty snapshot/journal.
+void InstallFixture(SimEnv& env);
+
+}  // namespace docstore
+}  // namespace afex
+
+#endif  // AFEX_TARGETS_DOCSTORE_DOCSTORE_H_

@@ -1,0 +1,203 @@
+#include "targets/docstore/suite.h"
+
+#include <cassert>
+
+#include "sim/env.h"
+#include "targets/docstore/docstore.h"
+
+namespace afex {
+namespace docstore {
+namespace {
+
+std::string DocFor(size_t test_id, size_t k) {
+  return "{\"n\":" + std::to_string(test_id * 100 + k) + "}";
+}
+
+// ---- V08 tests: put/get 0-19, snapshot 20-39, delete 40-49, mixed 50-59 ----
+
+int RunV08(SimEnv& env, size_t id) {
+  DocStoreV08 store(env);
+  if (id < 20) {
+    size_t docs = 1 + id % 5;
+    for (size_t k = 0; k < docs; ++k) {
+      if (store.Put("d" + std::to_string(k), DocFor(id, k)) != 0) {
+        return 1;
+      }
+    }
+    std::string doc;
+    if (store.Get("d0", doc) != 0 || doc != DocFor(id, 0)) {
+      return 1;
+    }
+    return 0;
+  }
+  if (id < 40) {
+    size_t docs = 1 + id % 6;
+    for (size_t k = 0; k < docs; ++k) {
+      if (store.Put("s" + std::to_string(k), DocFor(id, k)) != 0) {
+        return 1;
+      }
+    }
+    if (store.Save() != 0) {
+      return 1;
+    }
+    DocStoreV08 reloaded(env);
+    if (reloaded.Load() != 0 || reloaded.size() != docs) {
+      return 1;
+    }
+    std::string doc;
+    return (reloaded.Get("s0", doc) == 0 && doc == DocFor(id, 0)) ? 0 : 1;
+  }
+  if (id < 50) {
+    if (store.Put("x", DocFor(id, 1)) != 0 || store.Put("y", DocFor(id, 2)) != 0) {
+      return 1;
+    }
+    if (store.Remove("x") != 0 || store.size() != 1) {
+      return 1;
+    }
+    std::string doc;
+    return store.Get("x", doc) == 1 ? 0 : 1;
+  }
+  // mixed: put, save, remove, reload (snapshot must win)
+  if (store.Put("m", DocFor(id, 7)) != 0 || store.Save() != 0) {
+    return 1;
+  }
+  if (store.Remove("m") != 0) {
+    return 1;
+  }
+  if (store.Load() != 0 || store.size() != 1) {
+    return 1;
+  }
+  return 0;
+}
+
+// ---- V20 tests: journaled put/get 0-14, snapshot 15-24, compact 25-34,
+//                 stats 35-44, replay 45-59 ----
+
+int RunV20(SimEnv& env, size_t id) {
+  DocStoreV20 store(env);
+  if (store.Open() != 0) {
+    return 1;
+  }
+  // Scenario warmup: v2.0 deployments start with cache priming traffic
+  // whose volume differs per scenario, so the call number of any given
+  // operation shifts from test to test (the call-axis diagonals of a
+  // mature system, vs the rigid call walls of v0.8).
+  for (size_t w = 0; w < id % 7; ++w) {
+    if (store.Put("warm", DocFor(id, 90 + w)) != 0 || store.Remove("warm") != 0) {
+      return 1;
+    }
+  }
+  if (id < 15) {
+    size_t docs = 1 + id % 6;
+    for (size_t k = 0; k < docs; ++k) {
+      if (store.Put("d" + std::to_string(k), DocFor(id, k)) != 0) {
+        return 1;
+      }
+    }
+    std::string doc;
+    return (store.Get("d0", doc) == 0 && doc == DocFor(id, 0)) ? 0 : 1;
+  }
+  if (id < 25) {
+    size_t docs = 1 + id % 5;
+    for (size_t k = 0; k < docs; ++k) {
+      if (store.Put("s" + std::to_string(k), DocFor(id, k)) != 0) {
+        return 1;
+      }
+    }
+    if (store.Save() != 0) {
+      return 1;
+    }
+    DocStoreV20 reloaded(env);
+    if (reloaded.Open() != 0 || reloaded.Load() != 0 || reloaded.size() != docs) {
+      return 1;
+    }
+    return 0;
+  }
+  if (id < 35) {
+    for (size_t k = 0; k < 2 + id % 3; ++k) {
+      if (store.Put("c" + std::to_string(k), DocFor(id, k)) != 0) {
+        return 1;
+      }
+    }
+    if (store.Compact() != 0) {
+      return 1;
+    }
+    // After compaction the snapshot holds everything and new puts still work.
+    return store.Put("post", DocFor(id, 99)) == 0 ? 0 : 1;
+  }
+  if (id < 45) {
+    for (size_t k = 0; k < 1 + id % 4; ++k) {
+      if (store.Put("t" + std::to_string(k), DocFor(id, k)) != 0) {
+        return 1;
+      }
+    }
+    if (store.Save() != 0) {
+      return 1;
+    }
+    size_t documents = 0;
+    size_t bytes = 0;
+    if (store.Stats(documents, bytes) != 0) {
+      return 1;
+    }
+    return (documents == 1 + id % 4 && bytes > 0) ? 0 : 1;
+  }
+  // replay family: write journal records, then replay into a fresh store
+  size_t docs = 1 + id % 5;
+  for (size_t k = 0; k < docs; ++k) {
+    if (store.Put("r" + std::to_string(k), DocFor(id, k)) != 0) {
+      return 1;
+    }
+  }
+  DocStoreV20 recovered(env);
+  if (recovered.Open() != 0) {
+    return 1;
+  }
+  if (recovered.ReplayJournal() != 0 || recovered.size() != docs) {
+    return 1;
+  }
+  std::string doc;
+  return (recovered.Get("r0", doc) == 0 && doc == DocFor(id, 0)) ? 0 : 1;
+}
+
+}  // namespace
+
+TargetSuite MakeSuiteV08() {
+  TargetSuite suite;
+  suite.name = "docstore-v0.8";
+  suite.num_tests = kNumTests;
+  suite.total_blocks = kTotalBlocks;
+  suite.recovery_base = kRecoveryBase;
+  // Per-version function axis, as ltrace profiling of each version would
+  // produce (paper methodology): the pre-production store touches only the
+  // stream API and malloc.
+  suite.functions = {"malloc", "fopen", "fclose", "fgets", "ferror", "fwrite"};
+  suite.run_test = [](SimEnv& env, size_t test_id) {
+    assert(test_id < kNumTests);
+    InstallFixture(env);
+    return RunV08(env, test_id);
+  };
+  suite.step_budget = 100'000;
+  return suite;
+}
+
+TargetSuite MakeSuiteV20() {
+  TargetSuite suite;
+  suite.name = "docstore-v2.0";
+  suite.num_tests = kNumTests;
+  suite.total_blocks = kTotalBlocks;
+  suite.recovery_base = kRecoveryBase;
+  // The mature version interacts with far more of its environment.
+  suite.functions = {"malloc", "calloc", "realloc", "fopen", "fclose",
+                     "fgets",  "ferror", "open",    "close", "read",
+                     "write",  "stat",   "rename",  "unlink"};
+  suite.run_test = [](SimEnv& env, size_t test_id) {
+    assert(test_id < kNumTests);
+    InstallFixture(env);
+    return RunV20(env, test_id);
+  };
+  suite.step_budget = 100'000;
+  return suite;
+}
+
+}  // namespace docstore
+}  // namespace afex

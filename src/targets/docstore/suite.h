@@ -1,0 +1,22 @@
+// DocStore target suites for the two development stages compared in paper
+// §7.6 / Fig. 9. Both versions run the same 60 workload scenarios, so
+// differences in AFEX's efficiency come from the code, not the tests.
+#ifndef AFEX_TARGETS_DOCSTORE_SUITE_H_
+#define AFEX_TARGETS_DOCSTORE_SUITE_H_
+
+#include <cstddef>
+
+#include "targets/target.h"
+
+namespace afex {
+namespace docstore {
+
+inline constexpr size_t kNumTests = 60;
+
+TargetSuite MakeSuiteV08();
+TargetSuite MakeSuiteV20();
+
+}  // namespace docstore
+}  // namespace afex
+
+#endif  // AFEX_TARGETS_DOCSTORE_SUITE_H_

@@ -1,0 +1,63 @@
+#include "targets/harness.h"
+
+#include "injection/plan.h"
+#include "sim/env.h"
+#include "sim/process.h"
+
+namespace afex {
+
+TargetHarness::TargetHarness(TargetSuite suite, uint64_t seed)
+    : suite_(std::move(suite)),
+      seed_(seed),
+      coverage_(suite_.total_blocks, suite_.recovery_base) {}
+
+FaultSpace TargetHarness::MakeSpace(size_t max_call, bool include_zero_call) const {
+  std::vector<Axis> axes;
+  axes.push_back(Axis::MakeInterval("test", 1, static_cast<int64_t>(suite_.num_tests)));
+  axes.push_back(Axis::MakeSet("function", suite_.functions));
+  axes.push_back(
+      Axis::MakeInterval("call", include_zero_call ? 0 : 1, static_cast<int64_t>(max_call)));
+  return FaultSpace(std::move(axes), suite_.name);
+}
+
+TestOutcome TargetHarness::RunFault(const FaultSpace& space, const Fault& fault) {
+  InjectionPlan plan = DecodeFault(space, fault);
+  SimEnv env(seed_ ^ (0x9e3779b97f4a7c15ULL * (plan.test_id + 1)), suite_.step_budget);
+  if (plan.spec.has_value()) {
+    env.bus().Arm(*plan.spec);
+  }
+  RunOutcome run =
+      RunProgram(env, [&](SimEnv& e) { return suite_.run_test(e, plan.test_id); });
+
+  TestOutcome outcome;
+  outcome.exit_code = run.exit_code;
+  outcome.crashed = run.crashed;
+  outcome.hung = run.hung;
+  outcome.test_failed = run.exit_code != 0 || run.crashed || run.hung;
+  outcome.fault_triggered = env.fault_triggered();
+  outcome.injection_stack = env.injection_stack();
+  outcome.new_blocks_covered = coverage_.Merge(env.coverage());
+  outcome.detail = run.termination_detail;
+  ++tests_run_;
+  return outcome;
+}
+
+ExplorationSession::Runner TargetHarness::MakeRunner(const FaultSpace& space) {
+  return [this, &space](const Fault& fault) { return RunFault(space, fault); };
+}
+
+size_t TargetHarness::RunSuiteWithoutInjection() {
+  size_t failed = 0;
+  for (size_t t = 0; t < suite_.num_tests; ++t) {
+    SimEnv env(seed_ ^ (0x9e3779b97f4a7c15ULL * (t + 1)), suite_.step_budget);
+    RunOutcome run = RunProgram(env, [&](SimEnv& e) { return suite_.run_test(e, t); });
+    if (run.exit_code != 0 || run.crashed || run.hung) {
+      ++failed;
+    }
+    coverage_.Merge(env.coverage());
+    ++tests_run_;
+  }
+  return failed;
+}
+
+}  // namespace afex

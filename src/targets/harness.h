@@ -1,0 +1,56 @@
+// TargetHarness: binds a TargetSuite to the exploration machinery. It plays
+// the role of the node manager's sensor scripts (paper §6.1): run one test
+// under one injected fault, observe the outcome (exit code, crash, hang,
+// coverage delta, injection stack), and hand a TestOutcome to the session.
+//
+// Coverage accumulates across all runs of one harness instance, so
+// "new blocks covered" is relative to the whole exploration session —
+// create a fresh harness per session.
+#ifndef AFEX_TARGETS_HARNESS_H_
+#define AFEX_TARGETS_HARNESS_H_
+
+#include <string>
+
+#include "core/impact.h"
+#include "core/session.h"
+#include "sim/coverage.h"
+#include "targets/target.h"
+
+namespace afex {
+
+class TargetHarness {
+ public:
+  explicit TargetHarness(TargetSuite suite, uint64_t seed = 42);
+
+  // Builds the canonical <test, function, call> fault space. When
+  // `include_zero_call` is true the call axis starts at 0, whose label "0"
+  // means "run the test with no injection" (the Phi_coreutils convention).
+  FaultSpace MakeSpace(size_t max_call, bool include_zero_call = false) const;
+
+  // Executes the fault and returns the observation. Deterministic: the
+  // SimEnv seed derives from the harness seed and the test id only.
+  TestOutcome RunFault(const FaultSpace& space, const Fault& fault);
+
+  // Session-compatible runner bound to `space` (which must outlive it).
+  ExplorationSession::Runner MakeRunner(const FaultSpace& space);
+
+  // Runs every suite test once without injection (the "plain test suite"
+  // baseline of Table 1); returns the number of failing tests.
+  size_t RunSuiteWithoutInjection();
+
+  const TargetSuite& suite() const { return suite_; }
+  const CoverageAccumulator& coverage() const { return coverage_; }
+  double CoverageFraction() const { return coverage_.Fraction(); }
+  double RecoveryCoverageFraction() const { return coverage_.RecoveryFraction(); }
+  size_t tests_run() const { return tests_run_; }
+
+ private:
+  TargetSuite suite_;
+  uint64_t seed_;
+  CoverageAccumulator coverage_;
+  size_t tests_run_ = 0;
+};
+
+}  // namespace afex
+
+#endif  // AFEX_TARGETS_HARNESS_H_

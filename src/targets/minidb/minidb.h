@@ -1,0 +1,116 @@
+// MiniDb: the MySQL 5.1 stand-in — a small storage engine with a
+// write-ahead log, table files, a global engine mutex, an error-message
+// catalog, and a checkpoint/recover path. Its recovery code contains the
+// two bugs AFEX found in real MySQL (paper §7.1):
+//
+//  Bug 1 (Fig. 6, MySQL #53268): mi_create-style table creation releases
+//  THR_LOCK_myisam and *then* performs a final close; if that close fails,
+//  control jumps to the shared error label which unlocks the mutex again —
+//  double unlock, SIGABRT.
+//
+//  Bug 2 (MySQL #25097): bootstrap reads errmsg.sys; a failed read is
+//  detected and logged (the recovery code itself is correct), but the
+//  engine then proceeds to parse the message buffer that the failed read
+//  never initialized — NULL dereference, SIGSEGV.
+//
+// Block id allocation: 0..(kRecoveryBase-1) normal, kRecoveryBase.. recovery.
+#ifndef AFEX_TARGETS_MINIDB_MINIDB_H_
+#define AFEX_TARGETS_MINIDB_MINIDB_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace afex {
+
+class SimEnv;
+
+namespace minidb {
+
+// Compact block ids; total_blocks is calibrated so the full suite's
+// aggregate coverage lands in the ~54% regime of paper Table 1.
+inline constexpr uint32_t kTotalBlocks = 82;
+inline constexpr uint32_t kRecoveryBase = 42;
+
+// storage.cc blocks
+inline constexpr uint32_t kCreateBase = 0;       // mi_create path, +0..2
+inline constexpr uint32_t kWalBase = 4;          // write-ahead log, +0..1
+inline constexpr uint32_t kRowBase = 8;          // row read/write, +0..4
+inline constexpr uint32_t kCheckpointBase = 14;  // +0..1
+inline constexpr uint32_t kRecoverBase = 17;     // +0..2
+// server.cc blocks
+inline constexpr uint32_t kBootBase = 21;        // bootstrap / errmsg, +0..5
+inline constexpr uint32_t kQueryBase = 28;       // query execution, +0..9
+inline constexpr uint32_t kAdminBase = 39;       // checkpoint/stats/drop, +0..1
+// recovery blocks (ids >= kRecoveryBase)
+inline constexpr uint32_t kCreateRecovery = kRecoveryBase + 0;      // +0..4
+inline constexpr uint32_t kWalRecovery = kRecoveryBase + 5;         // +0..1
+inline constexpr uint32_t kRowRecovery = kRecoveryBase + 7;         // +0..5
+inline constexpr uint32_t kCheckpointRecovery = kRecoveryBase + 13; // +0..2
+inline constexpr uint32_t kRecoverRecovery = kRecoveryBase + 16;    // +0..4
+inline constexpr uint32_t kBootRecovery = kRecoveryBase + 21;       // +0..8
+inline constexpr uint32_t kQueryRecovery = kRecoveryBase + 30;      // +0..8
+inline constexpr uint32_t kAdminRecovery = kRecoveryBase + 39;      // +0
+
+// A row is a key plus one value string.
+struct Row {
+  int64_t key = 0;
+  std::string value;
+};
+
+// The storage engine. One instance per test; state lives in the SimEnv's
+// virtual filesystem under /db.
+class MiniDb {
+ public:
+  explicit MiniDb(SimEnv& env) : env_(&env) {}
+
+  // Loads the error-message catalog and opens the WAL. Must be called
+  // first. Returns 0 on success; crashes on Bug 2's path.
+  int Bootstrap();
+
+  // Creates a table file (mi_create path; contains Bug 1). Returns 0 on
+  // success, -1 on (correctly handled) failure.
+  int CreateTable(const std::string& name);
+  bool TableExists(const std::string& name);
+  int DropTable(const std::string& name);
+
+  // Row operations; all WAL-logged.
+  int Insert(const std::string& table, const Row& row);
+  int Select(const std::string& table, int64_t key, Row& out);
+  int Update(const std::string& table, const Row& row);
+  int Delete(const std::string& table, int64_t key);
+
+  // Flushes tables and truncates the WAL.
+  int Checkpoint();
+  // Replays the WAL into table files (crash recovery).
+  int Recover();
+
+  // Formats an engine error through the message catalog (Bug 2 derefs the
+  // catalog buffer here / in Bootstrap's parse step).
+  std::string FormatError(int code);
+
+  size_t wal_records() const { return wal_records_; }
+
+ private:
+  int AppendWal(const std::string& record);
+  int LoadTable(const std::string& table, std::vector<Row>& rows);
+  int StoreTable(const std::string& table, const std::vector<Row>& rows);
+  void LogError(const std::string& what);
+
+  SimEnv* env_;
+  uint64_t errmsg_handle_ = 0;  // NULL when errmsg.sys could not be read
+  int wal_fd_ = -1;
+  size_t wal_records_ = 0;
+};
+
+// Writes the /db fixture (directory, config, errmsg.sys, WAL) into a fresh
+// env. `test_id` varies the config file's size and pool setting, so the
+// call number at which each bootstrap libc call happens differs across
+// tests — the natural per-test variability a real server exhibits.
+void InstallFixture(SimEnv& env, size_t test_id = 0);
+
+}  // namespace minidb
+}  // namespace afex
+
+#endif  // AFEX_TARGETS_MINIDB_MINIDB_H_

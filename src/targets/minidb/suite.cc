@@ -1,0 +1,279 @@
+#include "targets/minidb/suite.h"
+
+#include <cassert>
+
+#include "sim/env.h"
+#include "sim/simlibc.h"
+#include "targets/minidb/minidb.h"
+
+namespace afex {
+namespace minidb {
+namespace {
+
+// Family boundaries (0-based, half-open).
+constexpr size_t kCreateEnd = 150;
+constexpr size_t kInsertEnd = 350;
+constexpr size_t kSelectEnd = 550;
+constexpr size_t kUpdateEnd = 700;
+constexpr size_t kDeleteEnd = 800;
+constexpr size_t kWalEnd = 950;
+constexpr size_t kRecoveryEnd = 1047;
+// admin: 1047..1146
+
+std::string ValueFor(size_t test_id, int64_t key) {
+  return "v" + std::to_string(test_id % 97) + "_" + std::to_string(key);
+}
+
+int TestCreate(SimEnv& /*env*/, MiniDb& db, size_t id) {
+  // Create between 1 and 3 tables; later ids also drop them.
+  size_t tables = 1 + id % 3;
+  for (size_t i = 0; i < tables; ++i) {
+    std::string name = "t" + std::to_string(i);
+    if (db.CreateTable(name) != 0 || !db.TableExists(name)) {
+      return 1;
+    }
+  }
+  if (id % 2 == 1) {
+    if (db.DropTable("t0") != 0 || db.TableExists("t0")) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int TestInsert(SimEnv& /*env*/, MiniDb& db, size_t id) {
+  if (db.CreateTable("data") != 0) {
+    return 1;
+  }
+  size_t rows = 1 + id % 20;
+  for (size_t k = 1; k <= rows; ++k) {
+    if (db.Insert("data", Row{static_cast<int64_t>(k), ValueFor(id, k)}) != 0) {
+      return 1;
+    }
+  }
+  // Duplicate insert must be rejected without corrupting the table.
+  if (db.Insert("data", Row{1, "dup"}) != -1) {
+    return 1;
+  }
+  Row out;
+  if (db.Select("data", 1, out) != 0 || out.value != ValueFor(id, 1)) {
+    return 1;
+  }
+  return 0;
+}
+
+int TestSelect(SimEnv& /*env*/, MiniDb& db, size_t id) {
+  if (db.CreateTable("data") != 0) {
+    return 1;
+  }
+  size_t rows = 2 + id % 15;
+  for (size_t k = 1; k <= rows; ++k) {
+    if (db.Insert("data", Row{static_cast<int64_t>(k), ValueFor(id, k)}) != 0) {
+      return 1;
+    }
+  }
+  for (size_t k = rows; k >= 1; --k) {
+    Row out;
+    if (db.Select("data", static_cast<int64_t>(k), out) != 0 || out.value != ValueFor(id, k)) {
+      return 1;
+    }
+  }
+  Row out;
+  if (db.Select("data", 9999, out) != 1) {
+    return 1;  // missing key must report not-found, not an error
+  }
+  return 0;
+}
+
+int TestUpdate(SimEnv& /*env*/, MiniDb& db, size_t id) {
+  if (db.CreateTable("data") != 0) {
+    return 1;
+  }
+  size_t rows = 1 + id % 10;
+  for (size_t k = 1; k <= rows; ++k) {
+    if (db.Insert("data", Row{static_cast<int64_t>(k), ValueFor(id, k)}) != 0) {
+      return 1;
+    }
+  }
+  if (db.Update("data", Row{1, "updated"}) != 0) {
+    return 1;
+  }
+  Row out;
+  if (db.Select("data", 1, out) != 0 || out.value != "updated") {
+    return 1;
+  }
+  // Updating a missing row is a handled error.
+  if (db.Update("data", Row{777, "x"}) != -1) {
+    return 1;
+  }
+  return 0;
+}
+
+int TestDelete(SimEnv& /*env*/, MiniDb& db, size_t id) {
+  if (db.CreateTable("data") != 0) {
+    return 1;
+  }
+  size_t rows = 2 + id % 8;
+  for (size_t k = 1; k <= rows; ++k) {
+    if (db.Insert("data", Row{static_cast<int64_t>(k), ValueFor(id, k)}) != 0) {
+      return 1;
+    }
+  }
+  if (db.Delete("data", 1) != 0) {
+    return 1;
+  }
+  Row out;
+  if (db.Select("data", 1, out) != 1) {
+    return 1;  // must be gone
+  }
+  if (db.Select("data", 2, out) != 0) {
+    return 1;  // others must remain
+  }
+  return 0;
+}
+
+int TestWal(SimEnv& /*env*/, MiniDb& db, size_t id) {
+  if (db.CreateTable("data") != 0) {
+    return 1;
+  }
+  size_t before = 1 + id % 6;
+  for (size_t k = 1; k <= before; ++k) {
+    if (db.Insert("data", Row{static_cast<int64_t>(k), ValueFor(id, k)}) != 0) {
+      return 1;
+    }
+  }
+  if (db.wal_records() != before) {
+    return 1;
+  }
+  if (db.Checkpoint() != 0 || db.wal_records() != 0) {
+    return 1;
+  }
+  size_t after = 1 + id % 4;
+  for (size_t k = 100; k < 100 + after; ++k) {
+    if (db.Insert("data", Row{static_cast<int64_t>(k), ValueFor(id, k)}) != 0) {
+      return 1;
+    }
+  }
+  return db.wal_records() == after ? 0 : 1;
+}
+
+int TestRecovery(SimEnv& env, MiniDb& db, size_t id) {
+  if (db.CreateTable("data") != 0) {
+    return 1;
+  }
+  // Simulate a pre-crash WAL: records written but not yet in the table,
+  // with a torn record at the tail (expected after a crash).
+  size_t pending = 1 + id % 5;
+  std::string wal;
+  for (size_t k = 1; k <= pending; ++k) {
+    wal += "ins|data|" + std::to_string(k) + "|" + ValueFor(id, k) + "\n";
+  }
+  wal += "ins|data";  // torn tail
+  env.FindMutable("/db/wal.log")->content = wal;
+  if (db.Recover() != 0) {
+    return 1;
+  }
+  for (size_t k = 1; k <= pending; ++k) {
+    Row out;
+    if (db.Select("data", static_cast<int64_t>(k), out) != 0 || out.value != ValueFor(id, k)) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int TestAdmin(SimEnv& /*env*/, MiniDb& db, size_t id) {
+  if (db.CreateTable("meta") != 0) {
+    return 1;
+  }
+  if (db.Checkpoint() != 0) {
+    return 1;
+  }
+  // The catalog must resolve known error codes.
+  std::string msg = db.FormatError(static_cast<int>(1 + id % 5));
+  if (msg.find("error") == std::string::npos && msg.find("key") == std::string::npos &&
+      msg.find("found") == std::string::npos && msg.find("memory") == std::string::npos) {
+    return 1;
+  }
+  if (id % 3 == 0) {
+    if (db.DropTable("meta") != 0 || db.TableExists("meta")) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string TestFamily(size_t test_id) {
+  if (test_id < kCreateEnd) {
+    return "create";
+  }
+  if (test_id < kInsertEnd) {
+    return "insert";
+  }
+  if (test_id < kSelectEnd) {
+    return "select";
+  }
+  if (test_id < kUpdateEnd) {
+    return "update";
+  }
+  if (test_id < kDeleteEnd) {
+    return "delete";
+  }
+  if (test_id < kWalEnd) {
+    return "wal";
+  }
+  if (test_id < kRecoveryEnd) {
+    return "recovery";
+  }
+  return "admin";
+}
+
+TargetSuite MakeSuite() {
+  TargetSuite suite;
+  suite.name = "minidb";
+  suite.num_tests = kNumTests;
+  suite.total_blocks = kTotalBlocks;
+  suite.recovery_base = kRecoveryBase;
+  suite.functions = {"malloc", "calloc", "realloc", "strdup", "fopen",
+                     "fclose", "fgets",  "ferror",  "open",   "close",
+                     "read",   "write",  "lseek",   "stat",   "rename",
+                     "unlink", "strtol", "pthread_mutex_lock", "pthread_mutex_unlock"};
+  assert(suite.functions.size() == 19);
+  suite.run_test = [](SimEnv& env, size_t test_id) {
+    assert(test_id < kNumTests);
+    InstallFixture(env, test_id);
+    MiniDb db(env);
+    if (db.Bootstrap() != 0) {
+      return 1;
+    }
+    if (test_id < kCreateEnd) {
+      return TestCreate(env, db, test_id);
+    }
+    if (test_id < kInsertEnd) {
+      return TestInsert(env, db, test_id);
+    }
+    if (test_id < kSelectEnd) {
+      return TestSelect(env, db, test_id);
+    }
+    if (test_id < kUpdateEnd) {
+      return TestUpdate(env, db, test_id);
+    }
+    if (test_id < kDeleteEnd) {
+      return TestDelete(env, db, test_id);
+    }
+    if (test_id < kWalEnd) {
+      return TestWal(env, db, test_id);
+    }
+    if (test_id < kRecoveryEnd) {
+      return TestRecovery(env, db, test_id);
+    }
+    return TestAdmin(env, db, test_id);
+  };
+  suite.step_budget = 300'000;
+  return suite;
+}
+
+}  // namespace minidb
+}  // namespace afex

@@ -1,0 +1,28 @@
+// The MiniDb target suite: 1,147 generated tests grouped into families
+// (create, insert, select, update, delete, WAL, recovery, admin), mirroring
+// the paper's Phi_MySQL setup (§7: 1,147 tests x 19 functions x 100 call
+// numbers = 2,179,300 faults). Family grouping by contiguous test-id range
+// is deliberate: it gives the Xtest axis the neighbour-similarity structure
+// the fitness-guided search exploits.
+#ifndef AFEX_TARGETS_MINIDB_SUITE_H_
+#define AFEX_TARGETS_MINIDB_SUITE_H_
+
+#include <string>
+
+#include "targets/target.h"
+
+namespace afex {
+namespace minidb {
+
+inline constexpr size_t kNumTests = 1147;
+
+TargetSuite MakeSuite();
+
+// The family a 0-based test id belongs to: "create", "insert", "select",
+// "update", "delete", "wal", "recovery", "admin".
+std::string TestFamily(size_t test_id);
+
+}  // namespace minidb
+}  // namespace afex
+
+#endif  // AFEX_TARGETS_MINIDB_SUITE_H_

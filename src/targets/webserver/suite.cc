@@ -1,0 +1,209 @@
+#include "targets/webserver/suite.h"
+
+#include <cassert>
+
+#include "sim/env.h"
+#include "targets/webserver/webserver.h"
+#include "util/strings.h"
+
+namespace afex {
+namespace webserver {
+namespace {
+
+// Boots a configured, listening server; returns false on startup failure.
+// `scenario` varies the config's comment padding so parse-loop call numbers
+// differ across tests.
+bool BootServer(SimEnv& env, WebServer& server, size_t modules, size_t scenario) {
+  InstallFixture(env, modules, scenario % 5);
+  if (server.LoadConfig("/etc/httpd.conf") != 0) {
+    return false;
+  }
+  return server.Start() == 0;
+}
+
+bool ResponseHas(const WebServer& server, const std::string& token) {
+  return server.last_response().find(token) != std::string::npos;
+}
+
+// ---- config family: tests 0-9 ----
+int TestConfig(SimEnv& env, size_t variant) {
+  WebServer server(env);
+  size_t modules = 1 + variant % 4;  // 1..4 Module lines
+  InstallFixture(env, modules, variant % 5);
+  if (server.LoadConfig("/etc/httpd.conf") != 0) {
+    return 1;
+  }
+  if (server.module_count() != modules || server.document_root() != "/www") {
+    return 1;
+  }
+  if (variant % 3 == 0) {
+    // Re-parse tolerance: unknown directives must not fail the parse.
+    env.FindMutable("/etc/httpd.conf")->content += "UnknownDirective on\n";
+    WebServer second(env);
+    if (second.LoadConfig("/etc/httpd.conf") != 0) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+// ---- static GET family: tests 10-24 ----
+int TestGet(SimEnv& env, size_t variant) {
+  WebServer server(env);
+  if (!BootServer(env, server, 1 + variant % 3, variant)) {
+    return 1;
+  }
+  const char* paths[] = {"/index.html", "/page.html", "/data.txt"};
+  size_t requests = 1 + variant % 3;
+  for (size_t i = 0; i < requests; ++i) {
+    if (server.ServeOne(std::string("GET ") + paths[(variant + i) % 3] + " HTTP/1.1\r\n\r\n") !=
+        0) {
+      return 1;
+    }
+    if (!ResponseHas(server, "200 OK")) {
+      return 1;
+    }
+  }
+  server.Stop();
+  return 0;
+}
+
+// ---- POST family: tests 25-34 ----
+int TestPost(SimEnv& env, size_t variant) {
+  WebServer server(env);
+  if (!BootServer(env, server, 1 + variant % 2, variant)) {
+    return 1;
+  }
+  // Bodies grow with the variant so the larger uploads exercise the
+  // body-buffer growth path (and its seeded unchecked realloc).
+  std::string body = std::string(variant * 8, 'x') + "payload-" + std::to_string(variant);
+  if (server.ServeOne("POST /file" + std::to_string(variant) + " HTTP/1.1\r\n\r\n" + body) != 0) {
+    return 1;
+  }
+  if (!ResponseHas(server, "201 Created")) {
+    return 1;
+  }
+  const SimEnv::FileNode* upload = env.Find("/www/uploads/file" + std::to_string(variant));
+  if (upload == nullptr || upload->content != body) {
+    return 1;  // an acknowledged upload must be durable and complete
+  }
+  server.Stop();
+  return 0;
+}
+
+// ---- error-handling family: tests 35-42 ----
+int TestErrors(SimEnv& env, size_t variant) {
+  WebServer server(env);
+  if (!BootServer(env, server, 1, variant)) {
+    return 1;
+  }
+  switch (variant % 4) {
+    case 0:
+      if (server.ServeOne("GET /missing.html HTTP/1.1\r\n\r\n") != 0 ||
+          !ResponseHas(server, "404")) {
+        return 1;
+      }
+      break;
+    case 1:
+      if (server.ServeOne("garbage-no-verb\r\n\r\n") != 0 || !ResponseHas(server, "400")) {
+        return 1;
+      }
+      break;
+    case 2:
+      if (server.ServeOne("DELETE /index.html HTTP/1.1\r\n\r\n") != 0 ||
+          !ResponseHas(server, "405")) {
+        return 1;
+      }
+      break;
+    default:
+      // Directory requests are not served.
+      if (server.ServeOne("GET /uploads HTTP/1.1\r\n\r\n") != 0 || !ResponseHas(server, "404")) {
+        return 1;
+      }
+      break;
+  }
+  server.Stop();
+  return 0;
+}
+
+// ---- logging family: tests 43-49 ----
+int TestLogging(SimEnv& env, size_t variant) {
+  WebServer server(env);
+  if (!BootServer(env, server, 1, variant)) {
+    return 1;
+  }
+  size_t requests = 1 + variant % 3;
+  for (size_t i = 0; i < requests; ++i) {
+    if (server.ServeOne("GET /index.html HTTP/1.1\r\n\r\n") != 0) {
+      return 1;
+    }
+  }
+  server.Stop();
+  const SimEnv::FileNode* log = env.Find("/logs/access.log");
+  if (log == nullptr) {
+    return 1;
+  }
+  // Every request must be logged exactly once.
+  size_t lines = 0;
+  for (char c : log->content) {
+    if (c == '\n') {
+      ++lines;
+    }
+  }
+  return lines == requests ? 0 : 1;
+}
+
+// ---- CGI family: tests 50-57 ----
+int TestCgi(SimEnv& env, size_t variant) {
+  WebServer server(env);
+  if (!BootServer(env, server, 2 + variant % 3, variant)) {
+    return 1;
+  }
+  if (server.ServeOne("GET /cgi-script HTTP/1.1\r\n\r\n") != 0) {
+    return 1;
+  }
+  if (!ResponseHas(server, "hello-from-cgi")) {
+    return 1;
+  }
+  server.Stop();
+  return 0;
+}
+
+}  // namespace
+
+TargetSuite MakeSuite() {
+  TargetSuite suite;
+  suite.name = "webserver";
+  suite.num_tests = kNumTests;
+  suite.total_blocks = kTotalBlocks;
+  suite.recovery_base = kRecoveryBase;
+  suite.functions = {"malloc", "calloc", "realloc", "strdup", "fopen",
+                     "fclose", "fgets",  "fflush",  "open",   "close",
+                     "read",   "write",  "stat",    "unlink", "socket",
+                     "bind",   "listen", "accept",  "recv"};
+  assert(suite.functions.size() == 19);
+  suite.run_test = [](SimEnv& env, size_t test_id) {
+    assert(test_id < kNumTests);
+    if (test_id < 10) {
+      return TestConfig(env, test_id);
+    }
+    if (test_id < 25) {
+      return TestGet(env, test_id - 10);
+    }
+    if (test_id < 35) {
+      return TestPost(env, test_id - 25);
+    }
+    if (test_id < 43) {
+      return TestErrors(env, test_id - 35);
+    }
+    if (test_id < 50) {
+      return TestLogging(env, test_id - 43);
+    }
+    return TestCgi(env, test_id - 50);
+  };
+  suite.step_budget = 100'000;
+  return suite;
+}
+
+}  // namespace webserver
+}  // namespace afex

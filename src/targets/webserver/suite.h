@@ -1,0 +1,20 @@
+// The WebServer target suite: 58 tests mirroring Phi_Apache (paper §7:
+// 58 tests x 19 functions x 10 call numbers = 11,020 faults).
+#ifndef AFEX_TARGETS_WEBSERVER_SUITE_H_
+#define AFEX_TARGETS_WEBSERVER_SUITE_H_
+
+#include <cstddef>
+
+#include "targets/target.h"
+
+namespace afex {
+namespace webserver {
+
+inline constexpr size_t kNumTests = 58;
+
+TargetSuite MakeSuite();
+
+}  // namespace webserver
+}  // namespace afex
+
+#endif  // AFEX_TARGETS_WEBSERVER_SUITE_H_

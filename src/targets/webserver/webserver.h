@@ -1,0 +1,85 @@
+// WebServer: the Apache httpd stand-in — config loading with module
+// registration, a socket accept loop, static file serving, uploads, CGI,
+// and access logging. OOM conditions are handled gracefully *almost*
+// everywhere: module registration reproduces the paper's Fig. 7 bug
+// (config.c:578), where the result of strdup is written through without a
+// NULL check, so an out-of-memory error inside strdup (or its internal
+// malloc) segfaults the server before any error can be logged.
+#ifndef AFEX_TARGETS_WEBSERVER_WEBSERVER_H_
+#define AFEX_TARGETS_WEBSERVER_WEBSERVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace afex {
+
+class SimEnv;
+
+namespace webserver {
+
+inline constexpr uint32_t kTotalBlocks = 640;
+inline constexpr uint32_t kRecoveryBase = 560;
+
+inline constexpr uint32_t kConfigBase = 0;
+inline constexpr uint32_t kModuleBase = 20;
+inline constexpr uint32_t kCoreBase = 40;
+inline constexpr uint32_t kRequestBase = 60;
+inline constexpr uint32_t kLogBase = 110;
+inline constexpr uint32_t kCgiBase = 130;
+
+inline constexpr uint32_t kConfigRecovery = kRecoveryBase + 0;
+inline constexpr uint32_t kModuleRecovery = kRecoveryBase + 8;
+inline constexpr uint32_t kCoreRecovery = kRecoveryBase + 12;
+inline constexpr uint32_t kRequestRecovery = kRecoveryBase + 18;
+inline constexpr uint32_t kLogRecovery = kRecoveryBase + 30;
+inline constexpr uint32_t kCgiRecovery = kRecoveryBase + 34;
+
+class WebServer {
+ public:
+  explicit WebServer(SimEnv& env) : env_(&env) {}
+
+  // Parses the config file: Listen, DocumentRoot, LogFile, Module lines.
+  // Registers each module (Fig. 7 bug lives there). Returns 0 on success.
+  int LoadConfig(const std::string& path);
+
+  // Creates, binds, and listens on the server socket.
+  int Start();
+
+  // Serves one simulated connection whose request bytes are `request`.
+  // Returns 0 when a response (any status) was delivered, -1 on connection-
+  // level failure. The response is retained for inspection.
+  int ServeOne(const std::string& request);
+
+  // Closes the listening socket.
+  int Stop();
+
+  const std::string& last_response() const { return last_response_; }
+  size_t module_count() const { return module_names_.size(); }
+  const std::string& document_root() const { return document_root_; }
+
+ private:
+  int RegisterModule(const std::string& name);
+  int HandleGet(const std::string& path, std::string& response);
+  int HandlePost(const std::string& path, const std::string& body, std::string& response);
+  int HandleCgi(const std::string& path, std::string& response);
+  void LogAccess(const std::string& line);
+
+  SimEnv* env_;
+  std::string document_root_ = "/www";
+  std::string log_path_ = "/logs/access.log";
+  std::vector<uint64_t> module_names_;  // handles from strdup
+  int listen_fd_ = -1;
+  std::string last_response_;
+};
+
+// Standard fixture: config file, document root with sample pages, log dir.
+// `modules` controls how many Module lines the config contains (1..4);
+// `comment_lines` prepends that many comment lines, shifting the call
+// numbers of the parse loop per test the way real per-scenario configs do.
+void InstallFixture(SimEnv& env, size_t modules, size_t comment_lines = 0);
+
+}  // namespace webserver
+}  // namespace afex
+
+#endif  // AFEX_TARGETS_WEBSERVER_WEBSERVER_H_

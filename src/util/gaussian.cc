@@ -1,0 +1,45 @@
+#include "util/gaussian.h"
+
+#include <cmath>
+
+namespace afex {
+
+double PaperSigma(size_t cardinality) { return static_cast<double>(cardinality) / 5.0; }
+
+size_t SampleDiscreteGaussian(Rng& rng, size_t center, double sigma, size_t cardinality) {
+  if (cardinality == 0) {
+    return 0;
+  }
+  if (cardinality == 1 || sigma <= 0.0) {
+    return center < cardinality ? center : cardinality - 1;
+  }
+  // Rejection-sample the truncated Gaussian. The acceptance probability is
+  // at least ~0.38 even when the center sits on an edge with sigma spanning
+  // the whole axis, so the expected iteration count is small; the fallback
+  // cap keeps pathological parameters from looping.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    double deviate = static_cast<double>(center) + rng.NextGaussian() * sigma;
+    double rounded = std::round(deviate);
+    if (rounded >= 0.0 && rounded < static_cast<double>(cardinality)) {
+      return static_cast<size_t>(rounded);
+    }
+  }
+  return rng.NextBelow(cardinality);
+}
+
+size_t SampleDiscreteGaussianExcludingCenter(Rng& rng, size_t center, double sigma,
+                                             size_t cardinality) {
+  if (cardinality <= 1) {
+    return 0;
+  }
+  for (int attempt = 0; attempt < 128; ++attempt) {
+    size_t v = SampleDiscreteGaussian(rng, center, sigma, cardinality);
+    if (v != center) {
+      return v;
+    }
+  }
+  // Deterministic fallback: nearest neighbour.
+  return center + 1 < cardinality ? center + 1 : center - 1;
+}
+
+}  // namespace afex

@@ -1,0 +1,34 @@
+// Discrete Gaussian sampling over attribute index ranges.
+//
+// AFEX's mutation step (paper §3, Algorithm 1 lines 7-9) picks a new value
+// for a fault attribute from a discrete approximation of a Gaussian centered
+// at the parent's current value, with standard deviation proportional to the
+// axis cardinality (the paper uses sigma = |A_i| / 5). This biases mutation
+// toward near neighbours without ever excluding distant values.
+#ifndef AFEX_UTIL_GAUSSIAN_H_
+#define AFEX_UTIL_GAUSSIAN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace afex {
+
+// Samples an index in [0, cardinality) from a discrete Gaussian centered at
+// `center` with standard deviation `sigma`. Out-of-range deviates are
+// re-sampled (truncated Gaussian), so mass near the edges is not folded onto
+// the boundary value. sigma <= 0 degenerates to returning `center`.
+size_t SampleDiscreteGaussian(Rng& rng, size_t center, double sigma, size_t cardinality);
+
+// Like SampleDiscreteGaussian but never returns `center` itself when the
+// axis has at least two values — a mutation must change the attribute.
+size_t SampleDiscreteGaussianExcludingCenter(Rng& rng, size_t center, double sigma,
+                                             size_t cardinality);
+
+// The paper's default: sigma = cardinality / 5.
+double PaperSigma(size_t cardinality);
+
+}  // namespace afex
+
+#endif  // AFEX_UTIL_GAUSSIAN_H_

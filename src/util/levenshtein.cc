@@ -1,0 +1,51 @@
+#include "util/levenshtein.h"
+
+#include <algorithm>
+
+namespace afex {
+namespace {
+
+template <typename Seq>
+size_t EditDistance(const Seq& a, const Seq& b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) {
+    return m;
+  }
+  if (m == 0) {
+    return n;
+  }
+  std::vector<size_t> prev(m + 1);
+  std::vector<size_t> cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) {
+    prev[j] = j;
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t sub_cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + sub_cost});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+}  // namespace
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) { return EditDistance(a, b); }
+
+size_t LevenshteinDistanceTokens(std::span<const std::string> a, std::span<const std::string> b) {
+  return EditDistance(a, b);
+}
+
+double TokenSimilarity(std::span<const std::string> a, std::span<const std::string> b) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) {
+    return 1.0;
+  }
+  size_t d = LevenshteinDistanceTokens(a, b);
+  return 1.0 - static_cast<double>(d) / static_cast<double>(longest);
+}
+
+}  // namespace afex

@@ -1,0 +1,29 @@
+// Levenshtein (edit) distance, used by AFEX's redundancy clustering (paper
+// §5): two injected faults whose injection-point stack traces are within a
+// distance threshold are considered manifestations of the same behaviour.
+#ifndef AFEX_UTIL_LEVENSHTEIN_H_
+#define AFEX_UTIL_LEVENSHTEIN_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace afex {
+
+// Classic character-level edit distance with two-row dynamic programming.
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+// Token-level edit distance: stack traces are sequences of frames, and a
+// one-frame difference should cost 1 regardless of how long the frame's
+// symbol name is. This is what the clustering module uses.
+size_t LevenshteinDistanceTokens(std::span<const std::string> a, std::span<const std::string> b);
+
+// Normalized similarity in [0, 1]: 1 means identical, 0 means maximally
+// distant (distance == max(len a, len b)). Two empty sequences are identical.
+double TokenSimilarity(std::span<const std::string> a, std::span<const std::string> b);
+
+}  // namespace afex
+
+#endif  // AFEX_UTIL_LEVENSHTEIN_H_

@@ -1,0 +1,45 @@
+// Minimal leveled logger. The exploration session logs progress (paper §6.4
+// step 7: "AFEX provides progress metrics in a log"); benches run with the
+// logger silenced so their stdout stays machine-readable.
+#ifndef AFEX_UTIL_LOG_H_
+#define AFEX_UTIL_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace afex {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are dropped. Thread-safe.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one line to stderr with a level prefix. Thread-safe (single write).
+void LogMessage(LogLevel level, const std::string& msg);
+
+namespace internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+}  // namespace afex
+
+#define AFEX_LOG(level) \
+  if (::afex::GetLogLevel() <= ::afex::LogLevel::level) ::afex::internal::LogLine(::afex::LogLevel::level)
+
+#endif  // AFEX_UTIL_LOG_H_

@@ -1,0 +1,39 @@
+// Streaming statistics helpers used by impact-precision measurement and the
+// benchmark harnesses.
+#ifndef AFEX_UTIL_STATS_H_
+#define AFEX_UTIL_STATS_H_
+
+#include <cstddef>
+#include <span>
+
+namespace afex {
+
+// Welford's online algorithm: numerically stable running mean/variance.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  // Population variance; 0 for fewer than two samples.
+  double variance() const;
+  // Sample (Bessel-corrected) variance; 0 for fewer than two samples.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double Mean(std::span<const double> xs);
+double Variance(std::span<const double> xs);
+
+}  // namespace afex
+
+#endif  // AFEX_UTIL_STATS_H_

@@ -1,0 +1,29 @@
+// Small string helpers shared across the library. Kept minimal on purpose;
+// anything std::string/string_view already does well is not wrapped.
+#ifndef AFEX_UTIL_STRINGS_H_
+#define AFEX_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace afex {
+
+// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Parses a non-negative integer; returns false on any non-digit or overflow.
+bool ParseUint(std::string_view s, uint64_t& out);
+
+}  // namespace afex
+
+#endif  // AFEX_UTIL_STRINGS_H_

@@ -1,0 +1,47 @@
+// Fixed-size thread pool backing the cluster substrate (paper §6.1): the
+// explorer enqueues test executions, node managers drain them. Tests are
+// independent ("embarrassing parallelism"), so a plain work queue suffices.
+#ifndef AFEX_UTIL_THREAD_POOL_H_
+#define AFEX_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace afex {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished executing.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace afex
+
+#endif  // AFEX_UTIL_THREAD_POOL_H_

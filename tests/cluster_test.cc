@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "cluster/node_manager.h"
+#include "cluster/parallel_session.h"
+#include "core/fitness_explorer.h"
+#include "core/random_explorer.h"
+#include "targets/coreutils/suite.h"
+#include "targets/harness.h"
+
+namespace afex {
+namespace {
+
+FaultSpace MakeSpace() {
+  std::vector<Axis> axes;
+  axes.push_back(Axis::MakeInterval("x", 0, 19));
+  axes.push_back(Axis::MakeInterval("y", 0, 19));
+  return FaultSpace(std::move(axes), "synthetic");
+}
+
+TestOutcome SyntheticRunner(const Fault& f) {
+  TestOutcome outcome;
+  outcome.fault_triggered = true;
+  outcome.injection_stack = {"main", "site" + std::to_string(f[0] % 3)};
+  if (f[0] == 5) {
+    outcome.test_failed = true;
+  }
+  if (f[0] == 9) {
+    outcome.test_failed = true;
+    outcome.crashed = true;
+  }
+  return outcome;
+}
+
+TEST(NodeManagerTest, RunsHooksInOrder) {
+  std::vector<std::string> events;
+  NodeManager manager("node0", {.startup = [&] { events.push_back("startup"); },
+                                .test =
+                                    [&](const Fault&) {
+                                      events.push_back("test");
+                                      return TestOutcome{};
+                                    },
+                                .cleanup = [&] { events.push_back("cleanup"); }});
+  manager.Execute(Fault({0, 0}));
+  EXPECT_EQ(events, (std::vector<std::string>{"startup", "test", "cleanup"}));
+  EXPECT_EQ(manager.executed(), 1u);
+}
+
+TEST(NodeManagerTest, OptionalHooksMayBeEmpty) {
+  NodeManager manager("node0", {.test = [](const Fault&) { return TestOutcome{}; }});
+  manager.Execute(Fault({1, 1}));
+  EXPECT_EQ(manager.executed(), 1u);
+}
+
+std::vector<std::unique_ptr<NodeManager>> MakeManagers(size_t n) {
+  std::vector<std::unique_ptr<NodeManager>> managers;
+  for (size_t i = 0; i < n; ++i) {
+    managers.push_back(std::make_unique<NodeManager>(
+        "node" + std::to_string(i), NodeManager::Hooks{.test = SyntheticRunner}));
+  }
+  return managers;
+}
+
+TEST(ParallelSessionTest, ExecutesExactlyMaxTests) {
+  FaultSpace space = MakeSpace();
+  RandomExplorer explorer(space, 1);
+  ParallelSession session(explorer, MakeManagers(4));
+  SessionResult result = session.Run({.max_tests = 50});
+  EXPECT_EQ(result.tests_executed, 50u);
+}
+
+TEST(ParallelSessionTest, MatchesSerialCountsOnFullSpace) {
+  // Over the whole space the counts must agree with a serial session,
+  // regardless of execution order.
+  FaultSpace space = MakeSpace();
+  RandomExplorer parallel_explorer(space, 7);
+  ParallelSession parallel(parallel_explorer, MakeManagers(8));
+  SessionResult pr = parallel.Run({.max_tests = 400});
+
+  RandomExplorer serial_explorer(space, 7);
+  ExplorationSession serial(serial_explorer, SyntheticRunner);
+  SessionResult sr = serial.Run({.max_tests = 400});
+
+  EXPECT_EQ(pr.tests_executed, sr.tests_executed);
+  EXPECT_EQ(pr.failed_tests, sr.failed_tests);
+  EXPECT_EQ(pr.crashes, sr.crashes);
+  EXPECT_EQ(pr.unique_crashes, sr.unique_crashes);
+}
+
+TEST(ParallelSessionTest, DeterministicForFixedManagerCount) {
+  FaultSpace space = MakeSpace();
+  auto run_once = [&] {
+    RandomExplorer explorer(space, 3);
+    ParallelSession session(explorer, MakeManagers(4));
+    SessionResult result = session.Run({.max_tests = 100});
+    std::vector<std::vector<size_t>> order;
+    for (const SessionRecord& r : result.records) {
+      order.push_back(r.fault.indices());
+    }
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(ParallelSessionTest, StopsOnCrashTarget) {
+  FaultSpace space = MakeSpace();
+  RandomExplorer explorer(space, 5);
+  ParallelSession session(explorer, MakeManagers(4));
+  SessionResult result = session.Run({.stop_after_crashes = 2});
+  EXPECT_GE(result.crashes, 2u);
+  // At most one extra round beyond the target.
+  EXPECT_LE(result.crashes, 2u + 4u);
+}
+
+TEST(ParallelSessionTest, WorksWithFitnessExplorer) {
+  FaultSpace space = MakeSpace();
+  FitnessExplorer explorer(space, {.seed = 11});
+  ParallelSession session(explorer, MakeManagers(4));
+  SessionResult result = session.Run({.max_tests = 200});
+  EXPECT_EQ(result.tests_executed, 200u);
+  EXPECT_GT(result.failed_tests, 0u);
+}
+
+TEST(ParallelSessionTest, RealTargetThroughNodeManagers) {
+  // End-to-end: coreutils harness behind per-node managers. Each node gets
+  // its own harness (its own coverage accumulator), as on a real cluster.
+  TargetSuite suite = coreutils::MakeSuite();
+  TargetHarness shared_space_harness(suite);
+  FaultSpace space = shared_space_harness.MakeSpace(2, true);
+
+  std::vector<std::unique_ptr<NodeManager>> managers;
+  std::vector<std::unique_ptr<TargetHarness>> harnesses;
+  for (size_t i = 0; i < 3; ++i) {
+    harnesses.push_back(std::make_unique<TargetHarness>(suite));
+    TargetHarness* h = harnesses.back().get();
+    managers.push_back(std::make_unique<NodeManager>(
+        "node" + std::to_string(i),
+        NodeManager::Hooks{.test = [h, &space](const Fault& f) { return h->RunFault(space, f); }}));
+  }
+  RandomExplorer explorer(space, 13);
+  ParallelSession session(explorer, std::move(managers));
+  SessionResult result = session.Run({.max_tests = 120});
+  EXPECT_EQ(result.tests_executed, 120u);
+  EXPECT_GT(result.failed_tests, 0u);  // ~12% of the space fails
+}
+
+}  // namespace
+}  // namespace afex

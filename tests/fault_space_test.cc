@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "core/fault.h"
+#include "core/fault_space.h"
+#include "util/rng.h"
+
+namespace afex {
+namespace {
+
+FaultSpace MakeGridSpace() {
+  // 4 x 5 x 3 space with named axes.
+  std::vector<Axis> axes;
+  axes.push_back(Axis::MakeSet("function", {"open", "close", "read", "write"}));
+  axes.push_back(Axis::MakeInterval("call", 1, 5));
+  axes.push_back(Axis::MakeSet("errno", {"EIO", "EINTR", "ENOMEM"}));
+  return FaultSpace(std::move(axes), "grid");
+}
+
+// ---- Fault ----
+
+TEST(FaultTest, ManhattanDistance) {
+  Fault a({1, 2, 3});
+  Fault b({2, 2, 1});
+  EXPECT_EQ(a.ManhattanDistanceTo(b), 3u);
+  EXPECT_EQ(b.ManhattanDistanceTo(a), 3u);
+  EXPECT_EQ(a.ManhattanDistanceTo(a), 0u);
+}
+
+TEST(FaultTest, ToStringRendersIndices) {
+  EXPECT_EQ(Fault({2, 5, 1}).ToString(), "<2,5,1>");
+  EXPECT_EQ(Fault(std::vector<size_t>{}).ToString(), "<>");
+}
+
+TEST(FaultTest, EqualityAndHash) {
+  Fault a({1, 2});
+  Fault b({1, 2});
+  Fault c({2, 1});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(FaultHash{}(a), FaultHash{}(b));
+}
+
+// ---- Axis ----
+
+TEST(AxisTest, SetAxisBasics) {
+  Axis a = Axis::MakeSet("fn", {"open", "close", "read"});
+  EXPECT_EQ(a.cardinality(), 3u);
+  EXPECT_EQ(a.Label(1), "close");
+  EXPECT_EQ(a.IndexOf("read"), std::optional<size_t>(2));
+  EXPECT_EQ(a.IndexOf("nope"), std::nullopt);
+}
+
+TEST(AxisTest, IntervalAxisBasics) {
+  Axis a = Axis::MakeInterval("call", 1, 100);
+  EXPECT_EQ(a.cardinality(), 100u);
+  EXPECT_EQ(a.Label(0), "1");
+  EXPECT_EQ(a.Label(99), "100");
+  EXPECT_EQ(a.Value(49), 50);
+  EXPECT_EQ(a.IndexOfValue(100), std::optional<size_t>(99));
+  EXPECT_EQ(a.IndexOfValue(0), std::nullopt);
+  EXPECT_EQ(a.IndexOf("42"), std::optional<size_t>(41));
+}
+
+TEST(AxisTest, NegativeInterval) {
+  Axis a = Axis::MakeInterval("retval", -1, 0);
+  EXPECT_EQ(a.cardinality(), 2u);
+  EXPECT_EQ(a.Label(0), "-1");
+  EXPECT_EQ(a.IndexOfValue(-1), std::optional<size_t>(0));
+}
+
+TEST(AxisTest, SubIntervalKind) {
+  Axis a = Axis::MakeSubInterval("window", 1, 50);
+  EXPECT_EQ(a.kind(), AxisKind::kSubInterval);
+  EXPECT_EQ(a.cardinality(), 50u);
+}
+
+TEST(AxisTest, PermutedReordersLabels) {
+  Axis a = Axis::MakeInterval("call", 1, 4);
+  Axis p = a.Permuted({2, 0, 3, 1});
+  EXPECT_EQ(p.kind(), AxisKind::kSet);
+  EXPECT_EQ(p.Label(0), "3");
+  EXPECT_EQ(p.Label(1), "1");
+  EXPECT_EQ(p.Label(2), "4");
+  EXPECT_EQ(p.Label(3), "2");
+  EXPECT_EQ(p.cardinality(), 4u);
+}
+
+// ---- FaultSpace ----
+
+TEST(FaultSpaceTest, TotalPoints) {
+  EXPECT_EQ(MakeGridSpace().TotalPoints(), 4u * 5u * 3u);
+  EXPECT_EQ(FaultSpace().TotalPoints(), 0u);
+}
+
+TEST(FaultSpaceTest, AxisLookupByName) {
+  FaultSpace space = MakeGridSpace();
+  EXPECT_EQ(space.AxisIndexByName("call"), std::optional<size_t>(1));
+  EXPECT_EQ(space.AxisIndexByName("nope"), std::nullopt);
+}
+
+TEST(FaultSpaceTest, BoundsChecking) {
+  FaultSpace space = MakeGridSpace();
+  EXPECT_TRUE(space.InBounds(Fault({0, 0, 0})));
+  EXPECT_TRUE(space.InBounds(Fault({3, 4, 2})));
+  EXPECT_FALSE(space.InBounds(Fault({4, 0, 0})));
+  EXPECT_FALSE(space.InBounds(Fault({0, 0})));
+}
+
+TEST(FaultSpaceTest, HolesViaValidity) {
+  FaultSpace space = MakeGridSpace();
+  // Declare "close with ENOMEM" (function 1, errno 2) a hole.
+  space.SetValidity([](const FaultSpace&, const Fault& f) { return !(f[0] == 1 && f[2] == 2); });
+  EXPECT_FALSE(space.IsValid(Fault({1, 0, 2})));
+  EXPECT_TRUE(space.IsValid(Fault({1, 0, 1})));
+  EXPECT_TRUE(space.IsValid(Fault({0, 0, 2})));
+}
+
+TEST(FaultSpaceTest, SampleUniformRespectsHoles) {
+  FaultSpace space = MakeGridSpace();
+  space.SetValidity([](const FaultSpace&, const Fault& f) { return f[0] == 2; });
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    auto f = space.SampleUniform(rng);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ((*f)[0], 2u);
+  }
+}
+
+TEST(FaultSpaceTest, SampleUniformGivesUpOnEmptySpace) {
+  FaultSpace space = MakeGridSpace();
+  space.SetValidity([](const FaultSpace&, const Fault&) { return false; });
+  Rng rng(1);
+  EXPECT_EQ(space.SampleUniform(rng, 16), std::nullopt);
+}
+
+TEST(FaultSpaceTest, LexicographicEnumerationIsComplete) {
+  FaultSpace space = MakeGridSpace();
+  size_t count = 0;
+  for (auto f = space.FirstValid(); f.has_value(); f = space.NextValid(*f)) {
+    ++count;
+  }
+  EXPECT_EQ(count, space.TotalPoints());
+}
+
+TEST(FaultSpaceTest, EnumerationSkipsHoles) {
+  FaultSpace space = MakeGridSpace();
+  space.SetValidity([](const FaultSpace&, const Fault& f) { return f[1] % 2 == 0; });
+  size_t count = 0;
+  for (auto f = space.FirstValid(); f.has_value(); f = space.NextValid(*f)) {
+    EXPECT_EQ((*f)[1] % 2, 0u);
+    ++count;
+  }
+  EXPECT_EQ(count, 4u * 3u * 3u);  // call axis: indices 0,2,4 of 5
+}
+
+TEST(FaultSpaceTest, VicinityIsManhattanBall) {
+  FaultSpace space = MakeGridSpace();
+  Fault center({1, 2, 1});
+  size_t count = 0;
+  space.ForEachInVicinity(center, 2, [&](const Fault& f) {
+    EXPECT_LE(center.ManhattanDistanceTo(f), 2u);
+    ++count;
+    return true;
+  });
+  // Every point within distance 2 must be visited exactly once: compare
+  // against brute force.
+  size_t brute = 0;
+  for (auto f = space.FirstValid(); f.has_value(); f = space.NextValid(*f)) {
+    if (center.ManhattanDistanceTo(*f) <= 2) {
+      ++brute;
+    }
+  }
+  EXPECT_EQ(count, brute);
+}
+
+TEST(FaultSpaceTest, VicinityEarlyStop) {
+  FaultSpace space = MakeGridSpace();
+  size_t count = 0;
+  space.ForEachInVicinity(Fault({1, 2, 1}), 3, [&](const Fault&) {
+    ++count;
+    return count < 5;
+  });
+  EXPECT_EQ(count, 5u);
+}
+
+// Relative linear density on the paper's own example shape: a vertical
+// stripe of impact means the vertical axis has density > 1.
+TEST(FaultSpaceTest, RelativeLinearDensityDetectsStripe) {
+  std::vector<Axis> axes;
+  axes.push_back(Axis::MakeInterval("x", 0, 9));
+  axes.push_back(Axis::MakeInterval("y", 0, 9));
+  FaultSpace space(std::move(axes), "stripe");
+  // Impact 1 on the column x==4, 0 elsewhere.
+  auto impact = [](const Fault& f) { return f[0] == 4 ? 1.0 : 0.0; };
+  Fault on_stripe({4, 5});
+  double rho_y = space.RelativeLinearDensity(on_stripe, 1, 3, impact);
+  double rho_x = space.RelativeLinearDensity(on_stripe, 0, 3, impact);
+  EXPECT_GT(rho_y, 1.0);  // walking along y stays on the stripe
+  EXPECT_LT(rho_x, rho_y);
+}
+
+TEST(FaultSpaceTest, RelativeLinearDensityFlatSurfaceIsOne) {
+  std::vector<Axis> axes;
+  axes.push_back(Axis::MakeInterval("x", 0, 9));
+  axes.push_back(Axis::MakeInterval("y", 0, 9));
+  FaultSpace space(std::move(axes), "flat");
+  auto impact = [](const Fault&) { return 0.5; };
+  EXPECT_DOUBLE_EQ(space.RelativeLinearDensity(Fault({5, 5}), 0, 2, impact), 1.0);
+  auto zero = [](const Fault&) { return 0.0; };
+  EXPECT_DOUBLE_EQ(space.RelativeLinearDensity(Fault({5, 5}), 0, 2, zero), 1.0);
+}
+
+TEST(FaultSpaceTest, DescribeRendersLabels) {
+  FaultSpace space = MakeGridSpace();
+  EXPECT_EQ(space.Describe(Fault({1, 4, 0})), "function=close call=5 errno=EIO");
+}
+
+}  // namespace
+}  // namespace afex

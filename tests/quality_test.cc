@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include "core/clustering.h"
+#include "core/impact.h"
+#include "core/precision.h"
+#include "core/relevance.h"
+#include "core/report.h"
+
+namespace afex {
+namespace {
+
+// ---- ImpactPolicy ----
+
+TEST(ImpactPolicyTest, DefaultWeights) {
+  ImpactPolicy policy;
+  TestOutcome outcome;
+  outcome.new_blocks_covered = 3;
+  EXPECT_DOUBLE_EQ(policy.Score(outcome), 3.0);
+  outcome.test_failed = true;
+  EXPECT_DOUBLE_EQ(policy.Score(outcome), 13.0);
+  outcome.crashed = true;
+  EXPECT_DOUBLE_EQ(policy.Score(outcome), 33.0);
+  outcome.hung = true;
+  EXPECT_DOUBLE_EQ(policy.Score(outcome), 43.0);
+}
+
+TEST(ImpactPolicyTest, CustomWeights) {
+  ImpactPolicy policy{.points_per_new_block = 0.0,
+                      .points_per_failed_test = 1.0,
+                      .points_per_hang = 2.0,
+                      .points_per_crash = 4.0};
+  TestOutcome outcome;
+  outcome.new_blocks_covered = 100;
+  outcome.crashed = true;
+  EXPECT_DOUBLE_EQ(policy.Score(outcome), 4.0);
+}
+
+// ---- RedundancyClusterer ----
+
+TEST(ClusteringTest, IdenticalStacksShareCluster) {
+  RedundancyClusterer clusterer;
+  std::vector<std::string> stack = {"main", "parse", "read"};
+  size_t a = clusterer.Assign(stack);
+  size_t b = clusterer.Assign(stack);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(clusterer.cluster_count(), 1u);
+}
+
+TEST(ClusteringTest, NearStacksMergeWithinThreshold) {
+  RedundancyClusterer clusterer(ClusterConfig{.distance_threshold = 1});
+  size_t a = clusterer.Assign({"main", "parse", "read"});
+  size_t b = clusterer.Assign({"main", "parse", "write"});  // distance 1
+  EXPECT_EQ(a, b);
+  size_t c = clusterer.Assign({"boot", "net", "accept"});  // far away
+  EXPECT_NE(a, c);
+  EXPECT_EQ(clusterer.cluster_count(), 2u);
+}
+
+TEST(ClusteringTest, ThresholdZeroSeparatesAll) {
+  RedundancyClusterer clusterer(ClusterConfig{.distance_threshold = 0});
+  size_t a = clusterer.Assign({"main", "x"});
+  size_t b = clusterer.Assign({"main", "y"});
+  EXPECT_NE(a, b);
+}
+
+TEST(ClusteringTest, EmptyStacksReservedCluster) {
+  RedundancyClusterer clusterer;
+  size_t triggered = clusterer.Assign({"main", "io"});
+  size_t empty_a = clusterer.Assign({});
+  size_t empty_b = clusterer.Assign({});
+  EXPECT_EQ(empty_a, empty_b);
+  EXPECT_NE(empty_a, triggered);
+  EXPECT_EQ(empty_a, 0u);  // reserved id
+}
+
+TEST(ClusteringTest, NearestSimilarityFeedbackScale) {
+  RedundancyClusterer clusterer;
+  EXPECT_DOUBLE_EQ(clusterer.NearestSimilarity({"main"}), 0.0);  // nothing seen yet
+  clusterer.Assign({"main", "parse", "read"});
+  EXPECT_DOUBLE_EQ(clusterer.NearestSimilarity({"main", "parse", "read"}), 1.0);
+  double partial = clusterer.NearestSimilarity({"main", "parse", "write"});
+  EXPECT_GT(partial, 0.5);
+  EXPECT_LT(partial, 1.0);
+}
+
+TEST(ClusteringTest, EmptyClusterDoesNotAttractTriggeredTraces) {
+  RedundancyClusterer clusterer;
+  clusterer.Assign({});
+  // A triggered trace must not be "similar" to the reserved empty cluster.
+  EXPECT_DOUBLE_EQ(clusterer.NearestSimilarity({"main", "io"}), 0.0);
+}
+
+TEST(ClusteringTest, ClusterSizesTracked) {
+  RedundancyClusterer clusterer;
+  clusterer.Assign({"a", "b"});
+  clusterer.Assign({"a", "b"});
+  clusterer.Assign({"x", "y", "z"});
+  const auto& sizes = clusterer.cluster_sizes();
+  ASSERT_EQ(sizes.size(), 3u);  // reserved slot 0 + two behaviour clusters
+  EXPECT_EQ(sizes[0], 0u);
+  EXPECT_EQ(sizes[1], 2u);
+  EXPECT_EQ(sizes[2], 1u);
+}
+
+// ---- precision ----
+
+TEST(PrecisionTest, DeterministicImpactMaxPrecision) {
+  PrecisionReport report = MeasurePrecision([] { return 7.0; }, 5);
+  EXPECT_EQ(report.trials, 5u);
+  EXPECT_DOUBLE_EQ(report.mean_impact, 7.0);
+  EXPECT_TRUE(report.deterministic);
+  EXPECT_DOUBLE_EQ(report.precision, kMaxPrecision);
+}
+
+TEST(PrecisionTest, NoisyImpactFinitePrecision) {
+  int call = 0;
+  PrecisionReport report = MeasurePrecision([&call] { return call++ % 2 == 0 ? 0.0 : 2.0; }, 10);
+  EXPECT_FALSE(report.deterministic);
+  EXPECT_DOUBLE_EQ(report.mean_impact, 1.0);
+  EXPECT_DOUBLE_EQ(report.variance, 1.0);
+  EXPECT_DOUBLE_EQ(report.precision, 1.0);
+}
+
+TEST(PrecisionTest, ZeroTrials) {
+  PrecisionReport report = MeasurePrecision([] { return 1.0; }, 0);
+  EXPECT_EQ(report.trials, 0u);
+  EXPECT_DOUBLE_EQ(report.precision, 0.0);
+}
+
+// ---- environment model ----
+
+FaultSpace MakeFunctionSpace() {
+  std::vector<Axis> axes;
+  axes.push_back(Axis::MakeSet("function", {"malloc", "read", "opendir"}));
+  axes.push_back(Axis::MakeInterval("call", 1, 3));
+  return FaultSpace(std::move(axes), "env");
+}
+
+TEST(RelevanceTest, ClassWeightsApply) {
+  EnvironmentModel model;
+  model.SetClassWeight("function", "malloc", 0.4);
+  model.SetClassWeight("function", "read", 0.5);
+  FaultSpace space = MakeFunctionSpace();
+  EXPECT_DOUBLE_EQ(model.Relevance(space, Fault({0, 0})), 0.4);
+  EXPECT_DOUBLE_EQ(model.Relevance(space, Fault({1, 2})), 0.5);
+}
+
+TEST(RelevanceTest, DefaultWeightWhenNoClassMatches) {
+  EnvironmentModel model;
+  model.SetClassWeight("function", "malloc", 0.4);
+  model.SetDefaultWeight(0.1);
+  FaultSpace space = MakeFunctionSpace();
+  EXPECT_DOUBLE_EQ(model.Relevance(space, Fault({2, 0})), 0.1);
+}
+
+TEST(RelevanceTest, MultipleAxesMultiply) {
+  EnvironmentModel model;
+  model.SetClassWeight("function", "malloc", 0.4);
+  model.SetClassWeight("call", "1", 0.5);
+  FaultSpace space = MakeFunctionSpace();
+  EXPECT_DOUBLE_EQ(model.Relevance(space, Fault({0, 0})), 0.2);
+}
+
+TEST(RelevanceTest, EmptyModel) {
+  EnvironmentModel model;
+  EXPECT_TRUE(model.empty());
+  FaultSpace space = MakeFunctionSpace();
+  EXPECT_DOUBLE_EQ(model.Relevance(space, Fault({0, 0})), 1.0);
+}
+
+// ---- report ----
+
+SessionResult MakeSessionResult(RedundancyClusterer& clusterer) {
+  SessionResult result;
+  auto add = [&](std::vector<size_t> idx, double impact, bool crash,
+                 std::vector<std::string> stack) {
+    SessionRecord r;
+    r.fault = Fault(std::move(idx));
+    r.impact = impact;
+    r.fitness = impact;
+    r.outcome.crashed = crash;
+    r.outcome.test_failed = impact > 0;
+    r.outcome.fault_triggered = !stack.empty();
+    r.outcome.injection_stack = stack;
+    r.cluster_id = clusterer.Assign(r.outcome.fault_triggered ? stack
+                                                              : std::vector<std::string>{});
+    result.records.push_back(std::move(r));
+    ++result.tests_executed;
+  };
+  add({0, 0}, 30.0, true, {"main", "alloc"});
+  add({1, 0}, 10.0, false, {"boot", "net", "accept"});
+  add({2, 0}, 0.0, false, {});
+  add({0, 1}, 30.0, true, {"main", "alloc"});  // same behaviour as first
+  return result;
+}
+
+TEST(ReportTest, RankedByImpactAndFiltered) {
+  FaultSpace space = MakeFunctionSpace();
+  RedundancyClusterer clusterer;
+  SessionResult result = MakeSessionResult(clusterer);
+  ReportBuilder builder(space, "fitness");
+  Report report = builder.Build(result, clusterer, /*min_impact=*/1.0);
+  ASSERT_EQ(report.findings.size(), 3u);  // zero-impact test filtered out
+  EXPECT_GE(report.findings[0].impact, report.findings[1].impact);
+  EXPECT_GE(report.findings[1].impact, report.findings[2].impact);
+}
+
+TEST(ReportTest, OneRepresentativePerCluster) {
+  FaultSpace space = MakeFunctionSpace();
+  RedundancyClusterer clusterer;
+  SessionResult result = MakeSessionResult(clusterer);
+  ReportBuilder builder(space, "fitness");
+  Report report = builder.Build(result, clusterer, 1.0);
+  // Two behaviour clusters among the kept findings (alloc-crash, io-fail).
+  EXPECT_EQ(report.representatives.size(), 2u);
+}
+
+TEST(ReportTest, SynopsisMentionsAlgorithmAndCounts) {
+  FaultSpace space = MakeFunctionSpace();
+  RedundancyClusterer clusterer;
+  SessionResult result = MakeSessionResult(clusterer);
+  result.crashes = 2;
+  ReportBuilder builder(space, "fitness");
+  Report report = builder.Build(result, clusterer, 0.0);
+  EXPECT_NE(report.synopsis.find("algorithm=fitness"), std::string::npos);
+  EXPECT_NE(report.synopsis.find("crashes=2"), std::string::npos);
+}
+
+TEST(ReportTest, ReproScriptContainsScenario) {
+  FaultSpace space = MakeFunctionSpace();
+  RedundancyClusterer clusterer;
+  SessionResult result = MakeSessionResult(clusterer);
+  ReportBuilder builder(space, "fitness");
+  Report report = builder.Build(result, clusterer, 1.0);
+  std::string script = builder.GenerateReproScript(report.findings[0]);
+  EXPECT_NE(script.find("function malloc"), std::string::npos);
+  EXPECT_NE(script.find("call 1"), std::string::npos);
+  EXPECT_NE(script.find("crash"), std::string::npos);
+  EXPECT_NE(script.find("main"), std::string::npos);  // stack frame listed
+}
+
+TEST(ReportTest, PrecisionMeasurementOnTopFindings) {
+  FaultSpace space = MakeFunctionSpace();
+  RedundancyClusterer clusterer;
+  SessionResult result = MakeSessionResult(clusterer);
+  ReportBuilder builder(space, "fitness");
+  Report report = builder.Build(result, clusterer, 1.0);
+  ImpactPolicy policy;
+  builder.MeasurePrecisionForTop(report, 1, 4,
+                                 [](const Fault&) {
+                                   TestOutcome o;
+                                   o.crashed = true;
+                                   o.test_failed = true;
+                                   return o;
+                                 },
+                                 policy);
+  EXPECT_EQ(report.findings[0].precision.trials, 4u);
+  EXPECT_TRUE(report.findings[0].precision.deterministic);
+  EXPECT_EQ(report.findings[1].precision.trials, 0u);  // only top-1 measured
+}
+
+}  // namespace
+}  // namespace afex

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "core/fitness_explorer.h"
+#include "core/random_explorer.h"
+#include "core/session.h"
+
+namespace afex {
+namespace {
+
+FaultSpace MakeSpace() {
+  std::vector<Axis> axes;
+  axes.push_back(Axis::MakeInterval("x", 0, 19));
+  axes.push_back(Axis::MakeInterval("y", 0, 19));
+  return FaultSpace(std::move(axes), "synthetic");
+}
+
+// Synthetic runner: x == 7 fails the test (one behaviour), x == 13 crashes
+// (another behaviour); stacks identify the behaviour.
+TestOutcome SyntheticRunner(const Fault& f) {
+  TestOutcome outcome;
+  outcome.fault_triggered = true;
+  if (f[0] == 7) {
+    outcome.test_failed = true;
+    outcome.exit_code = 1;
+    outcome.injection_stack = {"main", "parse", "read_config"};
+  } else if (f[0] == 13) {
+    outcome.test_failed = true;
+    outcome.crashed = true;
+    outcome.exit_code = 139;
+    outcome.injection_stack = {"main", "serve", "alloc_buffer"};
+  } else {
+    outcome.injection_stack = {"main", "ok_path"};
+  }
+  return outcome;
+}
+
+TEST(SessionTest, StopsAtMaxTests) {
+  FaultSpace space = MakeSpace();
+  RandomExplorer explorer(space, 1);
+  ExplorationSession session(explorer, SyntheticRunner);
+  SessionResult result = session.Run({.max_tests = 50});
+  EXPECT_EQ(result.tests_executed, 50u);
+  EXPECT_EQ(result.records.size(), 50u);
+}
+
+TEST(SessionTest, CountsFailuresAndCrashes) {
+  FaultSpace space = MakeSpace();
+  RandomExplorer explorer(space, 2);
+  ExplorationSession session(explorer, SyntheticRunner);
+  SessionResult result = session.Run({.max_tests = 500});  // > whole space
+  EXPECT_EQ(result.failed_tests, 40u);  // columns 7 and 13
+  EXPECT_EQ(result.crashes, 20u);       // column 13
+  EXPECT_TRUE(result.space_exhausted);
+}
+
+TEST(SessionTest, UniqueCountsUseClusters) {
+  FaultSpace space = MakeSpace();
+  RandomExplorer explorer(space, 3);
+  ExplorationSession session(explorer, SyntheticRunner);
+  SessionResult result = session.Run({.max_tests = 400});
+  // All failures share one stack; all crashes share another.
+  EXPECT_EQ(result.unique_failures, 2u);  // the crash cluster also failed
+  EXPECT_EQ(result.unique_crashes, 1u);
+}
+
+TEST(SessionTest, StopAfterCrashTarget) {
+  FaultSpace space = MakeSpace();
+  RandomExplorer explorer(space, 4);
+  ExplorationSession session(explorer, SyntheticRunner);
+  SessionResult result = session.Run({.stop_after_crashes = 3});
+  EXPECT_EQ(result.crashes, 3u);
+  EXPECT_LT(result.tests_executed, 400u);
+}
+
+TEST(SessionTest, StopAfterImpactThreshold) {
+  FaultSpace space = MakeSpace();
+  RandomExplorer explorer(space, 5);
+  ExplorationSession session(explorer, SyntheticRunner);
+  // Crash impact = 10 (fail) + 20 (crash) = 30.
+  SessionResult result = session.Run({.impact_threshold = 30.0, .stop_after_found = 2});
+  size_t high = 0;
+  for (const SessionRecord& r : result.records) {
+    if (r.impact >= 30.0) {
+      ++high;
+    }
+  }
+  EXPECT_EQ(high, 2u);
+}
+
+TEST(SessionTest, RelevanceModelScalesFitnessNotImpact) {
+  FaultSpace space = MakeSpace();
+  EnvironmentModel model;
+  model.SetClassWeight("x", "7", 0.5);
+  RandomExplorer explorer(space, 6);
+  SessionConfig config;
+  config.environment_model = &model;
+  ExplorationSession session(explorer, SyntheticRunner, config);
+  SessionResult result = session.Run({.max_tests = 400});
+  for (const SessionRecord& r : result.records) {
+    if (r.fault[0] == 7) {
+      EXPECT_DOUBLE_EQ(r.fitness, r.impact * 0.5);
+    } else if (r.fault[0] != 13) {
+      EXPECT_DOUBLE_EQ(r.fitness, r.impact);
+    }
+  }
+}
+
+TEST(SessionTest, RedundancyFeedbackZeroesRepeatedBehaviour) {
+  FaultSpace space = MakeSpace();
+  RandomExplorer explorer(space, 7);
+  SessionConfig config;
+  config.redundancy_feedback = true;
+  ExplorationSession session(explorer, SyntheticRunner, config);
+  SessionResult result = session.Run({.max_tests = 400});
+  // After the first x==7 failure, later identical stacks have similarity 1
+  // and fitness 0 (impact itself is not modified).
+  bool first_seen = false;
+  for (const SessionRecord& r : result.records) {
+    if (r.fault[0] != 7) {
+      continue;
+    }
+    if (!first_seen) {
+      first_seen = true;
+      EXPECT_GT(r.fitness, 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(r.fitness, 0.0);
+      EXPECT_GT(r.impact, 0.0);
+    }
+  }
+  EXPECT_TRUE(first_seen);
+}
+
+TEST(SessionTest, StepInterleavingMatchesRun) {
+  FaultSpace space = MakeSpace();
+  RandomExplorer a(space, 8);
+  ExplorationSession sa(a, SyntheticRunner);
+  SessionResult ra = sa.Run({.max_tests = 30});
+
+  RandomExplorer b(space, 8);
+  ExplorationSession sb(b, SyntheticRunner);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_TRUE(sb.Step());
+  }
+  EXPECT_EQ(ra.tests_executed, sb.result().tests_executed);
+  EXPECT_EQ(ra.failed_tests, sb.result().failed_tests);
+  EXPECT_EQ(ra.crashes, sb.result().crashes);
+}
+
+TEST(SessionTest, FitnessExplorerIntegration) {
+  FaultSpace space = MakeSpace();
+  FitnessExplorer explorer(space, {.seed = 9});
+  ExplorationSession session(explorer, SyntheticRunner);
+  SessionResult result = session.Run({.max_tests = 150});
+  RandomExplorer random(space, 9);
+  ExplorationSession random_session(random, SyntheticRunner);
+  SessionResult random_result = random_session.Run({.max_tests = 150});
+  // The guided search must find at least as many high-impact faults.
+  EXPECT_GE(result.failed_tests, random_result.failed_tests);
+}
+
+TEST(SessionTest, ExhaustionReportedWhenSpaceDrained) {
+  std::vector<Axis> axes;
+  axes.push_back(Axis::MakeInterval("x", 0, 2));
+  FaultSpace tiny(std::move(axes), "tiny");
+  RandomExplorer explorer(tiny, 10);
+  ExplorationSession session(explorer, [](const Fault&) { return TestOutcome{}; });
+  SessionResult result = session.Run({});
+  EXPECT_EQ(result.tests_executed, 3u);
+  EXPECT_TRUE(result.space_exhausted);
+}
+
+}  // namespace
+}  // namespace afex

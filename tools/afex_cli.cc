@@ -1,0 +1,237 @@
+// afex_cli: command-line driver for exploration campaigns — the shape a
+// user-facing release of the prototype (paper §6) takes. Points a search
+// strategy at one of the built-in simulated targets, optionally with a
+// fault-space description file, redundancy feedback, and an environment
+// model, and prints the ranked report.
+//
+// Usage:
+//   afex_cli --target=<coreutils|minidb|webserver|docstore-v0.8|docstore-v2.0>
+//            [--strategy=<fitness|random|exhaustive>] [--budget=N]
+//            [--seed=N] [--max-call=N] [--space=FILE] [--feedback]
+//            [--crashes-only] [--top=N]
+//
+// Examples:
+//   afex_cli --target=webserver --budget=1000 --feedback
+//   afex_cli --target=minidb --strategy=random --budget=500
+//   afex_cli --target=coreutils --space=my_space.afex --top=5
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/exhaustive_explorer.h"
+#include "core/fitness_explorer.h"
+#include "core/random_explorer.h"
+#include "core/report.h"
+#include "core/session.h"
+#include "core/space_lang.h"
+#include "targets/coreutils/suite.h"
+#include "targets/docstore/suite.h"
+#include "targets/harness.h"
+#include "targets/minidb/suite.h"
+#include "targets/webserver/suite.h"
+#include "util/log.h"
+
+using namespace afex;
+
+namespace {
+
+struct Options {
+  std::string target = "coreutils";
+  std::string strategy = "fitness";
+  std::string space_file;
+  size_t budget = 500;
+  uint64_t seed = 1;
+  size_t max_call = 0;  // 0 = per-target default
+  bool feedback = false;
+  bool crashes_only = false;
+  size_t top = 10;
+  bool verbose = false;
+};
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: afex_cli --target=<coreutils|minidb|webserver|docstore-v0.8|"
+               "docstore-v2.0>\n"
+               "                [--strategy=<fitness|random|exhaustive>] [--budget=N]\n"
+               "                [--seed=N] [--max-call=N] [--space=FILE] [--feedback]\n"
+               "                [--crashes-only] [--top=N] [--verbose]\n");
+}
+
+bool ParseFlag(const std::string& arg, const std::string& name, std::string& out) {
+  std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  out = arg.substr(prefix.size());
+  return true;
+}
+
+bool ParseOptions(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "target", value)) {
+      options.target = value;
+    } else if (ParseFlag(arg, "strategy", value)) {
+      options.strategy = value;
+    } else if (ParseFlag(arg, "space", value)) {
+      options.space_file = value;
+    } else if (ParseFlag(arg, "budget", value)) {
+      options.budget = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "seed", value)) {
+      options.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "max-call", value)) {
+      options.max_call = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "top", value)) {
+      options.top = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (arg == "--feedback") {
+      options.feedback = true;
+    } else if (arg == "--crashes-only") {
+      options.crashes_only = true;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MakeTarget(const std::string& name, TargetSuite& suite, size_t& default_max_call,
+                bool& zero_call) {
+  if (name == "coreutils") {
+    suite = coreutils::MakeSuite();
+    default_max_call = 2;
+    zero_call = true;
+    return true;
+  }
+  if (name == "minidb") {
+    suite = minidb::MakeSuite();
+    default_max_call = 100;
+    zero_call = false;
+    return true;
+  }
+  if (name == "webserver") {
+    suite = webserver::MakeSuite();
+    default_max_call = 10;
+    zero_call = false;
+    return true;
+  }
+  if (name == "docstore-v0.8") {
+    suite = docstore::MakeSuiteV08();
+    default_max_call = 10;
+    zero_call = false;
+    return true;
+  }
+  if (name == "docstore-v2.0") {
+    suite = docstore::MakeSuiteV20();
+    default_max_call = 10;
+    zero_call = false;
+    return true;
+  }
+  std::fprintf(stderr, "unknown target '%s'\n", name.c_str());
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseOptions(argc, argv, options)) {
+    PrintUsage();
+    return 2;
+  }
+  SetLogLevel(options.verbose ? LogLevel::kInfo : LogLevel::kWarn);
+
+  TargetSuite suite;
+  size_t default_max_call = 2;
+  bool zero_call = false;
+  if (!MakeTarget(options.target, suite, default_max_call, zero_call)) {
+    return 2;
+  }
+  TargetHarness harness(suite, options.seed ^ 0x5eed);
+
+  // Fault space: from the description file if given, else the canonical
+  // <test, function, call> space of the target.
+  FaultSpace space;
+  if (!options.space_file.empty()) {
+    std::ifstream in(options.space_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open space file '%s'\n", options.space_file.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      UniverseSpec spec = ParseFaultSpaceDescription(text.str());
+      if (spec.spaces.size() != 1) {
+        std::fprintf(stderr,
+                     "space file describes %zu subspaces; afex_cli explores one at a time\n",
+                     spec.spaces.size());
+        return 2;
+      }
+      space = BuildFaultSpace(spec.spaces[0], options.target);
+    } catch (const SpaceLangError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  } else {
+    space = harness.MakeSpace(options.max_call > 0 ? options.max_call : default_max_call,
+                              zero_call);
+  }
+  std::printf("target %s, space '%s' with %zu points, strategy %s, budget %zu, seed %llu\n",
+              options.target.c_str(), space.name().c_str(), space.TotalPoints(),
+              options.strategy.c_str(), options.budget,
+              static_cast<unsigned long long>(options.seed));
+
+  std::unique_ptr<Explorer> explorer;
+  if (options.strategy == "fitness") {
+    FitnessExplorerConfig config;
+    config.seed = options.seed;
+    explorer = std::make_unique<FitnessExplorer>(space, config);
+  } else if (options.strategy == "random") {
+    explorer = std::make_unique<RandomExplorer>(space, options.seed);
+  } else if (options.strategy == "exhaustive") {
+    explorer = std::make_unique<ExhaustiveExplorer>(space);
+  } else {
+    std::fprintf(stderr, "unknown strategy '%s'\n", options.strategy.c_str());
+    return 2;
+  }
+
+  SessionConfig session_config;
+  session_config.redundancy_feedback = options.feedback;
+  ExplorationSession session(*explorer, harness.MakeRunner(space), session_config);
+  SessionResult result = session.Run({.max_tests = options.budget});
+
+  std::printf("\nexecuted %zu tests: %zu failed, %zu crashed, %zu hung; "
+              "%zu behaviour clusters (%zu failure, %zu crash)\n",
+              result.tests_executed, result.failed_tests, result.crashes, result.hangs,
+              result.clusters, result.unique_failures, result.unique_crashes);
+  std::printf("coverage %.1f%% (recovery %.1f%%)\n", 100 * harness.CoverageFraction(),
+              100 * harness.RecoveryCoverageFraction());
+
+  ReportBuilder builder(space, options.strategy);
+  Report report = builder.Build(result, session.clusterer(),
+                                /*min_impact=*/options.crashes_only ? 20.0 : 10.0);
+  std::printf("\ntop findings (one representative per behaviour cluster):\n");
+  size_t shown = 0;
+  for (const Finding& f : report.representatives) {
+    if (options.crashes_only && !f.crashed) {
+      continue;
+    }
+    std::printf("\n%s", builder.GenerateReproScript(f).c_str());
+    if (++shown >= options.top) {
+      break;
+    }
+  }
+  if (shown == 0) {
+    std::printf("  (none above the impact threshold)\n");
+  }
+  return 0;
+}
