@@ -1,0 +1,21 @@
+# Repo-wide warning policy: every first-party target links afex::warnings
+# (an INTERFACE target) to inherit -Wall -Wextra -Werror. Third-party code
+# fetched via FetchContent (GoogleTest / Google Benchmark) never links it,
+# so it builds with its own flags.
+
+add_library(afex_warnings INTERFACE)
+add_library(afex::warnings ALIAS afex_warnings)
+
+set(AFEX_WARNING_FLAGS -Wall -Wextra -Werror)
+
+# GCC 12's -Wrestrict has a well-known false positive on optimized
+# std::string concatenation ("lit" + std::to_string(x), GCC PR 105329)
+# that would otherwise -Werror idiomatic, correct code across the tree.
+if(CMAKE_CXX_COMPILER_ID STREQUAL "GNU"
+   AND CMAKE_CXX_COMPILER_VERSION VERSION_GREATER_EQUAL 12
+   AND CMAKE_CXX_COMPILER_VERSION VERSION_LESS 14)
+  list(APPEND AFEX_WARNING_FLAGS -Wno-restrict)
+endif()
+
+target_compile_options(afex_warnings INTERFACE
+  $<$<COMPILE_LANGUAGE:CXX>:${AFEX_WARNING_FLAGS}>)

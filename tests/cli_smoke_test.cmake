@@ -1,0 +1,20 @@
+# Runs afex_cli with a small budget and asserts (a) exit code 0 and
+# (b) a non-empty report on stdout. Invoked by CTest via cmake -P.
+execute_process(
+  COMMAND ${AFEX_CLI} --target=minidb --strategy=fitness --budget=50 --seed=1
+  OUTPUT_VARIABLE cli_stdout
+  ERROR_VARIABLE cli_stderr
+  RESULT_VARIABLE cli_status)
+
+if(NOT cli_status EQUAL 0)
+  message(FATAL_ERROR
+    "afex_cli exited with status ${cli_status}\nstderr:\n${cli_stderr}")
+endif()
+
+string(STRIP "${cli_stdout}" cli_stdout_stripped)
+if(cli_stdout_stripped STREQUAL "")
+  message(FATAL_ERROR "afex_cli exited 0 but produced an empty report")
+endif()
+
+string(LENGTH "${cli_stdout_stripped}" report_len)
+message(STATUS "afex_cli report: ${report_len} bytes, exit 0")

@@ -80,7 +80,15 @@ bool ParseOptions(int argc, char** argv, Options& options) {
     } else if (ParseFlag(arg, "space", value)) {
       options.space_file = value;
     } else if (ParseFlag(arg, "budget", value)) {
-      options.budget = static_cast<size_t>(std::atoll(value.c_str()));
+      // SearchTarget treats max_tests == 0 as "no constraint"; from the CLI
+      // that would loop forever, so insist on an explicit positive budget
+      // (this also catches empty and negative values).
+      long long budget = std::atoll(value.c_str());
+      if (budget <= 0) {
+        std::fprintf(stderr, "--budget must be >= 1\n");
+        return false;
+      }
+      options.budget = static_cast<size_t>(budget);
     } else if (ParseFlag(arg, "seed", value)) {
       options.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(arg, "max-call", value)) {
