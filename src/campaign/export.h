@@ -1,0 +1,28 @@
+// Offline-analysis report dumps (paper §6.3's result sets, in formats a
+// spreadsheet or notebook ingests directly). Both exporters emit one row /
+// object per executed test in execution order, carrying the same fields as
+// the in-memory SessionRecord, so the printed report, the journal, and the
+// export always agree.
+#ifndef AFEX_CAMPAIGN_EXPORT_H_
+#define AFEX_CAMPAIGN_EXPORT_H_
+
+#include <ostream>
+
+#include "campaign/serde.h"
+#include "core/fault_space.h"
+#include "core/session.h"
+
+namespace afex {
+
+// RFC-4180-style CSV: header row, then one row per record. Fields with
+// commas, quotes, or newlines are quoted with doubled quotes.
+void ExportCsv(const FaultSpace& space, const SessionResult& result, std::ostream& out);
+
+// One JSON document: campaign meta, summary counters, and the full record
+// array. Strings are escaped per RFC 8259; doubles keep their exact value.
+void ExportJson(const CampaignMeta& meta, const FaultSpace& space, const SessionResult& result,
+                std::ostream& out);
+
+}  // namespace afex
+
+#endif  // AFEX_CAMPAIGN_EXPORT_H_

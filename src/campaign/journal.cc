@@ -1,0 +1,93 @@
+#include "campaign/journal.h"
+
+#include <cstdio>
+
+#include "campaign/serde.h"
+
+namespace afex {
+
+Journal::LoadResult Journal::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw CampaignError("cannot open journal '" + path + "'");
+  }
+  std::string contents((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    throw CampaignError("error reading journal '" + path + "'");
+  }
+
+  LoadResult result;
+  size_t start = 0;
+  bool have_header = false;
+  while (start < contents.size()) {
+    size_t end = contents.find('\n', start);
+    if (end == std::string::npos) {
+      // Torn write: the process died mid-line. The line is unrecoverable,
+      // but everything before it is intact.
+      result.tail_torn = true;
+      break;
+    }
+    std::string line = contents.substr(start, end - start);
+    if (!have_header) {
+      result.header = std::move(line);
+      have_header = true;
+    } else {
+      result.records.push_back(std::move(line));
+    }
+    start = end + 1;
+  }
+  if (!have_header) {
+    throw CampaignError("journal '" + path + "' has no complete header line");
+  }
+  return result;
+}
+
+Journal Journal::Create(const std::string& path, const std::string& header) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw CampaignError("cannot create journal '" + path + "'");
+  }
+  out << header << '\n';
+  out.flush();
+  if (!out) {
+    throw CampaignError("cannot write journal header to '" + path + "'");
+  }
+  return Journal(path, std::move(out));
+}
+
+Journal Journal::Rewrite(const std::string& path, const std::string& header,
+                         const std::vector<std::string>& records) {
+  std::string temp = path + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw CampaignError("cannot create journal temp file '" + temp + "'");
+    }
+    out << header << '\n';
+    for (const std::string& line : records) {
+      out << line << '\n';
+    }
+    out.flush();
+    if (!out) {
+      throw CampaignError("cannot write journal temp file '" + temp + "'");
+    }
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    throw CampaignError("cannot replace journal '" + path + "'");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) {
+    throw CampaignError("cannot reopen journal '" + path + "' for append");
+  }
+  return Journal(path, std::move(out));
+}
+
+void Journal::Append(const std::string& line) {
+  out_ << line << '\n';
+  out_.flush();
+  if (!out_) {
+    throw CampaignError("failed to append to journal '" + path_ + "'");
+  }
+}
+
+}  // namespace afex

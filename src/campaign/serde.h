@@ -1,0 +1,119 @@
+// Stable text serialization for the campaign store (the durable layer the
+// paper's long-running cluster campaigns assume, §6). Every value
+// round-trips exactly: doubles are rendered with max_digits10 precision,
+// strings are percent-escaped so a serialized record is always one
+// whitespace-free-field, single-line entry, and string lists are
+// count-prefixed so empty items survive. The format is versioned via the
+// journal header (kCampaignFormatVersion); readers reject newer versions.
+#ifndef AFEX_CAMPAIGN_SERDE_H_
+#define AFEX_CAMPAIGN_SERDE_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "core/fault_space.h"
+#include "core/session.h"
+
+namespace afex {
+
+// Raised by the campaign layer on unreadable journals, malformed records,
+// and resume/config mismatches.
+class CampaignError : public std::runtime_error {
+ public:
+  explicit CampaignError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Bumped on any incompatible change to the serialized forms below.
+inline constexpr int kCampaignFormatVersion = 1;
+
+// Identity of a campaign: everything that must match for a journal to be
+// resumable — the same target, strategy, seed, fault space, execution
+// width, and feedback setting reproduce the same deterministic run.
+struct CampaignMeta {
+  int version = kCampaignFormatVersion;
+  std::string target;
+  std::string strategy;
+  uint64_t seed = 1;
+  uint64_t space_fingerprint = 0;
+  // Node managers executing the campaign (1 = serial ExplorationSession).
+  // Round-batched parallel execution is only deterministic for a fixed
+  // width, so jobs is part of the campaign identity.
+  size_t jobs = 1;
+  // Online redundancy feedback (paper §7.4) alters the fitness stream fed
+  // to the explorer, so it too is part of the identity.
+  bool feedback = false;
+  // Fingerprint of the warm-start knowledge seeded into the explorer
+  // before the first candidate (0 = cold start). A warm-started explorer
+  // issues a different candidate sequence, so resuming must re-apply the
+  // exact same seeds — see WarmStartFingerprint in store.h.
+  uint64_t warm_fingerprint = 0;
+};
+
+// Percent-escaping: bytes outside printable ASCII plus the format's
+// delimiters ('%', '|', '=', ':', ',' and space) become %XX. The escaped
+// form never contains whitespace.
+std::string EscapeField(std::string_view raw);
+bool UnescapeField(std::string_view field, std::string& out);
+
+// Doubles with an exact decimal round trip (printf %.17g).
+std::string FormatDouble(double v);
+bool ParseDoubleField(std::string_view s, double& out);
+
+// Fault <2,5,1> <-> "2,5,1"; the zero-dimension fault is "-".
+std::string SerializeFault(const Fault& fault);
+bool ParseFault(std::string_view s, Fault& out);
+
+// TestOutcome / SessionRecord / CampaignMeta <-> one line of space-
+// separated key=value fields. All parsers are strict: unknown keys,
+// missing keys, and malformed values fail.
+std::string SerializeOutcome(const TestOutcome& outcome);
+bool ParseOutcome(std::string_view s, TestOutcome& out);
+
+std::string SerializeRecord(const SessionRecord& record);
+bool ParseRecord(std::string_view s, SessionRecord& out);
+
+std::string SerializeMeta(const CampaignMeta& meta);
+bool ParseMeta(std::string_view s, CampaignMeta& out);
+
+// FNV-1a streaming hasher behind every campaign fingerprint (space and
+// warm-start knowledge). Each Mix appends the component followed by a
+// \x1f separator, so concatenation ambiguities cannot collide.
+class Fnv1aHasher {
+ public:
+  void Mix(std::string_view component) {
+    for (unsigned char c : component) {
+      Byte(c);
+    }
+    Byte(0x1f);
+  }
+  uint64_t value() const { return h_; }
+
+ private:
+  void Byte(unsigned char c) {
+    h_ ^= c;
+    h_ *= 0x100000001b3ULL;
+  }
+  uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+// Stable fingerprint of a fault space's structure: name, axis order, axis
+// names/kinds, label sets and interval bounds (FNV-1a over a canonical
+// rendering). Validity predicates are not hashable and are assumed to be a
+// function of the identity captured here. Campaigns refuse to resume onto
+// a space with a different fingerprint.
+uint64_t FaultSpaceFingerprint(const FaultSpace& space);
+
+// Extracts just the `v=` field of a serialized meta line, so readers can
+// report "version too new" even when a future version adds header fields
+// that the full ParseMeta would reject as unknown.
+bool PeekMetaVersion(std::string_view s, int& version);
+
+// 16-digit lowercase hex rendering of a fingerprint (for headers and
+// error messages).
+std::string FingerprintHex(uint64_t fingerprint);
+
+}  // namespace afex
+
+#endif  // AFEX_CAMPAIGN_SERDE_H_

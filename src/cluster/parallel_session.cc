@@ -1,5 +1,6 @@
 #include "cluster/parallel_session.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 namespace afex {
@@ -10,30 +11,78 @@ ParallelSession::ParallelSession(Explorer& explorer,
     : explorer_(&explorer),
       managers_(std::move(managers)),
       config_(std::move(config)),
-      pool_(managers_.size()) {}
+      pool_(managers_.size()),
+      clusterer_(config_.cluster_config) {}
 
-SessionResult ParallelSession::Run(const SearchTarget& target) {
-  SessionResult result;
-  RedundancyClusterer clusterer(config_.cluster_config);
+size_t ParallelSession::NextRoundSize(const SearchTarget& target) const {
+  size_t round = managers_.size();
+  if (target.max_tests > 0) {
+    if (result_.tests_executed >= target.max_tests) {
+      return 0;
+    }
+    round = std::min(round, target.max_tests - result_.tests_executed);
+  }
+  return round;
+}
+
+void ParallelSession::Process(const Fault& fault, TestOutcome outcome, bool notify_observer) {
+  ProcessSessionRecord(config_, *explorer_, clusterer_, result_, fault, std::move(outcome),
+                       notify_observer);
+}
+
+std::optional<size_t> ParallelSession::Replay(const std::vector<SessionRecord>& records,
+                                              const SearchTarget& target) {
+  size_t consumed = 0;
+  while (consumed < records.size()) {
+    size_t round = NextRoundSize(target);
+    if (round == 0 || records.size() - consumed < round) {
+      break;
+    }
+    // Mirror Run's call order: the whole round is issued before any result
+    // is reported (feedback-driven explorers depend on the interleaving).
+    for (size_t i = 0; i < round; ++i) {
+      auto candidate = explorer_->NextCandidate();
+      if (!candidate.has_value() || !(*candidate == records[consumed + i].fault)) {
+        return std::nullopt;
+      }
+    }
+    for (size_t i = 0; i < round; ++i) {
+      Process(records[consumed + i].fault, records[consumed + i].outcome,
+              /*notify_observer=*/false);
+    }
+    consumed += round;
+  }
+  return consumed;
+}
+
+const SessionResult& ParallelSession::Run(const SearchTarget& target) {
+  // Progress toward the stop criteria is re-derived from the records
+  // already present (journal replay) so a resumed campaign stops exactly
+  // where the uninterrupted one would have.
   size_t found_above_threshold = 0;
   size_t crashes_found = 0;
-  bool done = false;
+  for (const SessionRecord& r : result_.records) {
+    if (r.impact >= target.impact_threshold) {
+      ++found_above_threshold;
+    }
+    if (r.outcome.crashed) {
+      ++crashes_found;
+    }
+  }
+  bool done = (target.stop_after_found > 0 && found_above_threshold >= target.stop_after_found) ||
+              (target.stop_after_crashes > 0 && crashes_found >= target.stop_after_crashes);
 
   while (!done) {
     // Issue one candidate per manager (fewer on the last round).
-    size_t round = managers_.size();
-    if (target.max_tests > 0) {
-      size_t remaining = target.max_tests - result.tests_executed;
-      if (remaining == 0) {
-        break;
-      }
-      round = std::min(round, remaining);
+    size_t round = NextRoundSize(target);
+    if (round == 0) {
+      break;
     }
     std::vector<Fault> batch;
     for (size_t i = 0; i < round; ++i) {
       auto candidate = explorer_->NextCandidate();
       if (!candidate.has_value()) {
-        result.space_exhausted = true;
+        result_.space_exhausted = true;
         break;
       }
       batch.push_back(std::move(*candidate));
@@ -53,52 +102,29 @@ SessionResult ParallelSession::Run(const SearchTarget& target) {
 
     // Report results in manager order (deterministic for a fixed count).
     for (size_t i = 0; i < batch.size(); ++i) {
-      SessionRecord record;
-      record.fault = batch[i];
-      record.outcome = std::move(outcomes[i]);
-      record.impact = config_.policy.Score(record.outcome);
-      record.fitness = record.impact;
-      if (config_.environment_model != nullptr) {
-        record.fitness *= config_.environment_model->Relevance(explorer_->space(), record.fault);
+      Process(batch[i], std::move(outcomes[i]), /*notify_observer=*/true);
+      const SessionRecord& last = result_.records.back();
+      if (last.impact >= target.impact_threshold) {
+        ++found_above_threshold;
       }
-      if (config_.redundancy_feedback && record.outcome.fault_triggered) {
-        record.fitness *= (1.0 - clusterer.NearestSimilarity(record.outcome.injection_stack));
+      if (last.outcome.crashed) {
+        ++crashes_found;
       }
-      record.cluster_id = clusterer.Assign(record.outcome.fault_triggered
-                                               ? record.outcome.injection_stack
-                                               : std::vector<std::string>{});
-      explorer_->ReportResult(record.fault, record.fitness);
-
-      ++result.tests_executed;
-      if (record.outcome.test_failed) {
-        ++result.failed_tests;
-      }
-      if (record.outcome.crashed) {
-        ++result.crashes;
-      }
-      if (record.outcome.hung) {
-        ++result.hangs;
-      }
-      result.total_impact += record.impact;
-
-      if (target.stop_after_found > 0 && record.impact >= target.impact_threshold &&
-          ++found_above_threshold >= target.stop_after_found) {
+      if (target.stop_after_found > 0 && found_above_threshold >= target.stop_after_found) {
         done = true;
       }
-      if (target.stop_after_crashes > 0 && record.outcome.crashed &&
-          ++crashes_found >= target.stop_after_crashes) {
+      if (target.stop_after_crashes > 0 && crashes_found >= target.stop_after_crashes) {
         done = true;
       }
-      result.records.push_back(std::move(record));
     }
-    if (result.space_exhausted) {
+    if (result_.space_exhausted) {
       break;
     }
   }
 
   std::unordered_set<size_t> failure_clusters;
   std::unordered_set<size_t> crash_clusters;
-  for (const SessionRecord& r : result.records) {
+  for (const SessionRecord& r : result_.records) {
     if (!r.outcome.fault_triggered) {
       continue;
     }
@@ -109,10 +135,10 @@ SessionResult ParallelSession::Run(const SearchTarget& target) {
       crash_clusters.insert(r.cluster_id);
     }
   }
-  result.clusters = clusterer.cluster_count();
-  result.unique_failures = failure_clusters.size();
-  result.unique_crashes = crash_clusters.size();
-  return result;
+  result_.clusters = clusterer_.cluster_count();
+  result_.unique_failures = failure_clusters.size();
+  result_.unique_crashes = crash_clusters.size();
+  return result_;
 }
 
 }  // namespace afex

@@ -124,6 +124,14 @@ void FitnessExplorer::ReportResult(const Fault& fault, double fitness) {
   AgeAndRetire();
 }
 
+void FitnessExplorer::WarmStart(const Fault& fault, double fitness) {
+  if (AlreadyIssued(fault)) {
+    return;
+  }
+  issued_.insert(fault);
+  InsertIntoPriority(Entry{fault, fitness, fitness});
+}
+
 void FitnessExplorer::InsertIntoPriority(Entry entry) {
   if (priority_.size() < config_.priority_capacity) {
     priority_.push_back(std::move(entry));

@@ -66,6 +66,14 @@ class FitnessExplorer : public Explorer {
   void ReportResult(const Fault& fault, double fitness) override;
   size_t issued_count() const override { return issued_.size(); }
 
+  // Pre-seeds the search with knowledge from a prior campaign (paper §7,
+  // knowledge reuse): the fault enters Qpriority as if it had just executed
+  // with the given fitness, and is marked issued so this session never
+  // re-executes it. Call before the first NextCandidate(); seeded entries
+  // count toward the initial random batch, so a well-seeded search starts
+  // mutating the known high-fitness vicinities immediately.
+  void WarmStart(const Fault& fault, double fitness);
+
   // Normalized per-axis sensitivity (sums to 1); exposed for the structure
   // experiments (paper §7.3 inspects its convergence).
   std::vector<double> NormalizedSensitivity() const;

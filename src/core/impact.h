@@ -8,6 +8,7 @@
 #define AFEX_CORE_IMPACT_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,11 @@ struct TestOutcome {
   int exit_code = 0;
   // Basic blocks covered by this run that no earlier run had covered.
   size_t new_blocks_covered = 0;
+  // Ids of those newly covered blocks, sorted ascending. Harnesses that
+  // track ids fill this (then size() == new_blocks_covered); it is what
+  // lets a resumed campaign re-seed its coverage accumulator so "new" keeps
+  // meaning new-to-the-whole-campaign.
+  std::vector<uint32_t> new_block_ids;
   // Did the planned fault actually trigger during the run?
   bool fault_triggered = false;
   // Synthetic stack trace captured at the injection point (empty when the

@@ -19,63 +19,99 @@ bool ExplorationSession::Step() {
     result_.space_exhausted = true;
     return false;
   }
-
-  SessionRecord record;
-  record.fault = *candidate;
-  record.outcome = runner_(*candidate);
-  record.impact = config_.policy.Score(record.outcome);
-  record.fitness = record.impact;
-
-  if (config_.environment_model != nullptr) {
-    record.fitness *= config_.environment_model->Relevance(explorer_->space(), record.fault);
-  }
-  if (config_.redundancy_feedback && record.outcome.fault_triggered) {
-    // Paper §7.4: 100% stack similarity zeroes the fitness, 0% leaves it as
-    // is; linear in between.
-    double similarity = clusterer_.NearestSimilarity(record.outcome.injection_stack);
-    record.fitness *= (1.0 - similarity);
-  }
-  record.cluster_id = clusterer_.Assign(record.outcome.fault_triggered
-                                            ? record.outcome.injection_stack
-                                            : std::vector<std::string>{});
-
-  explorer_->ReportResult(record.fault, record.fitness);
-
-  ++result_.tests_executed;
-  if (record.outcome.test_failed) {
-    ++result_.failed_tests;
-  }
-  if (record.outcome.crashed) {
-    ++result_.crashes;
-  }
-  if (record.outcome.hung) {
-    ++result_.hangs;
-  }
-  result_.total_impact += record.impact;
-  result_.records.push_back(std::move(record));
+  TestOutcome outcome = runner_(*candidate);
+  Process(*candidate, std::move(outcome), /*notify_observer=*/true);
   return true;
 }
 
-SessionResult ExplorationSession::Run(const SearchTarget& target) {
+bool ExplorationSession::Replay(const SessionRecord& record) {
+  auto candidate = explorer_->NextCandidate();
+  if (!candidate.has_value() || !(*candidate == record.fault)) {
+    return false;
+  }
+  Process(record.fault, record.outcome, /*notify_observer=*/false);
+  return true;
+}
+
+void ProcessSessionRecord(const SessionConfig& config, Explorer& explorer,
+                          RedundancyClusterer& clusterer, SessionResult& result,
+                          const Fault& fault, TestOutcome outcome, bool notify_observer) {
+  SessionRecord record;
+  record.fault = fault;
+  record.outcome = std::move(outcome);
+  record.impact = config.policy.Score(record.outcome);
+  record.fitness = record.impact;
+
+  if (config.environment_model != nullptr) {
+    record.fitness *= config.environment_model->Relevance(explorer.space(), record.fault);
+  }
+  if (config.redundancy_feedback && record.outcome.fault_triggered) {
+    // Paper §7.4: 100% stack similarity zeroes the fitness, 0% leaves it as
+    // is; linear in between.
+    double similarity = clusterer.NearestSimilarity(record.outcome.injection_stack);
+    record.fitness *= (1.0 - similarity);
+  }
+  record.cluster_id = clusterer.Assign(record.outcome.fault_triggered
+                                           ? record.outcome.injection_stack
+                                           : std::vector<std::string>{});
+
+  explorer.ReportResult(record.fault, record.fitness);
+
+  ++result.tests_executed;
+  if (record.outcome.test_failed) {
+    ++result.failed_tests;
+  }
+  if (record.outcome.crashed) {
+    ++result.crashes;
+  }
+  if (record.outcome.hung) {
+    ++result.hangs;
+  }
+  result.total_impact += record.impact;
+  result.records.push_back(std::move(record));
+  if (notify_observer && config.record_observer) {
+    config.record_observer(result.records.back());
+  }
+}
+
+void ExplorationSession::Process(const Fault& fault, TestOutcome outcome, bool notify_observer) {
+  ProcessSessionRecord(config_, *explorer_, clusterer_, result_, fault, std::move(outcome),
+                       notify_observer);
+}
+
+const SessionResult& ExplorationSession::Run(const SearchTarget& target) {
+  // Progress toward the stop criteria is re-derived from the records
+  // already present so a session resumed from a journal stops exactly where
+  // the uninterrupted one would have.
   size_t found_above_threshold = 0;
   size_t crashes_found = 0;
+  for (const SessionRecord& r : result_.records) {
+    if (r.impact >= target.impact_threshold) {
+      ++found_above_threshold;
+    }
+    if (r.outcome.crashed) {
+      ++crashes_found;
+    }
+  }
   while (true) {
     if (target.max_tests > 0 && result_.tests_executed >= target.max_tests) {
+      break;
+    }
+    if (target.stop_after_found > 0 && found_above_threshold >= target.stop_after_found) {
+      break;
+    }
+    if (target.stop_after_crashes > 0 && crashes_found >= target.stop_after_crashes) {
       break;
     }
     if (!Step()) {
       break;
     }
     const SessionRecord& last = result_.records.back();
-    if (target.stop_after_found > 0 && last.impact >= target.impact_threshold) {
-      if (++found_above_threshold >= target.stop_after_found) {
-        break;
-      }
+    if (last.impact >= target.impact_threshold) {
+      ++found_above_threshold;
     }
-    if (target.stop_after_crashes > 0 && last.outcome.crashed) {
-      if (++crashes_found >= target.stop_after_crashes) {
-        break;
-      }
+    if (last.outcome.crashed) {
+      ++crashes_found;
     }
     if (result_.tests_executed % 1000 == 0) {
       AFEX_LOG(kInfo) << "session: " << result_.tests_executed << " tests, "

@@ -37,6 +37,15 @@ struct SearchTarget {
   size_t stop_after_crashes = 0;
 };
 
+// One executed test, in execution order.
+struct SessionRecord {
+  Fault fault;
+  TestOutcome outcome;
+  double impact = 0.0;   // ImpactPolicy score
+  double fitness = 0.0;  // impact after relevance / redundancy weighting
+  size_t cluster_id = 0;
+};
+
 struct SessionConfig {
   ImpactPolicy policy;
   // Online redundancy feedback (paper §7.4): scale fitness linearly by
@@ -46,15 +55,11 @@ struct SessionConfig {
   // Optional environment relevance model (paper §7.5); fitness is weighted
   // by the fault's relevance before being reported to the explorer.
   const EnvironmentModel* environment_model = nullptr;
-};
-
-// One executed test, in execution order.
-struct SessionRecord {
-  Fault fault;
-  TestOutcome outcome;
-  double impact = 0.0;   // ImpactPolicy score
-  double fitness = 0.0;  // impact after relevance / redundancy weighting
-  size_t cluster_id = 0;
+  // Called with every *executed* record, in report order, right after it is
+  // appended to the result. Replayed records (campaign resume) do not fire
+  // it. The campaign journal hooks in here; both the serial and the
+  // parallel session invoke it identically.
+  std::function<void(const SessionRecord&)> record_observer;
 };
 
 struct SessionResult {
@@ -73,24 +78,50 @@ struct SessionResult {
   bool space_exhausted = false;
 };
 
+// The one scoring pipeline both the serial and the parallel session (and
+// their journal-replay paths) run per executed test: score the outcome,
+// weigh fitness by relevance and redundancy, cluster, report to the
+// explorer, update the result counters, append the record, and — for live
+// executions only — fire the record observer. Keeping this shared is what
+// guarantees serial and cluster campaigns score identical outcomes
+// identically (and that replay reproduces both).
+void ProcessSessionRecord(const SessionConfig& config, Explorer& explorer,
+                          RedundancyClusterer& clusterer, SessionResult& result,
+                          const Fault& fault, TestOutcome outcome, bool notify_observer);
+
 class ExplorationSession {
  public:
   using Runner = std::function<TestOutcome(const Fault&)>;
 
   ExplorationSession(Explorer& explorer, Runner runner, SessionConfig config = {});
 
-  // Runs until the target is met or the space is exhausted.
-  SessionResult Run(const SearchTarget& target);
+  // Runs until the target is met or the space is exhausted. Returns the
+  // accumulated result (also available via result()).
+  const SessionResult& Run(const SearchTarget& target);
 
   // Runs exactly one more test; returns false when the space is exhausted.
   // Exposed so callers can interleave their own bookkeeping (the figure
   // benches sample the failure curve every iteration this way).
   bool Step();
 
+  // Rebuilds one step of session state from a journaled record without
+  // executing the runner: pulls the next candidate from the explorer,
+  // verifies it matches `record.fault`, and routes `record.outcome` through
+  // the normal scoring / clustering / feedback path. Impact and fitness are
+  // recomputed, so a resumed session is bit-identical to the uninterrupted
+  // one. Returns false when the explorer is exhausted or produces a
+  // different candidate — i.e. the journal was not written by a session
+  // with this explorer, seed, and config. Does not fire the record
+  // observer.
+  bool Replay(const SessionRecord& record);
+
   const SessionResult& result() const { return result_; }
   const RedundancyClusterer& clusterer() const { return clusterer_; }
 
  private:
+  // Shared tail of Step/Replay: score, weigh, cluster, report, record.
+  void Process(const Fault& fault, TestOutcome outcome, bool notify_observer);
+
   Explorer* explorer_;
   Runner runner_;
   SessionConfig config_;

@@ -12,6 +12,16 @@ size_t CoverageAccumulator::Merge(const CoverageSet& run) {
   return fresh;
 }
 
+size_t CoverageAccumulator::MergeIds(const std::vector<uint32_t>& blocks) {
+  size_t fresh = 0;
+  for (uint32_t b : blocks) {
+    if (covered_.insert(b).second) {
+      ++fresh;
+    }
+  }
+  return fresh;
+}
+
 size_t CoverageAccumulator::recovery_covered() const {
   if (recovery_base_ == 0) {
     return 0;

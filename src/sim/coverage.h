@@ -41,6 +41,10 @@ class CoverageAccumulator {
   // Merges a run's hits; returns how many blocks were new to the session.
   size_t Merge(const CoverageSet& run);
 
+  // Merges already-known block ids (campaign resume re-seeds a fresh
+  // accumulator from journaled per-run coverage); returns how many were new.
+  size_t MergeIds(const std::vector<uint32_t>& blocks);
+
   size_t covered() const { return covered_.size(); }
   uint32_t total_blocks() const { return total_blocks_; }
   double Fraction() const {

@@ -1,5 +1,7 @@
 #include "targets/harness.h"
 
+#include <algorithm>
+
 #include "injection/plan.h"
 #include "sim/env.h"
 #include "sim/process.h"
@@ -36,6 +38,12 @@ TestOutcome TargetHarness::RunFault(const FaultSpace& space, const Fault& fault)
   outcome.test_failed = run.exit_code != 0 || run.crashed || run.hung;
   outcome.fault_triggered = env.fault_triggered();
   outcome.injection_stack = env.injection_stack();
+  for (uint32_t b : env.coverage().blocks()) {
+    if (!coverage_.Contains(b)) {
+      outcome.new_block_ids.push_back(b);
+    }
+  }
+  std::sort(outcome.new_block_ids.begin(), outcome.new_block_ids.end());
   outcome.new_blocks_covered = coverage_.Merge(env.coverage());
   outcome.detail = run.termination_detail;
   ++tests_run_;

@@ -38,6 +38,11 @@ class TargetHarness {
   // baseline of Table 1); returns the number of failing tests.
   size_t RunSuiteWithoutInjection();
 
+  // Pre-seeds the session coverage with blocks covered before a campaign
+  // was interrupted (journaled TestOutcome::new_block_ids), so resumed runs
+  // keep counting "new blocks" relative to the whole campaign.
+  void SeedCoverage(const std::vector<uint32_t>& blocks) { coverage_.MergeIds(blocks); }
+
   const TargetSuite& suite() const { return suite_; }
   const CoverageAccumulator& coverage() const { return coverage_; }
   double CoverageFraction() const { return coverage_.Fraction(); }

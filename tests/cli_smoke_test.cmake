@@ -1,15 +1,23 @@
-# Runs afex_cli with a small budget and asserts (a) exit code 0 and
-# (b) a non-empty report on stdout. Invoked by CTest via cmake -P.
-execute_process(
-  COMMAND ${AFEX_CLI} --target=minidb --strategy=fitness --budget=50 --seed=1
-  OUTPUT_VARIABLE cli_stdout
-  ERROR_VARIABLE cli_stderr
-  RESULT_VARIABLE cli_status)
+# Runs afex_cli end to end and asserts (a) exit code 0 and (b) a non-empty
+# report on stdout. Then exercises the durable-campaign path: a first leg
+# journals part of the budget, a second leg resumes from the journal, and
+# the combined test count must equal the full budget — for both serial and
+# --jobs execution. Invoked by CTest via cmake -P.
 
-if(NOT cli_status EQUAL 0)
-  message(FATAL_ERROR
-    "afex_cli exited with status ${cli_status}\nstderr:\n${cli_stderr}")
-endif()
+function(run_cli out_var)
+  execute_process(
+    COMMAND ${AFEX_CLI} ${ARGN}
+    OUTPUT_VARIABLE cli_stdout
+    ERROR_VARIABLE cli_stderr
+    RESULT_VARIABLE cli_status)
+  if(NOT cli_status EQUAL 0)
+    message(FATAL_ERROR
+      "afex_cli ${ARGN} exited with status ${cli_status}\nstderr:\n${cli_stderr}")
+  endif()
+  set(${out_var} "${cli_stdout}" PARENT_SCOPE)
+endfunction()
+
+run_cli(cli_stdout --target=minidb --strategy=fitness --budget=50 --seed=1)
 
 string(STRIP "${cli_stdout}" cli_stdout_stripped)
 if(cli_stdout_stripped STREQUAL "")
@@ -18,3 +26,28 @@ endif()
 
 string(LENGTH "${cli_stdout_stripped}" report_len)
 message(STATUS "afex_cli report: ${report_len} bytes, exit 0")
+
+# --- kill-and-resume smoke, serial -----------------------------------------
+set(journal "${CMAKE_CURRENT_BINARY_DIR}/smoke_serial.afexj")
+file(REMOVE "${journal}")
+run_cli(first_leg --target=minidb --budget=20 --seed=1 "--journal=${journal}")
+run_cli(second_leg --target=minidb --budget=50 --seed=1 "--journal=${journal}" --resume)
+if(NOT second_leg MATCHES "resumed 20 journaled tests")
+  message(FATAL_ERROR "serial resume did not replay 20 tests:\n${second_leg}")
+endif()
+if(NOT second_leg MATCHES "executed 50 tests")
+  message(FATAL_ERROR
+    "serial resume did not reach the combined 50-test budget:\n${second_leg}")
+endif()
+message(STATUS "serial kill-and-resume: 20 journaled + 30 new = 50")
+
+# --- kill-and-resume smoke, cluster mode -----------------------------------
+set(journal "${CMAKE_CURRENT_BINARY_DIR}/smoke_jobs.afexj")
+file(REMOVE "${journal}")
+run_cli(first_leg --target=minidb --budget=20 --seed=1 --jobs=2 "--journal=${journal}")
+run_cli(second_leg --target=minidb --budget=50 --seed=1 --jobs=2 "--journal=${journal}" --resume)
+if(NOT second_leg MATCHES "executed 50 tests")
+  message(FATAL_ERROR
+    "--jobs resume did not reach the combined 50-test budget:\n${second_leg}")
+endif()
+message(STATUS "cluster kill-and-resume: combined budget reached under --jobs=2")

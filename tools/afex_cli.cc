@@ -4,35 +4,58 @@
 // fault-space description file, redundancy feedback, and an environment
 // model, and prints the ranked report.
 //
+// Campaigns can be made durable: --journal writes every executed test to an
+// append-only record log before the next test starts, --resume replays that
+// log to continue an interrupted campaign exactly where it stopped, and
+// --warm-start seeds a fresh fitness search with a prior campaign's results
+// (paper §7 knowledge reuse). --jobs runs the campaign through the
+// cluster-mode parallel session; --export dumps the full record set as CSV
+// or JSON for offline analysis.
+//
 // Usage:
 //   afex_cli --target=<coreutils|minidb|webserver|docstore-v0.8|docstore-v2.0>
-//            [--strategy=<fitness|random|exhaustive>] [--budget=N]
+//            [--strategy=<fitness|random|exhaustive>] [--budget=N] [--jobs=N]
 //            [--seed=N] [--max-call=N] [--space=FILE] [--feedback]
+//            [--journal=FILE] [--resume] [--warm-start=FILE]
+//            [--export=csv|json] [--export-file=FILE]
 //            [--crashes-only] [--top=N]
 //
 // Examples:
 //   afex_cli --target=webserver --budget=1000 --feedback
-//   afex_cli --target=minidb --strategy=random --budget=500
+//   afex_cli --target=minidb --strategy=random --budget=500 --jobs=8
 //   afex_cli --target=coreutils --space=my_space.afex --top=5
+//   afex_cli --target=minidb --budget=5000 --journal=run.afexj
+//   afex_cli --target=minidb --budget=5000 --journal=run.afexj --resume
+//   afex_cli --target=minidb --budget=500 --warm-start=run.afexj
+//   afex_cli --target=minidb --budget=500 --export=csv --export-file=run.csv
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "campaign/export.h"
+#include "campaign/store.h"
+#include "cluster/node_manager.h"
+#include "cluster/parallel_session.h"
 #include "core/exhaustive_explorer.h"
 #include "core/fitness_explorer.h"
 #include "core/random_explorer.h"
 #include "core/report.h"
 #include "core/session.h"
 #include "core/space_lang.h"
+#include "sim/coverage.h"
 #include "targets/coreutils/suite.h"
 #include "targets/docstore/suite.h"
 #include "targets/harness.h"
 #include "targets/minidb/suite.h"
 #include "targets/webserver/suite.h"
 #include "util/log.h"
+#include "util/strings.h"
 
 using namespace afex;
 
@@ -43,12 +66,18 @@ struct Options {
   std::string strategy = "fitness";
   std::string space_file;
   size_t budget = 500;
+  size_t jobs = 1;
   uint64_t seed = 1;
   size_t max_call = 0;  // 0 = per-target default
   bool feedback = false;
   bool crashes_only = false;
   size_t top = 10;
   bool verbose = false;
+  std::string journal;
+  bool resume = false;
+  std::string warm_start;
+  std::string export_format;
+  std::string export_file = "-";  // "-" = stdout
 };
 
 void PrintUsage() {
@@ -56,8 +85,10 @@ void PrintUsage() {
                "usage: afex_cli --target=<coreutils|minidb|webserver|docstore-v0.8|"
                "docstore-v2.0>\n"
                "                [--strategy=<fitness|random|exhaustive>] [--budget=N]\n"
-               "                [--seed=N] [--max-call=N] [--space=FILE] [--feedback]\n"
-               "                [--crashes-only] [--top=N] [--verbose]\n");
+               "                [--jobs=N] [--seed=N] [--max-call=N] [--space=FILE]\n"
+               "                [--feedback] [--journal=FILE] [--resume]\n"
+               "                [--warm-start=FILE] [--export=csv|json]\n"
+               "                [--export-file=FILE] [--crashes-only] [--top=N] [--verbose]\n");
 }
 
 bool ParseFlag(const std::string& arg, const std::string& name, std::string& out) {
@@ -69,10 +100,24 @@ bool ParseFlag(const std::string& arg, const std::string& name, std::string& out
   return true;
 }
 
+// Validated numeric flag parsing: rejects empty, non-numeric, negative, and
+// out-of-range values instead of silently reading them as 0 (the bare-atoll
+// failure mode). `min_value` expresses per-flag floors, e.g. --budget >= 1.
+bool ParseSizeFlag(const std::string& name, const std::string& value, uint64_t min_value,
+                   uint64_t& out) {
+  if (!ParseUint(value, out) || out < min_value) {
+    std::fprintf(stderr, "--%s expects an integer >= %llu, got '%s'\n", name.c_str(),
+                 static_cast<unsigned long long>(min_value), value.c_str());
+    return false;
+  }
+  return true;
+}
+
 bool ParseOptions(int argc, char** argv, Options& options) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     std::string value;
+    uint64_t number = 0;
     if (ParseFlag(arg, "target", value)) {
       options.target = value;
     } else if (ParseFlag(arg, "strategy", value)) {
@@ -81,20 +126,41 @@ bool ParseOptions(int argc, char** argv, Options& options) {
       options.space_file = value;
     } else if (ParseFlag(arg, "budget", value)) {
       // SearchTarget treats max_tests == 0 as "no constraint"; from the CLI
-      // that would loop forever, so insist on an explicit positive budget
-      // (this also catches empty and negative values).
-      long long budget = std::atoll(value.c_str());
-      if (budget <= 0) {
-        std::fprintf(stderr, "--budget must be >= 1\n");
+      // that would loop forever, so insist on an explicit positive budget.
+      if (!ParseSizeFlag("budget", value, 1, number)) {
         return false;
       }
-      options.budget = static_cast<size_t>(budget);
+      options.budget = static_cast<size_t>(number);
+    } else if (ParseFlag(arg, "jobs", value)) {
+      if (!ParseSizeFlag("jobs", value, 1, number)) {
+        return false;
+      }
+      options.jobs = static_cast<size_t>(number);
     } else if (ParseFlag(arg, "seed", value)) {
-      options.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+      if (!ParseSizeFlag("seed", value, 0, number)) {
+        return false;
+      }
+      options.seed = number;
     } else if (ParseFlag(arg, "max-call", value)) {
-      options.max_call = static_cast<size_t>(std::atoll(value.c_str()));
+      if (!ParseSizeFlag("max-call", value, 0, number)) {
+        return false;
+      }
+      options.max_call = static_cast<size_t>(number);
     } else if (ParseFlag(arg, "top", value)) {
-      options.top = static_cast<size_t>(std::atoll(value.c_str()));
+      if (!ParseSizeFlag("top", value, 0, number)) {
+        return false;
+      }
+      options.top = static_cast<size_t>(number);
+    } else if (ParseFlag(arg, "journal", value)) {
+      options.journal = value;
+    } else if (ParseFlag(arg, "warm-start", value)) {
+      options.warm_start = value;
+    } else if (ParseFlag(arg, "export", value)) {
+      options.export_format = value;
+    } else if (ParseFlag(arg, "export-file", value)) {
+      options.export_file = value;
+    } else if (arg == "--resume") {
+      options.resume = true;
     } else if (arg == "--feedback") {
       options.feedback = true;
     } else if (arg == "--crashes-only") {
@@ -107,6 +173,24 @@ bool ParseOptions(int argc, char** argv, Options& options) {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
     }
+  }
+  if (options.resume && options.journal.empty()) {
+    std::fprintf(stderr, "--resume requires --journal=FILE\n");
+    return false;
+  }
+  if (!options.warm_start.empty() && options.strategy != "fitness") {
+    std::fprintf(stderr, "--warm-start only applies to --strategy=fitness\n");
+    return false;
+  }
+  if (!options.export_format.empty() && options.export_format != "csv" &&
+      options.export_format != "json") {
+    std::fprintf(stderr, "--export expects 'csv' or 'json', got '%s'\n",
+                 options.export_format.c_str());
+    return false;
+  }
+  if (options.export_file != "-" && options.export_format.empty()) {
+    std::fprintf(stderr, "--export-file requires --export=csv|json\n");
+    return false;
   }
   return true;
 }
@@ -147,6 +231,22 @@ bool MakeTarget(const std::string& name, TargetSuite& suite, size_t& default_max
   return false;
 }
 
+std::unique_ptr<Explorer> MakeExplorer(const Options& options, const FaultSpace& space) {
+  if (options.strategy == "fitness") {
+    FitnessExplorerConfig config;
+    config.seed = options.seed;
+    return std::make_unique<FitnessExplorer>(space, config);
+  }
+  if (options.strategy == "random") {
+    return std::make_unique<RandomExplorer>(space, options.seed);
+  }
+  if (options.strategy == "exhaustive") {
+    return std::make_unique<ExhaustiveExplorer>(space);
+  }
+  std::fprintf(stderr, "unknown strategy '%s'\n", options.strategy.c_str());
+  return nullptr;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -163,7 +263,8 @@ int main(int argc, char** argv) {
   if (!MakeTarget(options.target, suite, default_max_call, zero_call)) {
     return 2;
   }
-  TargetHarness harness(suite, options.seed ^ 0x5eed);
+  const uint64_t harness_seed = options.seed ^ 0x5eed;
+  TargetHarness harness(suite, harness_seed);
 
   // Fault space: from the description file if given, else the canonical
   // <test, function, call> space of the target.
@@ -193,40 +294,162 @@ int main(int argc, char** argv) {
     space = harness.MakeSpace(options.max_call > 0 ? options.max_call : default_max_call,
                               zero_call);
   }
-  std::printf("target %s, space '%s' with %zu points, strategy %s, budget %zu, seed %llu\n",
+  std::printf("target %s, space '%s' with %zu points, strategy %s, budget %zu, seed %llu"
+              ", jobs %zu\n",
               options.target.c_str(), space.name().c_str(), space.TotalPoints(),
               options.strategy.c_str(), options.budget,
-              static_cast<unsigned long long>(options.seed));
+              static_cast<unsigned long long>(options.seed), options.jobs);
 
-  std::unique_ptr<Explorer> explorer;
-  if (options.strategy == "fitness") {
-    FitnessExplorerConfig config;
-    config.seed = options.seed;
-    explorer = std::make_unique<FitnessExplorer>(space, config);
-  } else if (options.strategy == "random") {
-    explorer = std::make_unique<RandomExplorer>(space, options.seed);
-  } else if (options.strategy == "exhaustive") {
-    explorer = std::make_unique<ExhaustiveExplorer>(space);
-  } else {
-    std::fprintf(stderr, "unknown strategy '%s'\n", options.strategy.c_str());
+  std::unique_ptr<Explorer> explorer = MakeExplorer(options, space);
+  if (explorer == nullptr) {
     return 2;
   }
 
-  SessionConfig session_config;
-  session_config.redundancy_feedback = options.feedback;
-  ExplorationSession session(*explorer, harness.MakeRunner(space), session_config);
-  SessionResult result = session.Run({.max_tests = options.budget});
+  CampaignMeta meta;
+  meta.target = options.target;
+  meta.strategy = options.strategy;
+  meta.seed = options.seed;
+  meta.space_fingerprint = FaultSpaceFingerprint(space);
+  meta.jobs = options.jobs;
+  meta.feedback = options.feedback;
 
-  std::printf("\nexecuted %zu tests: %zu failed, %zu crashed, %zu hung; "
-              "%zu behaviour clusters (%zu failure, %zu crash)\n",
-              result.tests_executed, result.failed_tests, result.crashes, result.hangs,
-              result.clusters, result.unique_failures, result.unique_crashes);
-  std::printf("coverage %.1f%% (recovery %.1f%%)\n", 100 * harness.CoverageFraction(),
-              100 * harness.RecoveryCoverageFraction());
+  const SessionResult* result = nullptr;  // owned by whichever session ran
+  const RedundancyClusterer* clusterer = nullptr;
+  const SearchTarget search_target{.max_tests = options.budget};
+
+  // Declared at function scope: the report section below reads the
+  // session's clusterer, and the sessions hold references to the store
+  // (observer) and the node harnesses (runner hooks).
+  std::optional<CampaignStore> store;
+  std::optional<ExplorationSession> serial_session;
+  std::optional<ParallelSession> parallel_session;
+  std::vector<std::unique_ptr<TargetHarness>> node_harnesses;
+
+  try {
+    // Warm start (paper §7 knowledge reuse): seed the fitness search with a
+    // prior campaign's measured fitness before the first candidate. The
+    // seeded knowledge is part of the campaign identity — a warm-started
+    // journal only resumes with the same --warm-start file, since the seeds
+    // determine the candidate sequence being replayed.
+    if (!options.warm_start.empty()) {
+      CampaignStore prior = CampaignStore::Open(options.warm_start);
+      meta.warm_fingerprint = WarmStartFingerprint(space, prior.records());
+      size_t seeded =
+          WarmStartFromRecords(static_cast<FitnessExplorer&>(*explorer), prior.records());
+      std::printf("warm-start: seeded %zu of %zu prior results from %s\n", seeded,
+                  prior.records().size(), options.warm_start.c_str());
+    }
+
+    if (!options.journal.empty()) {
+      store = options.resume ? CampaignStore::Open(options.journal, meta)
+                             : CampaignStore::Create(options.journal, meta);
+    }
+    if (options.resume && store->records().size() > options.budget) {
+      // A smaller budget would truncate completed results out of the
+      // journal (and, serially, over-run the requested budget on replay).
+      std::fprintf(stderr,
+                   "--budget=%zu is smaller than the %zu tests already journaled in '%s'; "
+                   "resume with --budget >= %zu\n",
+                   options.budget, store->records().size(), options.journal.c_str(),
+                   store->records().size());
+      return 2;
+    }
+
+    SessionConfig session_config;
+    session_config.redundancy_feedback = options.feedback;
+    if (store.has_value()) {
+      session_config.record_observer = store->MakeObserver();
+    }
+
+    auto print_replay_mismatch = [&options] {
+      std::fprintf(stderr,
+                   "journal '%s' does not replay against this configuration "
+                   "(was it written by a different build?)\n",
+                   options.journal.c_str());
+    };
+
+    if (options.jobs == 1) {
+      // Serial campaign.
+      auto& session = serial_session;
+      session.emplace(*explorer, harness.MakeRunner(space), session_config);
+      if (options.resume) {
+        for (const SessionRecord& record : store->records()) {
+          if (!session->Replay(record)) {
+            print_replay_mismatch();
+            return 2;
+          }
+        }
+        store->CommitResume(store->records().size());
+        harness.SeedCoverage(store->CoverageIdsForNode(0));
+        std::printf("resumed %zu journaled tests from %s\n", store->records().size(),
+                    options.journal.c_str());
+      }
+      result = &session->Run(search_target);
+      clusterer = &session->clusterer();
+    } else {
+      // Cluster campaign: one sim-backed node manager (with its own
+      // harness, i.e. its own coverage accumulator) per job, as on a real
+      // cluster where every machine observes coverage locally.
+      std::vector<std::unique_ptr<NodeManager>> managers;
+      for (size_t i = 0; i < options.jobs; ++i) {
+        node_harnesses.push_back(std::make_unique<TargetHarness>(suite, harness_seed));
+        TargetHarness* h = node_harnesses[i].get();
+        managers.push_back(std::make_unique<NodeManager>(
+            "node" + std::to_string(i),
+            NodeManager::Hooks{.test = [h, &space](const Fault& f) {
+              return h->RunFault(space, f);
+            }}));
+      }
+      auto& session = parallel_session;
+      session.emplace(*explorer, std::move(managers), session_config);
+      if (options.resume) {
+        std::optional<size_t> consumed = session->Replay(store->records(), search_target);
+        if (!consumed.has_value()) {
+          print_replay_mismatch();
+          return 2;
+        }
+        size_t dropped = store->records().size() - *consumed;
+        store->CommitResume(*consumed);
+        for (size_t i = 0; i < options.jobs; ++i) {
+          node_harnesses[i]->SeedCoverage(store->CoverageIdsForNode(i));
+        }
+        std::printf("resumed %zu journaled tests from %s", *consumed, options.journal.c_str());
+        if (dropped > 0) {
+          std::printf(" (%zu from an incomplete round will re-execute)", dropped);
+        }
+        std::printf("\n");
+      }
+      result = &session->Run(search_target);
+      clusterer = &session->clusterer();
+    }
+
+    std::printf("\nexecuted %zu tests: %zu failed, %zu crashed, %zu hung; "
+                "%zu behaviour clusters (%zu failure, %zu crash)\n",
+                result->tests_executed, result->failed_tests, result->crashes, result->hangs,
+                result->clusters, result->unique_failures, result->unique_crashes);
+    if (options.jobs == 1) {
+      std::printf("coverage %.1f%% (recovery %.1f%%)\n", 100 * harness.CoverageFraction(),
+                  100 * harness.RecoveryCoverageFraction());
+    } else {
+      // Aggregate coverage across nodes: every covered block was new to its
+      // node exactly once, so the union of per-record new-block ids is the
+      // union of all blocks covered anywhere on the cluster.
+      CoverageAccumulator aggregate(suite.total_blocks, suite.recovery_base);
+      for (const SessionRecord& r : result->records) {
+        aggregate.MergeIds(r.outcome.new_block_ids);
+      }
+      std::printf("coverage %.1f%% (recovery %.1f%%) across %zu nodes\n",
+                  100 * aggregate.Fraction(), 100 * aggregate.RecoveryFraction(), options.jobs);
+    }
+  } catch (const CampaignError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
 
   ReportBuilder builder(space, options.strategy);
-  Report report = builder.Build(result, session.clusterer(),
+  Report report = builder.Build(*result, *clusterer,
                                 /*min_impact=*/options.crashes_only ? 20.0 : 10.0);
+  std::printf("\n%s", builder.Render(report).c_str());
   std::printf("\ntop findings (one representative per behaviour cluster):\n");
   size_t shown = 0;
   for (const Finding& f : report.representatives) {
@@ -240,6 +463,33 @@ int main(int argc, char** argv) {
   }
   if (shown == 0) {
     std::printf("  (none above the impact threshold)\n");
+  }
+
+  if (!options.export_format.empty()) {
+    std::ofstream file;
+    bool to_stdout = options.export_file == "-";
+    if (!to_stdout) {
+      file.open(options.export_file);
+      if (!file) {
+        std::fprintf(stderr, "cannot open export file '%s'\n", options.export_file.c_str());
+        return 2;
+      }
+    }
+    std::ostream& out = to_stdout ? std::cout : file;
+    if (options.export_format == "csv") {
+      ExportCsv(space, *result, out);
+    } else {
+      ExportJson(meta, space, *result, out);
+    }
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "error writing export to '%s'\n", options.export_file.c_str());
+      return 2;
+    }
+    if (!to_stdout) {
+      std::printf("\nexported %s to %s\n", options.export_format.c_str(),
+                  options.export_file.c_str());
+    }
   }
   return 0;
 }
