@@ -1,6 +1,7 @@
 #include "campaign/journal.h"
 
 #include <cstdio>
+#include <iterator>
 
 #include "campaign/serde.h"
 
@@ -11,7 +12,25 @@ Journal::LoadResult Journal::Load(const std::string& path) {
   if (!in) {
     throw CampaignError("cannot open journal '" + path + "'");
   }
-  std::string contents((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  // Bulk-read through the stream buffer into a pre-sized string — large
+  // journals arrive in a handful of block reads instead of one
+  // istreambuf_iterator character at a time.
+  std::string contents;
+  in.seekg(0, std::ios::end);
+  std::streamoff size = in.tellg();
+  if (size > 0) {
+    in.seekg(0, std::ios::beg);
+    contents.resize(static_cast<size_t>(size));
+    in.read(contents.data(), size);
+    contents.resize(static_cast<size_t>(in.gcount()));
+  } else {
+    // Non-seekable source (FIFO, process substitution): tellg() fails, so
+    // fall back to a plain streamed read.
+    in.clear();
+    in.seekg(0, std::ios::beg);
+    in.clear();
+    contents.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
   if (in.bad()) {
     throw CampaignError("error reading journal '" + path + "'");
   }
@@ -27,12 +46,13 @@ Journal::LoadResult Journal::Load(const std::string& path) {
       result.tail_torn = true;
       break;
     }
-    std::string line = contents.substr(start, end - start);
+    // Construct each line in place from the buffer — no intermediate
+    // substr temporary per record.
     if (!have_header) {
-      result.header = std::move(line);
+      result.header.assign(contents, start, end - start);
       have_header = true;
     } else {
-      result.records.push_back(std::move(line));
+      result.records.emplace_back(contents, start, end - start);
     }
     start = end + 1;
   }

@@ -37,12 +37,35 @@ std::optional<Fault> FitnessExplorer::NextCandidate() {
   // lexicographically for any unvisited valid point before giving up; this
   // keeps the guarantee that coverage grows with budget (paper §3: AFEX
   // "does not discard any tests, rather only prioritizes their execution").
-  for (auto f = space_->FirstValid(); f.has_value(); f = space_->NextValid(*f)) {
+  return ScanForUnissued();
+}
+
+std::optional<Fault> FitnessExplorer::ScanForUnissued() {
+  if (config_.reference_algorithms) {
+    for (auto f = space_->FirstValid(); f.has_value(); f = space_->NextValid(*f)) {
+      if (!AlreadyIssued(*f)) {
+        issued_.insert(*f);
+        return f;
+      }
+    }
+    return std::nullopt;
+  }
+  // Points are never un-issued, so everything the cursor has passed stays
+  // ineligible forever and the scan can resume where it last stopped; the
+  // whole campaign pays for at most one walk of the space in total.
+  if (scan_exhausted_) {
+    return std::nullopt;
+  }
+  for (auto f = scan_cursor_.has_value() ? space_->NextValid(*scan_cursor_)
+                                         : space_->FirstValid();
+       f.has_value(); f = space_->NextValid(*f)) {
+    scan_cursor_ = *f;
     if (!AlreadyIssued(*f)) {
       issued_.insert(*f);
       return f;
     }
   }
+  scan_exhausted_ = true;
   return std::nullopt;
 }
 
@@ -59,20 +82,32 @@ std::optional<Fault> FitnessExplorer::SampleRandomNovel() {
 
 std::optional<Fault> FitnessExplorer::GenerateMutation() {
   assert(!priority_.empty());
+  if (!config_.reference_algorithms) {
+    // The pool only changes when a result is reported, never inside the
+    // retry loop, so the selection distribution is loop-invariant: rebuild
+    // it (at most) once here instead of once per attempt.
+    RebuildSelectionIfDirty();
+  }
   for (int attempt = 0; attempt < config_.max_generation_attempts; ++attempt) {
     // Lines 1-4: sample a parent proportionally to fitness, with an epsilon
     // floor so low-fitness tests keep a non-zero chance.
-    double max_fitness = 0.0;
-    for (const Entry& e : priority_) {
-      max_fitness = std::max(max_fitness, e.fitness);
+    size_t parent_index;
+    if (config_.reference_algorithms) {
+      double max_fitness = 0.0;
+      for (const Entry& e : priority_) {
+        max_fitness = std::max(max_fitness, e.fitness);
+      }
+      std::vector<double> weights;
+      weights.reserve(priority_.size());
+      double floor = config_.min_selection_weight * std::max(max_fitness, 1.0);
+      for (const Entry& e : priority_) {
+        weights.push_back(e.fitness + floor);
+      }
+      parent_index = rng_.SampleWeighted(weights);
+    } else {
+      parent_index = rng_.SampleWeightedPrefix(selection_prefix_);
     }
-    std::vector<double> weights;
-    weights.reserve(priority_.size());
-    double floor = config_.min_selection_weight * std::max(max_fitness, 1.0);
-    for (const Entry& e : priority_) {
-      weights.push_back(e.fitness + floor);
-    }
-    const Entry& parent = priority_[rng_.SampleWeighted(weights)];
+    const Entry& parent = priority_[parent_index];
 
     // Lines 5-6: choose the attribute to mutate proportionally to the
     // normalized sensitivity vector.
@@ -122,6 +157,7 @@ void FitnessExplorer::ReportResult(const Fault& fault, double fitness) {
 
   InsertIntoPriority(Entry{fault, fitness, fitness});
   AgeAndRetire();
+  selection_dirty_ = true;
 }
 
 void FitnessExplorer::WarmStart(const Fault& fault, double fitness) {
@@ -130,9 +166,15 @@ void FitnessExplorer::WarmStart(const Fault& fault, double fitness) {
   }
   issued_.insert(fault);
   InsertIntoPriority(Entry{fault, fitness, fitness});
+  selection_dirty_ = true;
 }
 
 void FitnessExplorer::InsertIntoPriority(Entry entry) {
+  if (!config_.reference_algorithms) {
+    // Store normalized by the current decay scale, so this entry ages in
+    // lockstep with the pool through the one global scalar.
+    entry.fitness /= decay_scale_;
+  }
   if (priority_.size() < config_.priority_capacity) {
     priority_.push_back(std::move(entry));
     return;
@@ -141,24 +183,58 @@ void FitnessExplorer::InsertIntoPriority(Entry entry) {
   // fitness, so the queue's average fitness rises over time (paper §3).
   double max_fitness = 0.0;
   for (const Entry& e : priority_) {
-    max_fitness = std::max(max_fitness, e.fitness);
+    max_fitness = std::max(max_fitness, EffectiveFitness(e));
   }
   std::vector<double> weights;
   weights.reserve(priority_.size());
   for (const Entry& e : priority_) {
-    weights.push_back(max_fitness - e.fitness + 1.0);
+    weights.push_back(max_fitness - EffectiveFitness(e) + 1.0);
   }
   size_t victim = rng_.SampleWeighted(weights);
   priority_[victim] = std::move(entry);
 }
 
 void FitnessExplorer::AgeAndRetire() {
-  for (Entry& e : priority_) {
-    e.fitness *= config_.aging_decay;
+  if (config_.reference_algorithms) {
+    for (Entry& e : priority_) {
+      e.fitness *= config_.aging_decay;
+    }
+    std::erase_if(priority_, [this](const Entry& e) {
+      return e.impact > 0.0 && e.fitness < config_.retirement_fraction * e.impact;
+    });
+    return;
+  }
+  // Lazy aging: one scalar multiply ages the whole pool.
+  decay_scale_ *= config_.aging_decay;
+  if (decay_scale_ < 1e-150) {
+    // Fold the scale back into the entries before it can underflow (only
+    // reachable on campaigns of tens of thousands of results).
+    for (Entry& e : priority_) {
+      e.fitness *= decay_scale_;
+    }
+    decay_scale_ = 1.0;
   }
   std::erase_if(priority_, [this](const Entry& e) {
-    return e.impact > 0.0 && e.fitness < config_.retirement_fraction * e.impact;
+    return e.impact > 0.0 && e.fitness * decay_scale_ < config_.retirement_fraction * e.impact;
   });
+}
+
+void FitnessExplorer::RebuildSelectionIfDirty() {
+  if (!selection_dirty_) {
+    return;
+  }
+  double max_fitness = 0.0;
+  for (const Entry& e : priority_) {
+    max_fitness = std::max(max_fitness, EffectiveFitness(e));
+  }
+  double floor = config_.min_selection_weight * std::max(max_fitness, 1.0);
+  selection_prefix_.resize(priority_.size());
+  double total = 0.0;
+  for (size_t i = 0; i < priority_.size(); ++i) {
+    total += EffectiveFitness(priority_[i]) + floor;
+    selection_prefix_[i] = total;
+  }
+  selection_dirty_ = false;
 }
 
 std::vector<double> FitnessExplorer::NormalizedSensitivity() const {

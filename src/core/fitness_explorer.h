@@ -6,6 +6,21 @@
 // axis) — is mutated by a discrete Gaussian centered on the parent's value;
 // duplicates are suppressed via a history set; queued fitness ages so the
 // search cannot camp forever on one vicinity.
+//
+// Because candidate generation runs once per executed test, the default
+// implementation keeps its per-test cost near-constant amortized: the
+// parent-selection distribution is cached as a prefix-sum array (rebuilt at
+// most once per reported result, sampled with one RNG draw plus a binary
+// search — not rebuilt per retry attempt), aging is a single global decay
+// scalar instead of an O(pool) sweep, and the last-resort lexicographic
+// scan for unissued points resumes from a cached cursor instead of
+// re-walking the space from the origin on every call. The original
+// implementation is retained behind
+// FitnessExplorerConfig::reference_algorithms; both consume the RNG stream
+// identically by construction, and the floating-point reformulations (lazy
+// decay, prefix-sum selection) are kept on the same side of every
+// comparison in practice — the regression suite and the perf benchmark run
+// whole campaigns in both modes and assert identical record sequences.
 #ifndef AFEX_CORE_FITNESS_EXPLORER_H_
 #define AFEX_CORE_FITNESS_EXPLORER_H_
 
@@ -55,6 +70,13 @@ struct FitnessExplorerConfig {
   // Attempts at producing a novel, valid mutation before falling back to a
   // random sample.
   int max_generation_attempts = 64;
+
+  // Run the original algorithms: per-attempt weight/max-fitness rebuilds in
+  // the mutation retry loop, eager O(pool) aging per result, and
+  // from-scratch lexicographic fallback scans. Kept for the equivalence
+  // regression tests and as the perf-bench baseline; the candidate
+  // sequence is identical to the optimized path for the same seed.
+  bool reference_algorithms = false;
 };
 
 class FitnessExplorer : public Explorer {
@@ -84,14 +106,25 @@ class FitnessExplorer : public Explorer {
  private:
   struct Entry {
     Fault fault;
-    double fitness;  // aged
-    double impact;   // as reported, never aged
+    // Reference mode: the aged fitness, multiplied down in place per
+    // result. Optimized mode: fitness normalized by the decay scale at
+    // insert time, so the current aged value is fitness * decay_scale_ and
+    // aging the whole pool is one scalar multiply.
+    double fitness;
+    double impact;  // as reported, never aged
   };
 
   std::optional<Fault> SampleRandomNovel();
   std::optional<Fault> GenerateMutation();
+  // Last-resort lexicographic sweep for any unissued valid point.
+  std::optional<Fault> ScanForUnissued();
   void InsertIntoPriority(Entry entry);
   void AgeAndRetire();
+  // Aged fitness of a pool entry, whichever representation is active.
+  double EffectiveFitness(const Entry& e) const {
+    return config_.reference_algorithms ? e.fitness : e.fitness * decay_scale_;
+  }
+  void RebuildSelectionIfDirty();
   bool AlreadyIssued(const Fault& f) const { return issued_.contains(f); }
 
   const FaultSpace* space_;
@@ -107,6 +140,21 @@ class FitnessExplorer : public Explorer {
   std::vector<std::deque<double>> axis_history_;
   std::vector<double> sensitivity_;
   size_t exhausted_probes_ = 0;  // consecutive failures to find novelty
+
+  // ---- optimized-path state (unused under reference_algorithms) ----
+  // Global aging scalar: aged fitness of entry e = e.fitness * decay_scale_.
+  // Renormalized back to 1.0 before it can underflow on long campaigns.
+  double decay_scale_ = 1.0;
+  // Inclusive prefix sums of the parent-selection weights (aged fitness +
+  // epsilon floor), rebuilt lazily at most once per reported result and
+  // sampled via Rng::SampleWeightedPrefix.
+  std::vector<double> selection_prefix_;
+  bool selection_dirty_ = true;
+  // Resume point of the lexicographic fallback scan. Issued points never
+  // become unissued, so everything before the cursor stays skippable and
+  // the whole-campaign scan cost is one walk of the space, not one per call.
+  std::optional<Fault> scan_cursor_;
+  bool scan_exhausted_ = false;
 };
 
 }  // namespace afex

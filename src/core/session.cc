@@ -45,15 +45,20 @@ void ProcessSessionRecord(const SessionConfig& config, Explorer& explorer,
   if (config.environment_model != nullptr) {
     record.fitness *= config.environment_model->Relevance(explorer.space(), record.fault);
   }
-  if (config.redundancy_feedback && record.outcome.fault_triggered) {
+  // Feedback weighting and cluster assignment share one sweep over the
+  // cluster representatives (the observation measures similarity against
+  // the representatives as they stood before this stack was assigned).
+  static const std::vector<std::string> kNoStack;
+  const bool want_similarity = config.redundancy_feedback && record.outcome.fault_triggered;
+  ClusterObservation observation = clusterer.Observe(
+      record.outcome.fault_triggered ? record.outcome.injection_stack : kNoStack,
+      want_similarity);
+  if (want_similarity) {
     // Paper §7.4: 100% stack similarity zeroes the fitness, 0% leaves it as
     // is; linear in between.
-    double similarity = clusterer.NearestSimilarity(record.outcome.injection_stack);
-    record.fitness *= (1.0 - similarity);
+    record.fitness *= (1.0 - observation.similarity);
   }
-  record.cluster_id = clusterer.Assign(record.outcome.fault_triggered
-                                           ? record.outcome.injection_stack
-                                           : std::vector<std::string>{});
+  record.cluster_id = observation.cluster_id;
 
   explorer.ReportResult(record.fault, record.fitness);
 

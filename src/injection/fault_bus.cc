@@ -11,14 +11,13 @@ void FaultBus::Reset() {
 }
 
 const FaultSpec* FaultBus::OnCall(std::string_view function) {
-  auto it = counts_.find(std::string(function));
-  size_t count;
+  // Transparent lookup: no std::string is built on the (very hot) path of
+  // an already-counted function.
+  auto it = counts_.find(function);
   if (it == counts_.end()) {
-    counts_.emplace(std::string(function), 1);
-    count = 1;
-  } else {
-    count = ++it->second;
+    it = counts_.emplace(std::string(function), 0).first;
   }
+  size_t count = ++it->second;
   for (const FaultSpec& spec : specs_) {
     if (spec.function == function && count >= static_cast<size_t>(spec.call_lo) &&
         count <= static_cast<size_t>(spec.call_hi)) {
@@ -29,7 +28,7 @@ const FaultSpec* FaultBus::OnCall(std::string_view function) {
   return nullptr;
 }
 
-size_t FaultBus::CallCount(const std::string& function) const {
+size_t FaultBus::CallCount(std::string_view function) const {
   auto it = counts_.find(function);
   return it == counts_.end() ? 0 : it->second;
 }

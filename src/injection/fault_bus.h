@@ -34,6 +34,11 @@ struct FaultSpec {
 
 class FaultBus {
  public:
+  // Per-function call counters. Ordered (the ltrace-style profile is
+  // iterated for reports) with a transparent comparator so the per-call
+  // lookup in OnCall never materializes a std::string.
+  using CountMap = std::map<std::string, size_t, std::less<>>;
+
   // Arms a fault. Counters are NOT reset; arm before running the target.
   void Arm(FaultSpec spec);
 
@@ -46,8 +51,8 @@ class FaultBus {
   const FaultSpec* OnCall(std::string_view function);
 
   // Calls observed so far, per function (the ltrace-style profile).
-  size_t CallCount(const std::string& function) const;
-  const std::map<std::string, size_t>& call_counts() const { return counts_; }
+  size_t CallCount(std::string_view function) const;
+  const CountMap& call_counts() const { return counts_; }
 
   // Injection bookkeeping.
   bool triggered() const { return trigger_count_ > 0; }
@@ -57,7 +62,7 @@ class FaultBus {
 
  private:
   std::vector<FaultSpec> specs_;
-  std::map<std::string, size_t> counts_;
+  CountMap counts_;
   size_t trigger_count_ = 0;
 };
 

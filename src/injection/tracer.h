@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "injection/fault_bus.h"
+
 namespace afex {
 
 class SimEnv;
@@ -17,7 +19,7 @@ class SimEnv;
 struct TraceResult {
   size_t test_id = 0;
   int exit_code = 0;
-  std::map<std::string, size_t> call_counts;
+  FaultBus::CountMap call_counts;
 };
 
 class Tracer {

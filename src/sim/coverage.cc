@@ -2,10 +2,31 @@
 
 namespace afex {
 
+bool CoverageAccumulator::Add(uint32_t block) {
+  if (block >= kBitmapLimit) {
+    if (!overflow_.insert(block).second) {
+      return false;
+    }
+  } else {
+    if (block >= covered_.size()) {
+      covered_.resize(block + 1, false);
+    }
+    if (covered_[block]) {
+      return false;
+    }
+    covered_[block] = true;
+  }
+  ++covered_count_;
+  if (recovery_base_ != 0 && block >= recovery_base_) {
+    ++recovery_covered_;
+  }
+  return true;
+}
+
 size_t CoverageAccumulator::Merge(const CoverageSet& run) {
   size_t fresh = 0;
   for (uint32_t b : run.blocks()) {
-    if (covered_.insert(b).second) {
+    if (Add(b)) {
       ++fresh;
     }
   }
@@ -15,24 +36,22 @@ size_t CoverageAccumulator::Merge(const CoverageSet& run) {
 size_t CoverageAccumulator::MergeIds(const std::vector<uint32_t>& blocks) {
   size_t fresh = 0;
   for (uint32_t b : blocks) {
-    if (covered_.insert(b).second) {
+    if (Add(b)) {
       ++fresh;
     }
   }
   return fresh;
 }
 
-size_t CoverageAccumulator::recovery_covered() const {
-  if (recovery_base_ == 0) {
-    return 0;
-  }
-  size_t n = 0;
-  for (uint32_t b : covered_) {
-    if (b >= recovery_base_) {
-      ++n;
+size_t CoverageAccumulator::MergeCollect(const CoverageSet& run, std::vector<uint32_t>& fresh) {
+  size_t count = 0;
+  for (uint32_t b : run.blocks()) {
+    if (Add(b)) {
+      fresh.push_back(b);
+      ++count;
     }
   }
-  return n;
+  return count;
 }
 
 double CoverageAccumulator::RecoveryFraction() const {
@@ -40,7 +59,7 @@ double CoverageAccumulator::RecoveryFraction() const {
   if (total == 0) {
     return 0.0;
   }
-  return static_cast<double>(recovery_covered()) / total;
+  return static_cast<double>(recovery_covered_) / total;
 }
 
 }  // namespace afex

@@ -7,6 +7,12 @@
 //
 // Targets register their recovery-code blocks (ids >= recovery_base) so the
 // recovery-coverage analysis of §7.2 is reproducible.
+//
+// Both classes are on the per-test hot path (every AFEX_COV expands to a
+// Hit, every run merges into the session accumulator), so membership is a
+// plain bitmap indexed by block id — no hashing — and all counts, including
+// the recovery-block count, are maintained incrementally as blocks are
+// inserted rather than recomputed by scans.
 #ifndef AFEX_SIM_COVERAGE_H_
 #define AFEX_SIM_COVERAGE_H_
 
@@ -20,14 +26,27 @@ namespace afex {
 // Per-run hit set.
 class CoverageSet {
  public:
-  void Hit(uint32_t block) { blocks_.insert(block); }
-  bool Contains(uint32_t block) const { return blocks_.contains(block); }
+  void Hit(uint32_t block) {
+    if (block >= seen_.size()) {
+      seen_.resize(block + 1, false);
+    }
+    if (!seen_[block]) {
+      seen_[block] = true;
+      blocks_.push_back(block);
+    }
+  }
+  bool Contains(uint32_t block) const { return block < seen_.size() && seen_[block]; }
   size_t size() const { return blocks_.size(); }
-  const std::unordered_set<uint32_t>& blocks() const { return blocks_; }
-  void Clear() { blocks_.clear(); }
+  // Distinct blocks hit, in first-hit order.
+  const std::vector<uint32_t>& blocks() const { return blocks_; }
+  void Clear() {
+    seen_.assign(seen_.size(), false);
+    blocks_.clear();
+  }
 
  private:
-  std::unordered_set<uint32_t> blocks_;
+  std::vector<bool> seen_;  // indexed by block id
+  std::vector<uint32_t> blocks_;
 };
 
 // Session-wide accumulation.
@@ -36,7 +55,7 @@ class CoverageAccumulator {
   // `total_blocks` is the number of instrumented blocks in the target;
   // blocks with id >= recovery_base are recovery code (0 = none marked).
   explicit CoverageAccumulator(uint32_t total_blocks = 0, uint32_t recovery_base = 0)
-      : total_blocks_(total_blocks), recovery_base_(recovery_base) {}
+      : total_blocks_(total_blocks), recovery_base_(recovery_base), covered_(total_blocks, false) {}
 
   // Merges a run's hits; returns how many blocks were new to the session.
   size_t Merge(const CoverageSet& run);
@@ -45,27 +64,50 @@ class CoverageAccumulator {
   // accumulator from journaled per-run coverage); returns how many were new.
   size_t MergeIds(const std::vector<uint32_t>& blocks);
 
-  size_t covered() const { return covered_.size(); }
+  // Merge that also appends each block new to the session onto `fresh`
+  // (not cleared first); lets the harness compute a run's new-block list
+  // and merge it in a single pass. Returns the number appended.
+  size_t MergeCollect(const CoverageSet& run, std::vector<uint32_t>& fresh);
+
+  size_t covered() const { return covered_count_; }
   uint32_t total_blocks() const { return total_blocks_; }
   double Fraction() const {
     return total_blocks_ == 0 ? 0.0
-                              : static_cast<double>(covered_.size()) / total_blocks_;
+                              : static_cast<double>(covered_count_) / total_blocks_;
   }
 
-  // Recovery-code coverage (blocks with id >= recovery_base).
-  size_t recovery_covered() const;
+  // Recovery-code coverage (blocks with id >= recovery_base), maintained
+  // incrementally on insert.
+  size_t recovery_covered() const { return recovery_covered_; }
   uint32_t recovery_total() const {
     return recovery_base_ == 0 || recovery_base_ >= total_blocks_ ? 0
                                                                   : total_blocks_ - recovery_base_;
   }
   double RecoveryFraction() const;
 
-  bool Contains(uint32_t block) const { return covered_.contains(block); }
+  bool Contains(uint32_t block) const {
+    if (block < kBitmapLimit) {
+      return block < covered_.size() && covered_[block];
+    }
+    return overflow_.contains(block);
+  }
 
  private:
+  // Block ids at or above this never extend the bitmap; they go to the
+  // overflow set instead. Instrumented targets use small dense ids, but
+  // MergeIds feeds journaled (i.e. externally supplied, possibly corrupt)
+  // values — a single wild id must not force a multi-hundred-MB bitmap.
+  static constexpr uint32_t kBitmapLimit = 1u << 22;
+
+  // Inserts one block; returns true (and bumps the counts) when new.
+  bool Add(uint32_t block);
+
   uint32_t total_blocks_;
   uint32_t recovery_base_;
-  std::unordered_set<uint32_t> covered_;
+  std::vector<bool> covered_;  // indexed by block id; grown on demand
+  std::unordered_set<uint32_t> overflow_;  // ids >= kBitmapLimit
+  size_t covered_count_ = 0;
+  size_t recovery_covered_ = 0;
 };
 
 }  // namespace afex

@@ -45,6 +45,9 @@ class SimEnv {
   std::vector<std::string> CaptureStack() const { return stack_; }
   // Stack captured when the first fault triggered this run (empty if none).
   const std::vector<std::string>& injection_stack() const { return injection_stack_; }
+  // Moves the captured stack out (the harness hands it to the outcome once
+  // the run is over; the env is about to be destroyed anyway).
+  std::vector<std::string> TakeInjectionStack() { return std::move(injection_stack_); }
   bool fault_triggered() const { return !injection_stack_.empty() || bus_.triggered(); }
   // Called by SimLibc when an armed fault fires; records the first
   // trigger's stack with the failing libc function as the innermost frame

@@ -37,14 +37,12 @@ TestOutcome TargetHarness::RunFault(const FaultSpace& space, const Fault& fault)
   outcome.hung = run.hung;
   outcome.test_failed = run.exit_code != 0 || run.crashed || run.hung;
   outcome.fault_triggered = env.fault_triggered();
-  outcome.injection_stack = env.injection_stack();
-  for (uint32_t b : env.coverage().blocks()) {
-    if (!coverage_.Contains(b)) {
-      outcome.new_block_ids.push_back(b);
-    }
-  }
+  outcome.injection_stack = env.TakeInjectionStack();
+  // Single pass: merge the run's hits and collect the ones new to the
+  // session (the coverage term of the impact metric, and what the campaign
+  // journal re-seeds coverage from on resume).
+  outcome.new_blocks_covered = coverage_.MergeCollect(env.coverage(), outcome.new_block_ids);
   std::sort(outcome.new_block_ids.begin(), outcome.new_block_ids.end());
-  outcome.new_blocks_covered = coverage_.Merge(env.coverage());
   outcome.detail = run.termination_detail;
   ++tests_run_;
   return outcome;

@@ -1,0 +1,38 @@
+#include "util/interner.h"
+
+namespace afex {
+
+uint32_t StringInterner::Intern(std::string_view s) {
+  auto it = ids_.find(s);
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  uint32_t id = static_cast<uint32_t>(spellings_.size());
+  auto [node, inserted] = ids_.emplace(std::string(s), id);
+  spellings_.push_back(&node->first);
+  return id;
+}
+
+uint32_t StringInterner::Lookup(std::string_view s) const {
+  auto it = ids_.find(s);
+  return it == ids_.end() ? kUnknown : it->second;
+}
+
+void StringInterner::InternAll(std::span<const std::string> tokens, std::vector<uint32_t>& out) {
+  out.clear();
+  out.reserve(tokens.size());
+  for (const std::string& t : tokens) {
+    out.push_back(Intern(t));
+  }
+}
+
+void StringInterner::LookupAll(std::span<const std::string> tokens,
+                               std::vector<uint32_t>& out) const {
+  out.clear();
+  out.reserve(tokens.size());
+  for (const std::string& t : tokens) {
+    out.push_back(Lookup(t));
+  }
+}
+
+}  // namespace afex

@@ -1,0 +1,70 @@
+// String interning for hot paths that compare many short strings (stack
+// frames, function names). Interning maps each distinct spelling to a dense
+// uint32 token id once; afterwards sequence algorithms (edit distance,
+// exact-match memos) work on integer ids instead of re-hashing and
+// re-comparing the same strings millions of times per campaign.
+#ifndef AFEX_UTIL_INTERNER_H_
+#define AFEX_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace afex {
+
+class StringInterner {
+ public:
+  // Reserved id returned by Lookup for spellings never interned. Never
+  // handed out by Intern, so a kUnknown token compares unequal to every
+  // interned token (two distinct unknown spellings may share it: callers
+  // only ever compare query tokens against interned tokens).
+  static constexpr uint32_t kUnknown = 0xffffffffu;
+
+  // Id of `s`, interning it first if new.
+  uint32_t Intern(std::string_view s);
+
+  // Id of `s`, or kUnknown if it was never interned. Does not modify the
+  // interner, so const consumers can translate queries read-only.
+  uint32_t Lookup(std::string_view s) const;
+
+  // Spelling of an interned id.
+  const std::string& Spelling(uint32_t id) const { return *spellings_.at(id); }
+
+  size_t size() const { return spellings_.size(); }
+
+  // Appends the id of every token to `out` (cleared first).
+  void InternAll(std::span<const std::string> tokens, std::vector<uint32_t>& out);
+  void LookupAll(std::span<const std::string> tokens, std::vector<uint32_t>& out) const;
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const { return std::hash<std::string_view>{}(s); }
+  };
+
+  std::unordered_map<std::string, uint32_t, Hash, std::equal_to<>> ids_;
+  // Pointers into ids_ keys; stable because unordered_map nodes never move.
+  std::vector<const std::string*> spellings_;
+};
+
+// 64-bit hash of a token-id sequence (FNV-1a over the id bytes), for
+// whole-sequence exact-match memos.
+struct TokenSeqHash {
+  size_t operator()(std::span<const uint32_t> ids) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint32_t id : ids) {
+      h = (h ^ id) * 0x100000001b3ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+  size_t operator()(const std::vector<uint32_t>& ids) const {
+    return (*this)(std::span<const uint32_t>(ids));
+  }
+};
+
+}  // namespace afex
+
+#endif  // AFEX_UTIL_INTERNER_H_

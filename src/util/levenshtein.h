@@ -5,6 +5,7 @@
 #define AFEX_UTIL_LEVENSHTEIN_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <string_view>
@@ -19,6 +20,15 @@ size_t LevenshteinDistance(std::string_view a, std::string_view b);
 // one-frame difference should cost 1 regardless of how long the frame's
 // symbol name is. This is what the clustering module uses.
 size_t LevenshteinDistanceTokens(std::span<const std::string> a, std::span<const std::string> b);
+
+// Cutoff-bounded token edit distance over interned token ids. Returns the
+// exact distance when it is <= limit, and limit + 1 otherwise. Runs the DP
+// banded to the diagonal (Ukkonen): only cells within `limit` of the
+// diagonal are computed, and the sweep aborts as soon as a whole row
+// exceeds the limit — O(min(n,m) * limit) instead of O(n * m). The
+// length-difference lower bound |n - m| is applied before any DP work.
+size_t BoundedLevenshteinDistanceTokens(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                                        size_t limit);
 
 // Normalized similarity in [0, 1]: 1 means identical, 0 means maximally
 // distant (distance == max(len a, len b)). Two empty sequences are identical.

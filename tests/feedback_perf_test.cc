@@ -1,0 +1,316 @@
+// Equivalence suite for the optimized per-test feedback path (PR 3): the
+// interned/memoized/banded clusterer and the incremental fitness explorer
+// must be *observably identical* to the retained naive reference
+// implementations — same cluster assignments, bit-equal similarities, and
+// identical record sequences for seeded campaigns. Also covers the new
+// primitives they are built from (bounded token distance, prefix-sum
+// weighted sampling, incremental coverage counts).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/clustering.h"
+#include "core/fitness_explorer.h"
+#include "core/session.h"
+#include "sim/coverage.h"
+#include "targets/docstore/suite.h"
+#include "targets/harness.h"
+#include "util/interner.h"
+#include "util/levenshtein.h"
+#include "util/rng.h"
+
+namespace afex {
+namespace {
+
+// ---- bounded/banded token edit distance ----
+
+std::vector<uint32_t> RandomTokenSeq(Rng& rng, size_t max_len, uint32_t vocab) {
+  std::vector<uint32_t> seq(rng.NextBelow(max_len + 1));
+  for (auto& t : seq) {
+    t = static_cast<uint32_t>(rng.NextBelow(vocab));
+  }
+  return seq;
+}
+
+size_t NaiveTokenDistance(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) {
+  // Reuse the string-token reference implementation by spelling ids out.
+  std::vector<std::string> sa, sb;
+  for (uint32_t t : a) sa.push_back(std::to_string(t));
+  for (uint32_t t : b) sb.push_back(std::to_string(t));
+  return LevenshteinDistanceTokens(sa, sb);
+}
+
+TEST(BoundedLevenshteinTest, MatchesNaiveWithinLimitElseReportsOver) {
+  Rng rng(42);
+  for (int trial = 0; trial < 400; ++trial) {
+    auto a = RandomTokenSeq(rng, 10, 6);
+    auto b = RandomTokenSeq(rng, 10, 6);
+    size_t exact = NaiveTokenDistance(a, b);
+    for (size_t limit = 0; limit <= 10; ++limit) {
+      size_t bounded = BoundedLevenshteinDistanceTokens(a, b, limit);
+      if (exact <= limit) {
+        ASSERT_EQ(bounded, exact) << "limit " << limit;
+      } else {
+        ASSERT_GT(bounded, limit);
+      }
+    }
+  }
+}
+
+TEST(BoundedLevenshteinTest, EdgeCases) {
+  std::vector<uint32_t> empty;
+  std::vector<uint32_t> abc = {1, 2, 3};
+  EXPECT_EQ(BoundedLevenshteinDistanceTokens(empty, empty, 0), 0u);
+  EXPECT_EQ(BoundedLevenshteinDistanceTokens(empty, abc, 3), 3u);
+  EXPECT_EQ(BoundedLevenshteinDistanceTokens(abc, empty, 2), 3u);  // over limit
+  EXPECT_EQ(BoundedLevenshteinDistanceTokens(abc, abc, 0), 0u);
+}
+
+// ---- string interner ----
+
+TEST(InternerTest, InternLookupRoundTrip) {
+  StringInterner interner;
+  uint32_t a = interner.Intern("main");
+  uint32_t b = interner.Intern("parse");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.Intern("main"), a);
+  EXPECT_EQ(interner.Lookup("parse"), b);
+  EXPECT_EQ(interner.Lookup("never-seen"), StringInterner::kUnknown);
+  EXPECT_EQ(interner.Spelling(a), "main");
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+// ---- prefix-sum weighted sampling ----
+
+TEST(RngTest, SampleWeightedPrefixMatchesLinearScan) {
+  std::vector<double> weights = {3.0, 0.0, 5.0, 1.0, 7.0, 2.0};
+  std::vector<double> prefix(weights.size());
+  double total = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    total += weights[i];
+    prefix[i] = total;
+  }
+  Rng linear(123), prefixed(123);
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_EQ(linear.SampleWeighted(weights), prefixed.SampleWeightedPrefix(prefix));
+  }
+}
+
+TEST(RngTest, SampleWeightedPrefixZeroTotalFallsBackToUniform) {
+  std::vector<double> prefix = {0.0, 0.0, 0.0};
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    size_t idx = rng.SampleWeightedPrefix(prefix);
+    ASSERT_LT(idx, prefix.size());
+  }
+}
+
+// ---- clusterer: optimized vs retained naive reference ----
+
+std::vector<std::string> RandomStack(Rng& rng, size_t max_depth, size_t vocab) {
+  std::vector<std::string> stack(rng.NextBelow(max_depth + 1));
+  for (auto& frame : stack) {
+    frame = "frame" + std::to_string(rng.NextBelow(vocab));
+  }
+  return stack;
+}
+
+TEST(ClustererEquivalenceTest, RandomizedStacksIdenticalAssignmentsAndSimilarities) {
+  for (size_t threshold : {size_t{0}, size_t{1}, size_t{2}, size_t{3}}) {
+    RedundancyClusterer optimized(ClusterConfig{.distance_threshold = threshold});
+    RedundancyClusterer reference(
+        ClusterConfig{.distance_threshold = threshold, .naive_reference = true});
+    Rng rng(1000 + threshold);
+    for (int i = 0; i < 1500; ++i) {
+      std::vector<std::string> stack = RandomStack(rng, 6, 5);
+      bool want_similarity = rng.NextBernoulli(0.7);
+      ClusterObservation opt = optimized.Observe(stack, want_similarity);
+      ClusterObservation ref = reference.Observe(stack, want_similarity);
+      ASSERT_EQ(opt.cluster_id, ref.cluster_id)
+          << "threshold " << threshold << " step " << i;
+      // Bit-identical, not nearly-equal: the optimized sweep must reproduce
+      // the naive max-of-doubles exactly.
+      ASSERT_EQ(opt.similarity, ref.similarity)
+          << "threshold " << threshold << " step " << i;
+      // The const similarity query must agree with the naive one too.
+      std::vector<std::string> probe = RandomStack(rng, 6, 5);
+      ASSERT_EQ(optimized.NearestSimilarity(probe), reference.NearestSimilarity(probe))
+          << "threshold " << threshold << " step " << i;
+    }
+    ASSERT_EQ(optimized.cluster_count(), reference.cluster_count());
+    ASSERT_EQ(optimized.cluster_sizes(), reference.cluster_sizes());
+    for (size_t c = 0; c < optimized.cluster_sizes().size(); ++c) {
+      ASSERT_EQ(optimized.representative(c), reference.representative(c));
+    }
+  }
+}
+
+TEST(ClustererEquivalenceTest, RepeatStacksHitTheMemoWithExactResults) {
+  RedundancyClusterer clusterer;
+  std::vector<std::string> stack = {"main", "io", "write"};
+  size_t first = clusterer.Assign(stack);
+  // Every repeat must land in the same cluster with similarity exactly 1.0.
+  for (int i = 0; i < 10; ++i) {
+    ClusterObservation obs = clusterer.Observe(stack, /*want_similarity=*/true);
+    ASSERT_EQ(obs.cluster_id, first);
+    ASSERT_EQ(obs.similarity, 1.0);
+  }
+  EXPECT_EQ(clusterer.cluster_sizes()[first], 11u);
+}
+
+// ---- explorer + whole-campaign equivalence (before/after the rework) ----
+
+// Synthetic deterministic runner: cheap, covers triggered/untriggered,
+// failures, crashes, and a variety of stacks, so the whole feedback path
+// (similarity weighting, clustering, sensitivity updates, aging) runs.
+TestOutcome SyntheticOutcome(const Fault& fault) {
+  uint64_t h = FaultHash{}(fault);
+  TestOutcome outcome;
+  outcome.fault_triggered = (h % 4) != 0;
+  if (outcome.fault_triggered) {
+    static const char* kFrames[] = {"boot", "parse", "exec", "io", "net", "disk"};
+    outcome.injection_stack.push_back("main");
+    outcome.injection_stack.push_back(kFrames[h % 6]);
+    outcome.injection_stack.push_back(kFrames[(h / 7) % 6]);
+    outcome.test_failed = (h % 5) == 0;
+    outcome.crashed = (h % 11) == 0;
+    outcome.new_blocks_covered = h % 3;
+  }
+  outcome.exit_code = outcome.test_failed ? 1 : 0;
+  return outcome;
+}
+
+SessionResult RunSyntheticCampaign(bool reference, size_t budget, size_t pool) {
+  std::vector<Axis> axes;
+  axes.push_back(Axis::MakeInterval("test", 1, 40));
+  axes.push_back(Axis::MakeInterval("function", 1, 8));
+  axes.push_back(Axis::MakeInterval("call", 1, 6));
+  FaultSpace space(std::move(axes), "synthetic");
+  FitnessExplorerConfig config;
+  config.seed = 77;
+  config.priority_capacity = pool;
+  config.reference_algorithms = reference;
+  FitnessExplorer explorer(space, config);
+  SessionConfig session_config;
+  session_config.redundancy_feedback = true;
+  session_config.cluster_config.naive_reference = reference;
+  ExplorationSession session(explorer, SyntheticOutcome, session_config);
+  return session.Run({.max_tests = budget});
+}
+
+void ExpectIdenticalRecords(const SessionResult& a, const SessionResult& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    ASSERT_TRUE(a.records[i].fault == b.records[i].fault) << "record " << i;
+    ASSERT_EQ(a.records[i].impact, b.records[i].impact) << "record " << i;
+    ASSERT_EQ(a.records[i].fitness, b.records[i].fitness) << "record " << i;
+    ASSERT_EQ(a.records[i].cluster_id, b.records[i].cluster_id) << "record " << i;
+  }
+  EXPECT_EQ(a.tests_executed, b.tests_executed);
+  EXPECT_EQ(a.failed_tests, b.failed_tests);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.clusters, b.clusters);
+  EXPECT_EQ(a.unique_failures, b.unique_failures);
+  EXPECT_EQ(a.unique_crashes, b.unique_crashes);
+  EXPECT_EQ(a.space_exhausted, b.space_exhausted);
+}
+
+TEST(ExplorerEquivalenceTest, SeededCampaignIdenticalRecordSequences) {
+  // Small and large pools: the large-pool path exercises retirement-heavy
+  // steady state, the small pool exercises eviction.
+  for (size_t pool : {size_t{16}, size_t{64}, size_t{512}}) {
+    SessionResult reference = RunSyntheticCampaign(/*reference=*/true, 1200, pool);
+    SessionResult optimized = RunSyntheticCampaign(/*reference=*/false, 1200, pool);
+    ExpectIdenticalRecords(reference, optimized);
+  }
+}
+
+TEST(ExplorerEquivalenceTest, SpaceExhaustionIdenticalThroughTheFallbackScan) {
+  // Budget above the space size: both modes must run through mutation
+  // failure, random-sampling failure, and the lexicographic fallback scan
+  // (cursor-cached in the optimized path) to full exhaustion.
+  SessionResult reference = RunSyntheticCampaign(/*reference=*/true, 3000, 32);
+  SessionResult optimized = RunSyntheticCampaign(/*reference=*/false, 3000, 32);
+  ASSERT_TRUE(reference.space_exhausted);
+  ExpectIdenticalRecords(reference, optimized);
+}
+
+TEST(ExplorerEquivalenceTest, RealTargetCampaignIdentical) {
+  auto run = [](bool reference) {
+    TargetSuite suite = docstore::MakeSuiteV20();
+    TargetHarness harness(suite, 0x5eed);
+    FaultSpace space = harness.MakeSpace(10, false);
+    FitnessExplorerConfig config;
+    config.seed = 7;
+    config.reference_algorithms = reference;
+    FitnessExplorer explorer(space, config);
+    SessionConfig session_config;
+    session_config.redundancy_feedback = true;
+    session_config.cluster_config.naive_reference = reference;
+    ExplorationSession session(explorer, harness.MakeRunner(space), session_config);
+    return session.Run({.max_tests = 800});
+  };
+  SessionResult reference = run(true);
+  SessionResult optimized = run(false);
+  ExpectIdenticalRecords(reference, optimized);
+}
+
+TEST(ExplorerEquivalenceTest, WarmStartIdentical) {
+  std::vector<Axis> axes;
+  axes.push_back(Axis::MakeInterval("test", 1, 40));
+  axes.push_back(Axis::MakeInterval("function", 1, 8));
+  axes.push_back(Axis::MakeInterval("call", 1, 6));
+  FaultSpace space(std::move(axes), "synthetic");
+  auto run = [&space](bool reference) {
+    FitnessExplorerConfig config;
+    config.seed = 5;
+    config.reference_algorithms = reference;
+    FitnessExplorer explorer(space, config);
+    explorer.WarmStart(Fault({3, 2, 1}), 25.0);
+    explorer.WarmStart(Fault({10, 5, 4}), 12.0);
+    SessionConfig session_config;
+    session_config.redundancy_feedback = true;
+    session_config.cluster_config.naive_reference = reference;
+    ExplorationSession session(explorer, SyntheticOutcome, session_config);
+    return session.Run({.max_tests = 500});
+  };
+  SessionResult reference = run(true);
+  SessionResult optimized = run(false);
+  ExpectIdenticalRecords(reference, optimized);
+}
+
+// ---- incremental coverage counts ----
+
+TEST(CoverageIncrementalTest, RecoveryCountMaintainedAcrossMergePaths) {
+  CoverageAccumulator acc(100, 80);
+  CoverageSet run;
+  run.Hit(10);
+  run.Hit(85);
+  run.Hit(90);
+  run.Hit(85);  // duplicate within the run
+  EXPECT_EQ(acc.Merge(run), 3u);
+  EXPECT_EQ(acc.recovery_covered(), 2u);
+  EXPECT_EQ(acc.MergeIds({85, 95, 12}), 2u);  // one recovery, one normal, one dup
+  EXPECT_EQ(acc.recovery_covered(), 3u);
+  std::vector<uint32_t> fresh;
+  CoverageSet run2;
+  run2.Hit(95);
+  run2.Hit(99);
+  run2.Hit(12);
+  EXPECT_EQ(acc.MergeCollect(run2, fresh), 1u);
+  EXPECT_EQ(fresh, std::vector<uint32_t>{99});
+  EXPECT_EQ(acc.recovery_covered(), 4u);
+  EXPECT_EQ(acc.covered(), 6u);
+  EXPECT_DOUBLE_EQ(acc.RecoveryFraction(), 4.0 / 20.0);
+}
+
+TEST(CoverageIncrementalTest, NoRecoveryBaseMeansZeroRecoveryCount) {
+  CoverageAccumulator acc(50, 0);
+  EXPECT_EQ(acc.MergeIds({1, 2, 49}), 3u);
+  EXPECT_EQ(acc.recovery_covered(), 0u);
+  EXPECT_DOUBLE_EQ(acc.RecoveryFraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace afex

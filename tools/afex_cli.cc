@@ -28,6 +28,7 @@
 //   afex_cli --target=minidb --budget=5000 --journal=run.afexj --resume
 //   afex_cli --target=minidb --budget=500 --warm-start=run.afexj
 //   afex_cli --target=minidb --budget=500 --export=csv --export-file=run.csv
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -316,6 +317,8 @@ int main(int argc, char** argv) {
   const SessionResult* result = nullptr;  // owned by whichever session ran
   const RedundancyClusterer* clusterer = nullptr;
   const SearchTarget search_target{.max_tests = options.budget};
+  size_t replayed_tests = 0;   // journal records consumed by --resume
+  double campaign_seconds = 0.0;
 
   // Declared at function scope: the report section below reads the
   // session's clusterer, and the sessions hold references to the store
@@ -381,10 +384,14 @@ int main(int argc, char** argv) {
         }
         store->CommitResume(store->records().size());
         harness.SeedCoverage(store->CoverageIdsForNode(0));
+        replayed_tests = store->records().size();
         std::printf("resumed %zu journaled tests from %s\n", store->records().size(),
                     options.journal.c_str());
       }
+      auto started = std::chrono::steady_clock::now();
       result = &session->Run(search_target);
+      campaign_seconds = std::chrono::duration<double>(
+          std::chrono::steady_clock::now() - started).count();
       clusterer = &session->clusterer();
     } else {
       // Cluster campaign: one sim-backed node manager (with its own
@@ -413,13 +420,17 @@ int main(int argc, char** argv) {
         for (size_t i = 0; i < options.jobs; ++i) {
           node_harnesses[i]->SeedCoverage(store->CoverageIdsForNode(i));
         }
+        replayed_tests = *consumed;
         std::printf("resumed %zu journaled tests from %s", *consumed, options.journal.c_str());
         if (dropped > 0) {
           std::printf(" (%zu from an incomplete round will re-execute)", dropped);
         }
         std::printf("\n");
       }
+      auto started = std::chrono::steady_clock::now();
       result = &session->Run(search_target);
+      campaign_seconds = std::chrono::duration<double>(
+          std::chrono::steady_clock::now() - started).count();
       clusterer = &session->clusterer();
     }
 
@@ -427,6 +438,16 @@ int main(int argc, char** argv) {
                 "%zu behaviour clusters (%zu failure, %zu crash)\n",
                 result->tests_executed, result->failed_tests, result->crashes, result->hangs,
                 result->clusters, result->unique_failures, result->unique_crashes);
+    // Campaign throughput, so tests/sec is visible without the bench
+    // binaries. Replayed (resumed) records are bookkeeping, not executions,
+    // and are excluded from the rate.
+    size_t live_tests = result->tests_executed - replayed_tests;
+    std::printf("campaign wall time %.3f s", campaign_seconds);
+    if (campaign_seconds > 0.0 && live_tests > 0) {
+      std::printf(", %.0f tests/sec (%zu executed this run)",
+                  static_cast<double>(live_tests) / campaign_seconds, live_tests);
+    }
+    std::printf("\n");
     if (options.jobs == 1) {
       std::printf("coverage %.1f%% (recovery %.1f%%)\n", 100 * harness.CoverageFraction(),
                   100 * harness.RecoveryCoverageFraction());
