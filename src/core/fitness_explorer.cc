@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
+#include <limits>
 
 #include "util/gaussian.h"
 
@@ -14,13 +16,64 @@ FitnessExplorer::FitnessExplorer(const FaultSpace& space, FitnessExplorerConfig 
       axis_history_(space.dimensions()),
       sensitivity_(space.dimensions(), 1.0) {
   assert(space.dimensions() > 0);
+  issued_.Init(space, /*use_bitmap=*/!config_.reference_algorithms);
+}
+
+// ---- IssuedSet ----
+
+void FitnessExplorer::IssuedSet::Init(const FaultSpace& space, bool use_bitmap) {
+  if (!use_bitmap || space.TotalPoints() > kBitmapLimit) {
+    return;  // hash mode
+  }
+  cardinalities_.reserve(space.dimensions());
+  strides_.reserve(space.dimensions());
+  size_t stride = 1;
+  for (size_t i = 0; i < space.dimensions(); ++i) {
+    cardinalities_.push_back(space.axis(i).cardinality());
+    strides_.push_back(stride);
+    stride *= cardinalities_.back();
+  }
+  bits_.assign(stride, false);
+}
+
+size_t FitnessExplorer::IssuedSet::Ordinal(const Fault& f) const {
+  size_t ordinal = 0;
+  for (size_t i = 0; i < strides_.size(); ++i) {
+    if (f[i] >= cardinalities_[i]) {
+      return SIZE_MAX;
+    }
+    ordinal += f[i] * strides_[i];
+  }
+  return ordinal;
+}
+
+bool FitnessExplorer::IssuedSet::Contains(const Fault& f) const {
+  if (strides_.empty()) {
+    return hashed_.contains(f);
+  }
+  size_t ordinal = Ordinal(f);
+  return ordinal == SIZE_MAX ? hashed_.contains(f) : bits_[ordinal];
+}
+
+void FitnessExplorer::IssuedSet::Insert(const Fault& f) {
+  if (!strides_.empty()) {
+    size_t ordinal = Ordinal(f);
+    if (ordinal != SIZE_MAX) {
+      if (!bits_[ordinal]) {
+        bits_[ordinal] = true;
+        ++count_;
+      }
+      return;
+    }
+  }
+  count_ += hashed_.insert(f).second ? 1 : 0;
 }
 
 std::optional<Fault> FitnessExplorer::NextCandidate() {
   // Step 1 of the algorithm: seed the pool with random tests. Also fall back
   // to random whenever the pool is empty (e.g. all entries retired) and mix
   // in occasional random restarts.
-  bool want_random = issued_.size() < config_.initial_batch || priority_.empty() ||
+  bool want_random = issued_.size() < config_.initial_batch || PoolEmpty() ||
                      rng_.NextBernoulli(config_.random_restart_prob);
   if (!want_random) {
     if (auto mutation = GenerateMutation()) {
@@ -44,7 +97,7 @@ std::optional<Fault> FitnessExplorer::ScanForUnissued() {
   if (config_.reference_algorithms) {
     for (auto f = space_->FirstValid(); f.has_value(); f = space_->NextValid(*f)) {
       if (!AlreadyIssued(*f)) {
-        issued_.insert(*f);
+        issued_.Insert(*f);
         return f;
       }
     }
@@ -61,7 +114,7 @@ std::optional<Fault> FitnessExplorer::ScanForUnissued() {
        f.has_value(); f = space_->NextValid(*f)) {
     scan_cursor_ = *f;
     if (!AlreadyIssued(*f)) {
-      issued_.insert(*f);
+      issued_.Insert(*f);
       return f;
     }
   }
@@ -73,7 +126,7 @@ std::optional<Fault> FitnessExplorer::SampleRandomNovel() {
   for (int attempt = 0; attempt < config_.max_generation_attempts; ++attempt) {
     auto f = space_->SampleUniform(rng_);
     if (f && !AlreadyIssued(*f)) {
-      issued_.insert(*f);
+      issued_.Insert(*f);
       return f;
     }
   }
@@ -81,17 +134,11 @@ std::optional<Fault> FitnessExplorer::SampleRandomNovel() {
 }
 
 std::optional<Fault> FitnessExplorer::GenerateMutation() {
-  assert(!priority_.empty());
-  if (!config_.reference_algorithms) {
-    // The pool only changes when a result is reported, never inside the
-    // retry loop, so the selection distribution is loop-invariant: rebuild
-    // it (at most) once here instead of once per attempt.
-    RebuildSelectionIfDirty();
-  }
+  assert(!PoolEmpty());
   for (int attempt = 0; attempt < config_.max_generation_attempts; ++attempt) {
     // Lines 1-4: sample a parent proportionally to fitness, with an epsilon
     // floor so low-fitness tests keep a non-zero chance.
-    size_t parent_index;
+    size_t parent_slot;
     if (config_.reference_algorithms) {
       double max_fitness = 0.0;
       for (const Entry& e : priority_) {
@@ -103,11 +150,11 @@ std::optional<Fault> FitnessExplorer::GenerateMutation() {
       for (const Entry& e : priority_) {
         weights.push_back(e.fitness + floor);
       }
-      parent_index = rng_.SampleWeighted(weights);
+      parent_slot = rng_.SampleWeighted(weights);
     } else {
-      parent_index = rng_.SampleWeightedPrefix(selection_prefix_);
+      parent_slot = SampleParentSlot();
     }
-    const Entry& parent = priority_[parent_index];
+    const Entry& parent = priority_[parent_slot];
 
     // Lines 5-6: choose the attribute to mutate proportionally to the
     // normalized sensitivity vector.
@@ -128,8 +175,8 @@ std::optional<Fault> FitnessExplorer::GenerateMutation() {
     if (AlreadyIssued(child) || !space_->IsValid(child)) {
       continue;
     }
-    issued_.insert(child);
-    pending_axis_.emplace(child, axis);
+    issued_.Insert(child);
+    pending_axis_.push_back({child, axis});
     return child;
   }
   return std::nullopt;
@@ -137,10 +184,19 @@ std::optional<Fault> FitnessExplorer::GenerateMutation() {
 
 void FitnessExplorer::ReportResult(const Fault& fault, double fitness) {
   // Sensitivity update: credit the axis whose mutation produced this test.
-  auto it = pending_axis_.find(fault);
-  if (it != pending_axis_.end()) {
-    size_t axis = it->second;
-    pending_axis_.erase(it);
+  size_t pending = pending_axis_.size();
+  for (size_t i = 0; i < pending_axis_.size(); ++i) {
+    if (pending_axis_[i].first == fault) {
+      pending = i;
+      break;
+    }
+  }
+  if (pending != pending_axis_.size()) {
+    size_t axis = pending_axis_[pending].second;
+    if (pending != pending_axis_.size() - 1) {
+      pending_axis_[pending] = std::move(pending_axis_.back());
+    }
+    pending_axis_.pop_back();
     auto& window = axis_history_[axis];
     window.push_back(fitness);
     while (window.size() > config_.sensitivity_window) {
@@ -157,41 +213,160 @@ void FitnessExplorer::ReportResult(const Fault& fault, double fitness) {
 
   InsertIntoPriority(Entry{fault, fitness, fitness});
   AgeAndRetire();
-  selection_dirty_ = true;
 }
 
 void FitnessExplorer::WarmStart(const Fault& fault, double fitness) {
   if (AlreadyIssued(fault)) {
     return;
   }
-  issued_.insert(fault);
+  issued_.Insert(fault);
   InsertIntoPriority(Entry{fault, fitness, fitness});
-  selection_dirty_ = true;
+}
+
+// ---- optimized-path pool maintenance ----
+
+void FitnessExplorer::AppendSlot(Entry entry) {
+  size_t slot = priority_.size();
+  priority_.push_back(std::move(entry));
+  slot_live_.push_back(1);
+  slot_gen_.push_back(0);
+  fit_fen_.Push(priority_[slot].fitness);
+  live_fen_.Push(1);
+  max_fitness_.Push(priority_[slot].fitness);
+  ++live_count_;
+  if (priority_[slot].impact > 0.0) {
+    retire_queue_.push_back(RetireRecord{slot, slot_gen_[slot]});
+  }
+}
+
+void FitnessExplorer::ReplaceSlot(size_t slot, Entry entry) {
+  fit_fen_.Add(slot, entry.fitness - priority_[slot].fitness);
+  ++slot_gen_[slot];  // stale any queued retirement record for the victim
+  priority_[slot] = std::move(entry);
+  max_fitness_.Update(slot, priority_[slot].fitness);
+  if (priority_[slot].impact > 0.0) {
+    retire_queue_.push_back(RetireRecord{slot, slot_gen_[slot]});
+  }
+}
+
+void FitnessExplorer::KillSlot(size_t slot) {
+  fit_fen_.Add(slot, -priority_[slot].fitness);
+  live_fen_.Add(slot, -1);
+  max_fitness_.Update(slot, -std::numeric_limits<double>::infinity());
+  slot_live_[slot] = 0;
+  ++slot_gen_[slot];
+  --live_count_;
+  ++dead_count_;
+}
+
+size_t FitnessExplorer::NthLiveSlot(size_t k) const {
+  return SelectByWeight(fit_fen_, live_fen_, 0.0, 1.0, static_cast<double>(k));
+}
+
+size_t FitnessExplorer::LiveSlotAtOrBefore(size_t slot) const {
+  while (slot > 0 && !slot_live_[slot]) {
+    --slot;
+  }
+  return slot;
+}
+
+size_t FitnessExplorer::SampleParentSlot() {
+  // Same distribution (and the same single RNG draw) as the reference
+  // SampleWeighted over {aged fitness + floor}, answered by the Fenwick
+  // descent instead of a materialized weight array.
+  double max_fitness = live_count_ == 0 ? 0.0 : max_fitness_.Max() * decay_scale_;
+  double floor = config_.min_selection_weight * std::max(max_fitness, 1.0);
+  double total = decay_scale_ * fit_fen_.Total() +
+                 floor * static_cast<double>(live_count_);
+  if (total <= 0.0) {
+    return NthLiveSlot(rng_.NextBelow(live_count_));
+  }
+  double r = rng_.NextDouble() * total;
+  return LiveSlotAtOrBefore(SelectByWeight(fit_fen_, live_fen_, decay_scale_, floor, r));
+}
+
+size_t FitnessExplorer::SampleEvictionVictim() {
+  // Inverse-fitness eviction weights: max_eff - eff(e) + 1 per live slot.
+  double max_eff = live_count_ == 0 ? 0.0 : max_fitness_.Max() * decay_scale_;
+  double total = static_cast<double>(live_count_) * (max_eff + 1.0) -
+                 decay_scale_ * fit_fen_.Total();
+  if (total <= 0.0) {
+    return NthLiveSlot(rng_.NextBelow(live_count_));
+  }
+  double r = rng_.NextDouble() * total;
+  return LiveSlotAtOrBefore(
+      SelectByWeight(fit_fen_, live_fen_, -decay_scale_, max_eff + 1.0, r));
+}
+
+void FitnessExplorer::RebuildSelectionStructures() {
+  fit_fen_.Clear();
+  live_fen_.Clear();
+  max_fitness_.Clear();
+  for (size_t i = 0; i < priority_.size(); ++i) {
+    bool live = slot_live_[i] != 0;
+    fit_fen_.Push(live ? priority_[i].fitness : 0.0);
+    live_fen_.Push(live ? 1 : 0);
+    max_fitness_.Push(live ? priority_[i].fitness
+                           : -std::numeric_limits<double>::infinity());
+  }
+}
+
+void FitnessExplorer::MaybeCompact() {
+  if (dead_count_ <= live_count_ + 64) {
+    return;
+  }
+  std::vector<Entry> compact;
+  compact.reserve(live_count_);
+  std::vector<size_t> remap(priority_.size(), SIZE_MAX);
+  for (size_t i = 0; i < priority_.size(); ++i) {
+    if (slot_live_[i]) {
+      remap[i] = compact.size();
+      compact.push_back(std::move(priority_[i]));
+    }
+  }
+  std::deque<RetireRecord> queue;
+  for (const RetireRecord& record : retire_queue_) {
+    if (record.gen == slot_gen_[record.slot] && slot_live_[record.slot]) {
+      queue.push_back(RetireRecord{remap[record.slot], 0});
+    }
+  }
+  priority_ = std::move(compact);
+  retire_queue_ = std::move(queue);
+  slot_live_.assign(priority_.size(), 1);
+  slot_gen_.assign(priority_.size(), 0);
+  dead_count_ = 0;
+  RebuildSelectionStructures();
 }
 
 void FitnessExplorer::InsertIntoPriority(Entry entry) {
-  if (!config_.reference_algorithms) {
-    // Store normalized by the current decay scale, so this entry ages in
-    // lockstep with the pool through the one global scalar.
-    entry.fitness /= decay_scale_;
-  }
-  if (priority_.size() < config_.priority_capacity) {
-    priority_.push_back(std::move(entry));
+  if (config_.reference_algorithms) {
+    if (priority_.size() < config_.priority_capacity) {
+      priority_.push_back(std::move(entry));
+      return;
+    }
+    // Evict a victim sampled with probability inversely proportional to
+    // fitness, so the queue's average fitness rises over time (paper §3).
+    double max_fitness = 0.0;
+    for (const Entry& e : priority_) {
+      max_fitness = std::max(max_fitness, e.fitness);
+    }
+    std::vector<double> weights;
+    weights.reserve(priority_.size());
+    for (const Entry& e : priority_) {
+      weights.push_back(max_fitness - e.fitness + 1.0);
+    }
+    size_t victim = rng_.SampleWeighted(weights);
+    priority_[victim] = std::move(entry);
     return;
   }
-  // Evict a victim sampled with probability inversely proportional to
-  // fitness, so the queue's average fitness rises over time (paper §3).
-  double max_fitness = 0.0;
-  for (const Entry& e : priority_) {
-    max_fitness = std::max(max_fitness, EffectiveFitness(e));
+  // Store normalized by the current decay scale, so this entry ages in
+  // lockstep with the pool through the one global scalar.
+  entry.fitness /= decay_scale_;
+  if (live_count_ < config_.priority_capacity) {
+    AppendSlot(std::move(entry));
+    return;
   }
-  std::vector<double> weights;
-  weights.reserve(priority_.size());
-  for (const Entry& e : priority_) {
-    weights.push_back(max_fitness - EffectiveFitness(e) + 1.0);
-  }
-  size_t victim = rng_.SampleWeighted(weights);
-  priority_[victim] = std::move(entry);
+  ReplaceSlot(SampleEvictionVictim(), std::move(entry));
 }
 
 void FitnessExplorer::AgeAndRetire() {
@@ -208,33 +383,35 @@ void FitnessExplorer::AgeAndRetire() {
   decay_scale_ *= config_.aging_decay;
   if (decay_scale_ < 1e-150) {
     // Fold the scale back into the entries before it can underflow (only
-    // reachable on campaigns of tens of thousands of results).
-    for (Entry& e : priority_) {
-      e.fitness *= decay_scale_;
+    // reachable on campaigns of tens of thousands of results). Stored
+    // fitness/impact ratios are preserved, so the retirement order is too.
+    for (size_t i = 0; i < priority_.size(); ++i) {
+      if (slot_live_[i]) {
+        priority_[i].fitness *= decay_scale_;
+      }
     }
     decay_scale_ = 1.0;
+    RebuildSelectionStructures();
   }
-  std::erase_if(priority_, [this](const Entry& e) {
-    return e.impact > 0.0 && e.fitness * decay_scale_ < config_.retirement_fraction * e.impact;
-  });
-}
-
-void FitnessExplorer::RebuildSelectionIfDirty() {
-  if (!selection_dirty_) {
-    return;
+  // Stored fitness of an impact>0 entry is impact / decay-at-insert, so its
+  // aged fitness crosses the retirement threshold a fixed number of results
+  // after insertion: entries retire in insertion order, and the queue's
+  // front is the only candidate that can retire this round.
+  while (!retire_queue_.empty()) {
+    RetireRecord record = retire_queue_.front();
+    if (record.gen != slot_gen_[record.slot] || !slot_live_[record.slot]) {
+      retire_queue_.pop_front();  // evicted since it was queued
+      continue;
+    }
+    const Entry& e = priority_[record.slot];
+    if (!(e.impact > 0.0 &&
+          e.fitness * decay_scale_ < config_.retirement_fraction * e.impact)) {
+      break;
+    }
+    retire_queue_.pop_front();
+    KillSlot(record.slot);
   }
-  double max_fitness = 0.0;
-  for (const Entry& e : priority_) {
-    max_fitness = std::max(max_fitness, EffectiveFitness(e));
-  }
-  double floor = config_.min_selection_weight * std::max(max_fitness, 1.0);
-  selection_prefix_.resize(priority_.size());
-  double total = 0.0;
-  for (size_t i = 0; i < priority_.size(); ++i) {
-    total += EffectiveFitness(priority_[i]) + floor;
-    selection_prefix_[i] = total;
-  }
-  selection_dirty_ = false;
+  MaybeCompact();
 }
 
 std::vector<double> FitnessExplorer::NormalizedSensitivity() const {

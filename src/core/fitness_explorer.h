@@ -8,29 +8,35 @@
 // search cannot camp forever on one vicinity.
 //
 // Because candidate generation runs once per executed test, the default
-// implementation keeps its per-test cost near-constant amortized: the
-// parent-selection distribution is cached as a prefix-sum array (rebuilt at
-// most once per reported result, sampled with one RNG draw plus a binary
-// search — not rebuilt per retry attempt), aging is a single global decay
-// scalar instead of an O(pool) sweep, and the last-resort lexicographic
-// scan for unissued points resumes from a cached cursor instead of
-// re-walking the space from the origin on every call. The original
-// implementation is retained behind
-// FitnessExplorerConfig::reference_algorithms; both consume the RNG stream
-// identically by construction, and the floating-point reformulations (lazy
-// decay, prefix-sum selection) are kept on the same side of every
-// comparison in practice — the regression suite and the perf benchmark run
-// whole campaigns in both modes and assert identical record sequences.
+// implementation keeps its per-test cost logarithmic in the pool: the pool
+// lives in a slot vector with tombstones, two Fenwick trees (stored fitness
+// and liveness per slot) answer both the parent-selection draw and the
+// inverse-fitness eviction draw in one O(log pool) descent
+// (util/fenwick.h's SelectByWeight), the pool maximum comes from a flat
+// segment tree (util/fenwick.h's MaxTree),
+// aging is a single global decay scalar, retirement pops an insertion-order
+// queue (aged fitness decays uniformly, so entries retire in insertion
+// order) instead of sweeping the pool, and the last-resort lexicographic
+// scan for unissued points resumes from a cached cursor. Tombstones are
+// compacted away once they outnumber live entries, so the amortized cost
+// per reported result is O(log pool). The original implementation is
+// retained behind FitnessExplorerConfig::reference_algorithms; both consume
+// the RNG stream identically by construction, and the floating-point
+// reformulations (lazy decay, Fenwick partial sums) are kept on the same
+// side of every comparison in practice — the regression suite and the perf
+// benchmark run whole campaigns in both modes and assert identical record
+// sequences.
 #ifndef AFEX_CORE_FITNESS_EXPLORER_H_
 #define AFEX_CORE_FITNESS_EXPLORER_H_
 
 #include <deque>
 #include <optional>
-#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/explorer.h"
+#include "util/fenwick.h"
 #include "util/rng.h"
 
 namespace afex {
@@ -72,10 +78,11 @@ struct FitnessExplorerConfig {
   int max_generation_attempts = 64;
 
   // Run the original algorithms: per-attempt weight/max-fitness rebuilds in
-  // the mutation retry loop, eager O(pool) aging per result, and
-  // from-scratch lexicographic fallback scans. Kept for the equivalence
-  // regression tests and as the perf-bench baseline; the candidate
-  // sequence is identical to the optimized path for the same seed.
+  // the mutation retry loop, O(pool) eviction weight scans and retirement
+  // sweeps per result, eager aging, and from-scratch lexicographic fallback
+  // scans. Kept for the equivalence regression tests and as the perf-bench
+  // baseline; the candidate sequence is identical to the optimized path for
+  // the same seed.
   bool reference_algorithms = false;
 };
 
@@ -101,7 +108,9 @@ class FitnessExplorer : public Explorer {
   std::vector<double> NormalizedSensitivity() const;
 
   // Current number of live entries in Qpriority.
-  size_t priority_queue_size() const { return priority_.size(); }
+  size_t priority_queue_size() const {
+    return config_.reference_algorithms ? priority_.size() : live_count_;
+  }
 
  private:
   struct Entry {
@@ -113,6 +122,37 @@ class FitnessExplorer : public Explorer {
     double fitness;
     double impact;  // as reported, never aged
   };
+  struct RetireRecord {
+    size_t slot;
+    uint64_t gen;
+  };
+
+  // Qpending ∪ History ∪ Qpriority. The optimized path stores membership as
+  // a bitmap over the space's mixed-radix ordinal when the space is small
+  // enough (every canonical target space is), turning the per-candidate
+  // dedup checks — several per executed test — into one bit probe instead
+  // of hashing a heap-allocated fault vector into a node-based set; the
+  // reference path (and spaces beyond the bitmap limit) keeps the hash set.
+  class IssuedSet {
+   public:
+    void Init(const FaultSpace& space, bool use_bitmap);
+    bool Contains(const Fault& f) const;
+    void Insert(const Fault& f);
+    size_t size() const { return count_; }
+
+   private:
+    static constexpr size_t kBitmapLimit = size_t{1} << 24;  // 2 MiB of bits
+
+    // Mixed-radix ordinal, or SIZE_MAX when f is out of bounds (possible
+    // only for warm-start faults from a foreign journal).
+    size_t Ordinal(const Fault& f) const;
+
+    std::vector<size_t> strides_;  // empty = hash mode
+    std::vector<size_t> cardinalities_;
+    std::vector<bool> bits_;
+    std::unordered_set<Fault, FaultHash> hashed_;  // hash mode + out-of-bounds
+    size_t count_ = 0;
+  };
 
   std::optional<Fault> SampleRandomNovel();
   std::optional<Fault> GenerateMutation();
@@ -120,22 +160,39 @@ class FitnessExplorer : public Explorer {
   std::optional<Fault> ScanForUnissued();
   void InsertIntoPriority(Entry entry);
   void AgeAndRetire();
-  // Aged fitness of a pool entry, whichever representation is active.
-  double EffectiveFitness(const Entry& e) const {
-    return config_.reference_algorithms ? e.fitness : e.fitness * decay_scale_;
+  bool PoolEmpty() const {
+    return config_.reference_algorithms ? priority_.empty() : live_count_ == 0;
   }
-  void RebuildSelectionIfDirty();
-  bool AlreadyIssued(const Fault& f) const { return issued_.contains(f); }
+  bool AlreadyIssued(const Fault& f) const { return issued_.Contains(f); }
+
+  // ---- optimized-path pool maintenance (tombstoned slots + Fenwicks) ----
+  void AppendSlot(Entry entry);
+  void ReplaceSlot(size_t slot, Entry entry);
+  void KillSlot(size_t slot);
+  // k-th (0-based) live slot, via the liveness tree.
+  size_t NthLiveSlot(size_t k) const;
+  // Nearest live slot at or before `slot` (descent clamps can land on a
+  // trailing tombstone when the draw rounds up to the total weight).
+  size_t LiveSlotAtOrBefore(size_t slot) const;
+  size_t SampleParentSlot();
+  size_t SampleEvictionVictim();
+  void RebuildSelectionStructures();
+  void MaybeCompact();
 
   const FaultSpace* space_;
   FitnessExplorerConfig config_;
   Rng rng_;
 
-  std::vector<Entry> priority_;  // Qpriority (unordered; sampling scans it)
-  std::unordered_set<Fault, FaultHash> issued_;  // Qpending ∪ History ∪ Qpriority
-  // Which axis was mutated to generate each outstanding candidate; absent for
-  // random candidates. Keyed by the candidate fault.
-  std::unordered_map<Fault, size_t, FaultHash> pending_axis_;
+  // Qpriority. Reference mode: every element live, erase_if compaction.
+  // Optimized mode: slot vector with tombstones (slot_live_), compacted
+  // once tombstones dominate.
+  std::vector<Entry> priority_;
+  IssuedSet issued_;
+  // Which axis was mutated to generate each outstanding candidate; absent
+  // for random candidates. At most a handful of candidates are ever
+  // outstanding (one per in-flight node), so a flat vector with linear
+  // lookup beats hashing a fault per report.
+  std::vector<std::pair<Fault, size_t>> pending_axis_;
   // Sliding window of recent mutation fitness per axis.
   std::vector<std::deque<double>> axis_history_;
   std::vector<double> sensitivity_;
@@ -145,11 +202,18 @@ class FitnessExplorer : public Explorer {
   // Global aging scalar: aged fitness of entry e = e.fitness * decay_scale_.
   // Renormalized back to 1.0 before it can underflow on long campaigns.
   double decay_scale_ = 1.0;
-  // Inclusive prefix sums of the parent-selection weights (aged fitness +
-  // epsilon floor), rebuilt lazily at most once per reported result and
-  // sampled via Rng::SampleWeightedPrefix.
-  std::vector<double> selection_prefix_;
-  bool selection_dirty_ = true;
+  std::vector<uint8_t> slot_live_;
+  std::vector<uint64_t> slot_gen_;  // bumped on evict/retire; stales queue records
+  size_t live_count_ = 0;
+  size_t dead_count_ = 0;
+  Fenwick<double> fit_fen_;    // stored (decay-normalized) fitness per slot; 0 when dead
+  Fenwick<int64_t> live_fen_;  // 1 per live slot
+  MaxTree max_fitness_;        // max stored fitness per slot; -inf when dead
+  // Entries retire in insertion order (stored fitness is impact/decay-at-
+  // insert, so the aged-below-threshold time is monotone in insertion
+  // time); this queue holds the impact>0 slots in that order and the sweep
+  // pops only what actually retires.
+  std::deque<RetireRecord> retire_queue_;
   // Resume point of the lexicographic fallback scan. Issued points never
   // become unissued, so everything before the cursor stays skippable and
   // the whole-campaign scan cost is one walk of the space, not one per call.

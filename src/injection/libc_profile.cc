@@ -1,5 +1,9 @@
 #include "injection/libc_profile.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
 namespace afex {
 
 namespace sim_errno {
@@ -105,6 +109,41 @@ const LibcProfile& LibcProfile::Default() {
     return p;
   }();
   return *profile;
+}
+
+namespace {
+const std::unordered_map<std::string_view, uint32_t>& FunctionIdMap() {
+  static const auto* map = [] {
+    auto* m = new std::unordered_map<std::string_view, uint32_t>();
+    const auto& functions = LibcProfile::Default().functions();
+    if (functions.size() > kMaxLibcFunctions) {
+      // FaultBus counters are a fixed array sized kMaxLibcFunctions; a
+      // larger profile would make every call to the overflow functions an
+      // out-of-bounds write. Fail loudly at first use, in every build.
+      std::fprintf(stderr, "libc profile has %zu functions; raise kMaxLibcFunctions (%zu)\n",
+                   functions.size(), kMaxLibcFunctions);
+      std::abort();
+    }
+    for (uint32_t id = 0; id < functions.size(); ++id) {
+      // Keys view into the profile's strings, which live for the process.
+      m->emplace(functions[id].function, id);
+    }
+    return m;
+  }();
+  return *map;
+}
+}  // namespace
+
+size_t LibcFunctionCount() { return LibcProfile::Default().functions().size(); }
+
+uint32_t LibcFunctionId(std::string_view name) {
+  const auto& map = FunctionIdMap();
+  auto it = map.find(name);
+  return it == map.end() ? kUnknownLibcFn : it->second;
+}
+
+const std::string& LibcFunctionName(uint32_t id) {
+  return LibcProfile::Default().functions().at(id).function;
 }
 
 std::optional<FunctionErrorProfile> LibcProfile::Find(const std::string& function) const {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace afex {
@@ -41,6 +42,17 @@ class LibcProfile {
  private:
   std::vector<FunctionErrorProfile> functions_;
 };
+
+// Process-wide dense ids for the profiled libc functions, in table order.
+// The set is closed (the profile covers every function SimLibc implements),
+// so per-call counters can live in a fixed array indexed by id instead of a
+// per-run name-keyed map. Thread-safe: built once, read-only afterwards.
+inline constexpr uint32_t kUnknownLibcFn = 0xffffffffu;
+inline constexpr size_t kMaxLibcFunctions = 64;
+size_t LibcFunctionCount();
+// kUnknownLibcFn when `name` is not in the profile.
+uint32_t LibcFunctionId(std::string_view name);
+const std::string& LibcFunctionName(uint32_t id);
 
 // Symbolic errno values used throughout the simulation. We define our own
 // constants instead of <cerrno> macros so the simulated environment is

@@ -60,6 +60,93 @@ InjectionPlan DecodeFault(const FaultSpace& space, const Fault& fault,
   return plan;
 }
 
+FaultDecoder::FaultDecoder(const FaultSpace& space, const LibcProfile& profile) {
+  roles_.test = space.AxisIndexByName("test");
+  if (!roles_.test.has_value()) {
+    throw std::invalid_argument("fault space has no 'test' axis: " + space.name());
+  }
+  const Axis& test_axis = space.axis(*roles_.test);
+  test_id_by_value_.reserve(test_axis.cardinality());
+  for (size_t v = 0; v < test_axis.cardinality(); ++v) {
+    uint64_t label = 0;
+    if (!ParseUint(test_axis.Label(v), label) || label == 0) {
+      throw std::invalid_argument("unparsable test label in space " + space.name());
+    }
+    test_id_by_value_.push_back(static_cast<size_t>(label - 1));  // labels are 1-based
+  }
+
+  roles_.function = space.AxisIndexByName("function");
+  roles_.call = space.AxisIndexByName("call");
+  if (!roles_.function.has_value() || !roles_.call.has_value()) {
+    return;  // a test-only space: no injection
+  }
+
+  const Axis& call_axis = space.axis(*roles_.call);
+  call_by_value_.reserve(call_axis.cardinality());
+  for (size_t v = 0; v < call_axis.cardinality(); ++v) {
+    uint64_t call_number = 0;
+    if (!ParseUint(call_axis.Label(v), call_number)) {
+      throw std::invalid_argument("unparsable call label in space " + space.name());
+    }
+    call_by_value_.push_back(call_number);
+  }
+
+  const Axis& func_axis = space.axis(*roles_.function);
+  spec_by_function_.reserve(func_axis.cardinality());
+  for (size_t v = 0; v < func_axis.cardinality(); ++v) {
+    FaultSpec spec;
+    spec.function = func_axis.Label(v);
+    auto fn_profile = profile.Find(spec.function);
+    spec.retval = fn_profile.has_value() ? fn_profile->error_retval : -1;
+    spec.errno_value =
+        fn_profile.has_value() && !fn_profile->errnos.empty() ? fn_profile->errnos.front() : 0;
+    spec_by_function_.push_back(std::move(spec));
+  }
+
+  roles_.errno_axis = space.AxisIndexByName("errno");
+  if (roles_.errno_axis.has_value()) {
+    const Axis& errno_axis = space.axis(*roles_.errno_axis);
+    for (size_t v = 0; v < errno_axis.cardinality(); ++v) {
+      std::string label = errno_axis.Label(v);
+      auto value = sim_errno::ValueFromName(label);
+      if (!value.has_value()) {
+        throw std::invalid_argument("unknown errno label '" + label + "'");
+      }
+      errno_by_value_.push_back(*value);
+    }
+  }
+  roles_.retval = space.AxisIndexByName("retval");
+  if (roles_.retval.has_value()) {
+    const Axis& retval_axis = space.axis(*roles_.retval);
+    for (size_t v = 0; v < retval_axis.cardinality(); ++v) {
+      retval_by_value_.push_back(std::stoll(retval_axis.Label(v)));
+    }
+  }
+}
+
+InjectionPlan FaultDecoder::Decode(const Fault& fault) const {
+  InjectionPlan plan;
+  plan.test_id = test_id_by_value_[fault[*roles_.test]];
+  if (!roles_.function.has_value() || !roles_.call.has_value()) {
+    return plan;
+  }
+  uint64_t call_number = call_by_value_[fault[*roles_.call]];
+  if (call_number == 0) {
+    return plan;  // call 0 = the no-injection point (Phi_coreutils convention)
+  }
+  FaultSpec spec = spec_by_function_[fault[*roles_.function]];
+  spec.call_lo = static_cast<int>(call_number);
+  spec.call_hi = static_cast<int>(call_number);
+  if (roles_.errno_axis.has_value()) {
+    spec.errno_value = errno_by_value_[fault[*roles_.errno_axis]];
+  }
+  if (roles_.retval.has_value()) {
+    spec.retval = retval_by_value_[fault[*roles_.retval]];
+  }
+  plan.spec = std::move(spec);
+  return plan;
+}
+
 std::string FormatPlan(const InjectionPlan& plan) {
   std::string out = "test " + std::to_string(plan.test_id + 1);
   if (!plan.spec.has_value()) {

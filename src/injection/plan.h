@@ -38,6 +38,38 @@ struct InjectionPlan {
 InjectionPlan DecodeFault(const FaultSpace& space, const Fault& fault,
                           const LibcProfile& profile = LibcProfile::Default());
 
+// Decode cache for one space: axis roles are resolved and every axis label
+// parsed/profiled once up front, so the per-test decode — which the harness
+// runs before every single execution — is table lookups instead of
+// axis-name scans, label stringification, and a linear profile search.
+// Throws std::invalid_argument on the same malformed spaces DecodeFault
+// rejects. The space must outlive the decoder.
+class FaultDecoder {
+ public:
+  explicit FaultDecoder(const FaultSpace& space,
+                        const LibcProfile& profile = LibcProfile::Default());
+
+  InjectionPlan Decode(const Fault& fault) const;
+
+ private:
+  struct AxisRoles {
+    std::optional<size_t> test;
+    std::optional<size_t> function;
+    std::optional<size_t> call;
+    std::optional<size_t> errno_axis;
+    std::optional<size_t> retval;
+  };
+
+  AxisRoles roles_;
+  std::vector<size_t> test_id_by_value_;
+  std::vector<uint64_t> call_by_value_;
+  // Per function-axis value: spec template with function/retval/errno
+  // resolved (call window filled per decode).
+  std::vector<FaultSpec> spec_by_function_;
+  std::vector<int> errno_by_value_;
+  std::vector<int64_t> retval_by_value_;
+};
+
 // Renders the plan in the paper's Fig. 5 scenario form, e.g.
 // "function malloc errno ENOMEM retval 0 callNumber 23".
 std::string FormatPlan(const InjectionPlan& plan);

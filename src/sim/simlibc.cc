@@ -7,6 +7,21 @@
 
 namespace afex {
 
+namespace {
+// The seed implementation materialized content.substr() into a fresh string
+// on every read; the reference mode reproduces that per-read chunk
+// allocation so the benchmark baseline keeps the original cost, while the
+// default appends straight out of the node into the caller's buffer.
+void AppendChunk(bool reference, std::string& out, const std::string& content, size_t off,
+                 size_t take) {
+  if (reference) {
+    out.append(content.substr(off, take));
+  } else {
+    out.append(content, off, take);
+  }
+}
+}  // namespace
+
 using sim_errno::kEBADF;
 using sim_errno::kECONNRESET;
 using sim_errno::kEIO;
@@ -15,7 +30,7 @@ using sim_errno::kENOMEM;
 
 const FaultSpec* SimLibc::CheckFault(const char* function) {
   env_->Tick();
-  const FaultSpec* spec = env_->bus().OnCall(function);
+  const FaultSpec* spec = env_->bus().OnCallLiteral(function);
   if (spec != nullptr) {
     env_->RecordInjection(function);
     env_->set_sim_errno(spec->errno_value);
@@ -55,7 +70,7 @@ void SimLibc::Free(uint64_t handle) {
   }
 }
 
-uint64_t SimLibc::Strdup(const std::string& s) {
+uint64_t SimLibc::Strdup(std::string_view s) {
   if (CheckFault("strdup")) {
     return 0;
   }
@@ -71,40 +86,42 @@ uint64_t SimLibc::Strdup(const std::string& s) {
 
 // ---- stream I/O ----
 
-uint64_t SimLibc::Fopen(const std::string& path, const std::string& mode) {
+uint64_t SimLibc::Fopen(std::string_view path, std::string_view mode) {
   if (CheckFault("fopen")) {
     return 0;
   }
-  bool for_write = mode.find('w') != std::string::npos || mode.find('a') != std::string::npos;
-  const SimEnv::FileNode* node = env_->Find(path);
+  bool for_write =
+      mode.find('w') != std::string_view::npos || mode.find('a') != std::string_view::npos;
+  // Resolve the path to its interned id once; every further touch of this
+  // call (and of later I/O on the stream) goes through the id.
+  uint32_t path_id = env_->InternPath(path);
+  const SimEnv::FileNode* node = env_->FindById(path_id);
   if (!for_write) {
     if (node == nullptr || node->is_dir) {
       env_->set_sim_errno(kENOENT);
       return 0;
     }
-  } else if (node == nullptr || mode.find('w') != std::string::npos) {
-    env_->AddFile(path, "");
+  } else if (node == nullptr || mode.find('w') != std::string_view::npos) {
+    env_->AddFileById(path_id, "");
   }
   int fd = env_->NextFd();
-  SimEnv::OpenFile of;
-  of.path = path;
+  SimEnv::OpenFile& of = env_->CreateOpenFile(fd);
+  of.path_id = path_id;
   of.for_write = for_write;
-  of.append = mode.find('a') != std::string::npos;
+  of.append = mode.find('a') != std::string_view::npos;
   if (of.append) {
-    of.offset = env_->Find(path)->content.size();
+    of.offset = env_->FindById(path_id)->content.size();
   }
-  env_->open_files()[fd] = std::move(of);
   return static_cast<uint64_t>(fd);
 }
 
 int SimLibc::Fclose(uint64_t stream) {
   if (const FaultSpec* spec = CheckFault("fclose")) {
     // Even a failed fclose invalidates the stream, per POSIX.
-    env_->open_files().erase(static_cast<int>(stream));
+    env_->RemoveOpenFile(static_cast<int>(stream));
     return static_cast<int>(spec->retval);
   }
-  auto erased = env_->open_files().erase(static_cast<int>(stream));
-  if (erased == 0) {
+  if (!env_->RemoveOpenFile(static_cast<int>(stream))) {
     env_->set_sim_errno(kEBADF);
     return -1;
   }
@@ -112,84 +129,80 @@ int SimLibc::Fclose(uint64_t stream) {
 }
 
 size_t SimLibc::Fread(uint64_t stream, std::string& out, size_t n) {
-  out.clear();
   if (CheckFault("fread")) {
-    auto it = env_->open_files().find(static_cast<int>(stream));
-    if (it != env_->open_files().end()) {
-      it->second.error_flag = true;
+    if (SimEnv::OpenFile* of = env_->FindOpenFile(static_cast<int>(stream))) {
+      of->error_flag = true;
     }
     return 0;
   }
-  auto it = env_->open_files().find(static_cast<int>(stream));
-  if (it == env_->open_files().end()) {
+  SimEnv::OpenFile* of = env_->FindOpenFile(static_cast<int>(stream));
+  if (of == nullptr) {
     env_->set_sim_errno(kEBADF);
     return 0;
   }
-  const SimEnv::FileNode* node = env_->Find(it->second.path);
+  const SimEnv::FileNode* node = env_->FindById(of->path_id);
   if (node == nullptr) {
-    it->second.error_flag = true;
+    of->error_flag = true;
     return 0;
   }
-  size_t off = it->second.offset;
+  size_t off = of->offset;
   if (off >= node->content.size()) {
     return 0;  // EOF
   }
   size_t take = std::min(n, node->content.size() - off);
-  out = node->content.substr(off, take);
-  it->second.offset += take;
+  AppendChunk(env_->reference_structures(), out, node->content, off, take);
+  of->offset += take;
   return take;
 }
 
-size_t SimLibc::Fwrite(uint64_t stream, const std::string& data) {
+size_t SimLibc::Fwrite(uint64_t stream, std::string_view data) {
   if (CheckFault("fwrite")) {
-    auto it = env_->open_files().find(static_cast<int>(stream));
-    if (it != env_->open_files().end()) {
-      it->second.error_flag = true;
+    if (SimEnv::OpenFile* of = env_->FindOpenFile(static_cast<int>(stream))) {
+      of->error_flag = true;
     }
     return 0;
   }
-  auto it = env_->open_files().find(static_cast<int>(stream));
-  if (it == env_->open_files().end()) {
+  SimEnv::OpenFile* of = env_->FindOpenFile(static_cast<int>(stream));
+  if (of == nullptr) {
     env_->set_sim_errno(kEBADF);
     return 0;
   }
-  SimEnv::FileNode* node = env_->FindMutable(it->second.path);
+  SimEnv::FileNode* node = env_->FindMutableById(of->path_id);
   if (node == nullptr) {
-    it->second.error_flag = true;
+    of->error_flag = true;
     return 0;
   }
-  size_t off = it->second.offset;
+  size_t off = of->offset;
   if (node->content.size() < off) {
     node->content.resize(off, '\0');
   }
   node->content.replace(off, data.size(), data);
-  it->second.offset += data.size();
+  of->offset += data.size();
   return data.size();
 }
 
 bool SimLibc::Fgets(uint64_t stream, std::string& line) {
   line.clear();
   if (CheckFault("fgets")) {
-    auto it = env_->open_files().find(static_cast<int>(stream));
-    if (it != env_->open_files().end()) {
-      it->second.error_flag = true;
+    if (SimEnv::OpenFile* of = env_->FindOpenFile(static_cast<int>(stream))) {
+      of->error_flag = true;
     }
     return false;
   }
-  auto it = env_->open_files().find(static_cast<int>(stream));
-  if (it == env_->open_files().end()) {
+  SimEnv::OpenFile* of = env_->FindOpenFile(static_cast<int>(stream));
+  if (of == nullptr) {
     env_->set_sim_errno(kEBADF);
     return false;
   }
-  const SimEnv::FileNode* node = env_->Find(it->second.path);
-  if (node == nullptr || it->second.offset >= node->content.size()) {
+  const SimEnv::FileNode* node = env_->FindById(of->path_id);
+  if (node == nullptr || of->offset >= node->content.size()) {
     return false;  // EOF
   }
-  size_t off = it->second.offset;
+  size_t off = of->offset;
   size_t nl = node->content.find('\n', off);
   size_t end = nl == std::string::npos ? node->content.size() : nl + 1;
-  line = node->content.substr(off, end - off);
-  it->second.offset = end;
+  AppendChunk(env_->reference_structures(), line, node->content, off, end - off);
+  of->offset = end;
   return true;
 }
 
@@ -197,7 +210,7 @@ int SimLibc::Fflush(uint64_t stream) {
   if (const FaultSpec* spec = CheckFault("fflush")) {
     return static_cast<int>(spec->retval);
   }
-  if (!env_->open_files().contains(static_cast<int>(stream))) {
+  if (!env_->HasOpenFile(static_cast<int>(stream))) {
     env_->set_sim_errno(kEBADF);
     return -1;
   }
@@ -210,14 +223,13 @@ int SimLibc::Ferror(uint64_t stream) {
   if (const FaultSpec* spec = CheckFault("ferror")) {
     return static_cast<int>(spec->retval);
   }
-  auto it = env_->open_files().find(static_cast<int>(stream));
-  return it != env_->open_files().end() && it->second.error_flag ? 1 : 0;
+  const SimEnv::OpenFile* of = env_->FindOpenFile(static_cast<int>(stream));
+  return of != nullptr && of->error_flag ? 1 : 0;
 }
 
 void SimLibc::Clearerr(uint64_t stream) {
-  auto it = env_->open_files().find(static_cast<int>(stream));
-  if (it != env_->open_files().end()) {
-    it->second.error_flag = false;
+  if (SimEnv::OpenFile* of = env_->FindOpenFile(static_cast<int>(stream))) {
+    of->error_flag = false;
   }
 }
 
@@ -225,92 +237,91 @@ int SimLibc::Fputc(uint64_t stream, char c) {
   if (const FaultSpec* spec = CheckFault("fputc")) {
     return static_cast<int>(spec->retval);
   }
-  size_t written = Fwrite(stream, std::string(1, c));
+  size_t written = Fwrite(stream, std::string_view(&c, 1));
   return written == 1 ? static_cast<unsigned char>(c) : -1;
 }
 
 // ---- fd I/O ----
 
-int SimLibc::Open(const std::string& path, int flags) {
+int SimLibc::Open(std::string_view path, int flags) {
   if (const FaultSpec* spec = CheckFault("open")) {
     return static_cast<int>(spec->retval);
   }
-  const SimEnv::FileNode* node = env_->Find(path);
+  uint32_t path_id = env_->InternPath(path);
+  const SimEnv::FileNode* node = env_->FindById(path_id);
   if (node == nullptr) {
     if ((flags & kCreate) == 0) {
       env_->set_sim_errno(kENOENT);
       return -1;
     }
-    env_->AddFile(path, "");
+    env_->AddFileById(path_id, "");
   } else if ((flags & kTrunc) != 0) {
-    env_->FindMutable(path)->content.clear();
+    env_->FindMutableById(path_id)->content.clear();
   }
   int fd = env_->NextFd();
-  SimEnv::OpenFile of;
-  of.path = path;
+  SimEnv::OpenFile& of = env_->CreateOpenFile(fd);
+  of.path_id = path_id;
   of.for_write = (flags & (kWrOnly | kCreate | kAppend | kTrunc)) != 0;
   of.append = (flags & kAppend) != 0;
   if (of.append) {
-    of.offset = env_->Find(path)->content.size();
+    of.offset = env_->FindById(path_id)->content.size();
   }
-  env_->open_files()[fd] = std::move(of);
   return fd;
 }
 
 long SimLibc::Read(int fd, std::string& out, size_t n) {
-  out.clear();
   if (const FaultSpec* spec = CheckFault("read")) {
     return spec->retval;
   }
-  auto it = env_->open_files().find(fd);
-  if (it == env_->open_files().end()) {
+  SimEnv::OpenFile* of = env_->FindOpenFile(fd);
+  if (of == nullptr) {
     env_->set_sim_errno(kEBADF);
     return -1;
   }
-  const SimEnv::FileNode* node = env_->Find(it->second.path);
+  const SimEnv::FileNode* node = env_->FindById(of->path_id);
   if (node == nullptr) {
     env_->set_sim_errno(kEIO);
     return -1;
   }
-  size_t off = it->second.offset;
+  size_t off = of->offset;
   if (off >= node->content.size()) {
     return 0;
   }
   size_t take = std::min(n, node->content.size() - off);
-  out = node->content.substr(off, take);
-  it->second.offset += take;
+  AppendChunk(env_->reference_structures(), out, node->content, off, take);
+  of->offset += take;
   return static_cast<long>(take);
 }
 
-long SimLibc::Write(int fd, const std::string& data) {
+long SimLibc::Write(int fd, std::string_view data) {
   if (const FaultSpec* spec = CheckFault("write")) {
     return spec->retval;
   }
-  auto it = env_->open_files().find(fd);
-  if (it == env_->open_files().end()) {
+  SimEnv::OpenFile* of = env_->FindOpenFile(fd);
+  if (of == nullptr) {
     env_->set_sim_errno(kEBADF);
     return -1;
   }
-  SimEnv::FileNode* node = env_->FindMutable(it->second.path);
+  SimEnv::FileNode* node = env_->FindMutableById(of->path_id);
   if (node == nullptr) {
     env_->set_sim_errno(kEIO);
     return -1;
   }
-  size_t off = it->second.offset;
+  size_t off = of->offset;
   if (node->content.size() < off) {
     node->content.resize(off, '\0');
   }
   node->content.replace(off, data.size(), data);
-  it->second.offset += data.size();
+  of->offset += data.size();
   return static_cast<long>(data.size());
 }
 
 int SimLibc::Close(int fd) {
   if (const FaultSpec* spec = CheckFault("close")) {
-    env_->open_files().erase(fd);  // descriptor state is undefined; drop it
+    env_->RemoveOpenFile(fd);  // descriptor state is undefined; drop it
     return static_cast<int>(spec->retval);
   }
-  if (env_->open_files().erase(fd) == 0 && env_->sockets().erase(fd) == 0) {
+  if (!env_->RemoveOpenFile(fd) && !env_->RemoveSocket(fd)) {
     env_->set_sim_errno(kEBADF);
     return -1;
   }
@@ -321,24 +332,24 @@ long SimLibc::Lseek(int fd, long offset, int whence) {
   if (const FaultSpec* spec = CheckFault("lseek")) {
     return spec->retval;
   }
-  auto it = env_->open_files().find(fd);
-  if (it == env_->open_files().end()) {
+  SimEnv::OpenFile* of = env_->FindOpenFile(fd);
+  if (of == nullptr) {
     env_->set_sim_errno(kEBADF);
     return -1;
   }
-  const SimEnv::FileNode* node = env_->Find(it->second.path);
+  const SimEnv::FileNode* node = env_->FindById(of->path_id);
   long size = node == nullptr ? 0 : static_cast<long>(node->content.size());
-  long base = whence == 0 ? 0 : (whence == 1 ? static_cast<long>(it->second.offset) : size);
+  long base = whence == 0 ? 0 : (whence == 1 ? static_cast<long>(of->offset) : size);
   long target = base + offset;
   if (target < 0) {
     env_->set_sim_errno(kEBADF);
     return -1;
   }
-  it->second.offset = static_cast<size_t>(target);
+  of->offset = static_cast<size_t>(target);
   return target;
 }
 
-int SimLibc::Stat(const std::string& path, StatBuf& out) {
+int SimLibc::Stat(std::string_view path, StatBuf& out) {
   if (const FaultSpec* spec = CheckFault("stat")) {
     return static_cast<int>(spec->retval);
   }
@@ -352,40 +363,40 @@ int SimLibc::Stat(const std::string& path, StatBuf& out) {
   return 0;
 }
 
-int SimLibc::Rename(const std::string& from, const std::string& to) {
+int SimLibc::Rename(std::string_view from, std::string_view to) {
   if (const FaultSpec* spec = CheckFault("rename")) {
     return static_cast<int>(spec->retval);
   }
-  SimEnv::FileNode* node = env_->FindMutable(from);
+  uint32_t from_id = env_->InternPath(from);
+  SimEnv::FileNode* node = env_->FindMutableById(from_id);
   if (node == nullptr) {
     env_->set_sim_errno(kENOENT);
     return -1;
   }
-  SimEnv::FileNode copy = *node;
-  env_->Remove(from);
+  SimEnv::FileNode copy = std::move(*node);
+  env_->RemoveById(from_id);
   if (copy.is_dir) {
     env_->AddDir(to);
   } else {
-    env_->AddFile(to, copy.content);
+    env_->AddFile(to, std::move(copy.content));
   }
   return 0;
 }
 
-int SimLibc::Unlink(const std::string& path) {
+int SimLibc::Unlink(std::string_view path) {
   if (const FaultSpec* spec = CheckFault("unlink")) {
     return static_cast<int>(spec->retval);
   }
-  if (!env_->Exists(path)) {
+  if (!env_->Remove(path)) {
     env_->set_sim_errno(kENOENT);
     return -1;
   }
-  env_->Remove(path);
   return 0;
 }
 
 // ---- directories ----
 
-uint64_t SimLibc::Opendir(const std::string& path) {
+uint64_t SimLibc::Opendir(std::string_view path) {
   if (CheckFault("opendir")) {
     return 0;
   }
@@ -394,10 +405,9 @@ uint64_t SimLibc::Opendir(const std::string& path) {
     return 0;
   }
   int fd = env_->NextFd();
-  SimEnv::OpenFile of;
-  of.path = path;
+  SimEnv::OpenFile& of = env_->CreateOpenFile(fd);
+  of.path_id = env_->InternPath(path);
   of.dir_entries = env_->ListDir(path);
-  env_->open_files()[fd] = std::move(of);
   return static_cast<uint64_t>(fd);
 }
 
@@ -406,32 +416,32 @@ bool SimLibc::Readdir(uint64_t dir, std::string& name) {
   if (CheckFault("readdir")) {
     return false;
   }
-  auto it = env_->open_files().find(static_cast<int>(dir));
-  if (it == env_->open_files().end()) {
+  SimEnv::OpenFile* of = env_->FindOpenFile(static_cast<int>(dir));
+  if (of == nullptr) {
     env_->set_sim_errno(kEBADF);
     return false;
   }
-  if (it->second.dir_index >= it->second.dir_entries.size()) {
+  if (of->dir_index >= of->dir_entries.size()) {
     env_->set_sim_errno(0);  // end of directory is not an error
     return false;
   }
-  name = it->second.dir_entries[it->second.dir_index++];
+  name = of->dir_entries[of->dir_index++];
   return true;
 }
 
 int SimLibc::Closedir(uint64_t dir) {
   if (const FaultSpec* spec = CheckFault("closedir")) {
-    env_->open_files().erase(static_cast<int>(dir));
+    env_->RemoveOpenFile(static_cast<int>(dir));
     return static_cast<int>(spec->retval);
   }
-  if (env_->open_files().erase(static_cast<int>(dir)) == 0) {
+  if (!env_->RemoveOpenFile(static_cast<int>(dir))) {
     env_->set_sim_errno(kEBADF);
     return -1;
   }
   return 0;
 }
 
-int SimLibc::Chdir(const std::string& path) {
+int SimLibc::Chdir(std::string_view path) {
   if (const FaultSpec* spec = CheckFault("chdir")) {
     return static_cast<int>(spec->retval);
   }
@@ -439,7 +449,7 @@ int SimLibc::Chdir(const std::string& path) {
     env_->set_sim_errno(kENOENT);
     return -1;
   }
-  env_->set_cwd(path);
+  env_->set_cwd(std::string(path));
   return 0;
 }
 
@@ -452,7 +462,7 @@ uint64_t SimLibc::Getcwd() {
   return h;
 }
 
-int SimLibc::Mkdir(const std::string& path) {
+int SimLibc::Mkdir(std::string_view path) {
   if (const FaultSpec* spec = CheckFault("mkdir")) {
     return static_cast<int>(spec->retval);
   }
@@ -471,21 +481,21 @@ int SimLibc::Socket() {
     return static_cast<int>(spec->retval);
   }
   int fd = env_->NextFd();
-  env_->sockets()[fd] = SimEnv::Socket{};
+  env_->AddSocket(fd);
   return fd;
 }
 
-int SimLibc::Bind(int fd, const std::string& address) {
+int SimLibc::Bind(int fd, std::string_view address) {
   if (const FaultSpec* spec = CheckFault("bind")) {
     return static_cast<int>(spec->retval);
   }
-  auto it = env_->sockets().find(fd);
-  if (it == env_->sockets().end()) {
+  SimEnv::Socket* socket = env_->FindSocket(fd);
+  if (socket == nullptr) {
     env_->set_sim_errno(kEBADF);
     return -1;
   }
-  it->second.bound = true;
-  it->second.peer = address;
+  socket->bound = true;
+  socket->peer.assign(address);
   return 0;
 }
 
@@ -493,12 +503,12 @@ int SimLibc::Listen(int fd) {
   if (const FaultSpec* spec = CheckFault("listen")) {
     return static_cast<int>(spec->retval);
   }
-  auto it = env_->sockets().find(fd);
-  if (it == env_->sockets().end() || !it->second.bound) {
+  SimEnv::Socket* socket = env_->FindSocket(fd);
+  if (socket == nullptr || !socket->bound) {
     env_->set_sim_errno(kEBADF);
     return -1;
   }
-  it->second.listening = true;
+  socket->listening = true;
   return 0;
 }
 
@@ -506,28 +516,29 @@ int SimLibc::Accept(int fd) {
   if (const FaultSpec* spec = CheckFault("accept")) {
     return static_cast<int>(spec->retval);
   }
-  auto it = env_->sockets().find(fd);
-  if (it == env_->sockets().end() || !it->second.listening) {
+  SimEnv::Socket* listener = env_->FindSocket(fd);
+  if (listener == nullptr || !listener->listening) {
     env_->set_sim_errno(kEBADF);
     return -1;
   }
   // The simulated peer's request bytes were staged in the listening
   // socket's inbox by the test fixture; hand them to the accepted socket.
+  // Move the inbox out before AddSocket: adding may relocate the listener.
+  std::string pending = std::move(listener->inbox);
+  listener->inbox.clear();
   int conn = env_->NextFd();
-  SimEnv::Socket s;
-  s.connected = true;
-  s.inbox = std::move(it->second.inbox);
-  it->second.inbox.clear();
-  env_->sockets()[conn] = std::move(s);
+  SimEnv::Socket& accepted = env_->AddSocket(conn);
+  accepted.connected = true;
+  accepted.inbox = std::move(pending);
   return conn;
 }
 
-long SimLibc::Send(int fd, const std::string& data) {
+long SimLibc::Send(int fd, std::string_view data) {
   if (const FaultSpec* spec = CheckFault("send")) {
     return spec->retval;
   }
-  auto it = env_->sockets().find(fd);
-  if (it == env_->sockets().end() || !it->second.connected) {
+  SimEnv::Socket* socket = env_->FindSocket(fd);
+  if (socket == nullptr || !socket->connected) {
     env_->set_sim_errno(kECONNRESET);
     return -1;
   }
@@ -535,18 +546,17 @@ long SimLibc::Send(int fd, const std::string& data) {
 }
 
 long SimLibc::Recv(int fd, std::string& out, size_t n) {
-  out.clear();
   if (const FaultSpec* spec = CheckFault("recv")) {
     return spec->retval;
   }
-  auto it = env_->sockets().find(fd);
-  if (it == env_->sockets().end() || !it->second.connected) {
+  SimEnv::Socket* socket = env_->FindSocket(fd);
+  if (socket == nullptr || !socket->connected) {
     env_->set_sim_errno(kECONNRESET);
     return -1;
   }
-  size_t take = std::min(n, it->second.inbox.size());
-  out = it->second.inbox.substr(0, take);
-  it->second.inbox.erase(0, take);
+  size_t take = std::min(n, socket->inbox.size());
+  AppendChunk(env_->reference_structures(), out, socket->inbox, 0, take);
+  socket->inbox.erase(0, take);
   return static_cast<long>(take);
 }
 
@@ -556,15 +566,13 @@ int SimLibc::Pipe(int& read_fd, int& write_fd) {
   }
   std::string path = "/.pipe/" + std::to_string(env_->NextFd());
   env_->AddFile(path, "");
+  uint32_t path_id = env_->InternPath(path);
   read_fd = env_->NextFd();
   write_fd = env_->NextFd();
-  SimEnv::OpenFile r;
-  r.path = path;
-  SimEnv::OpenFile w;
-  w.path = path;
+  env_->CreateOpenFile(read_fd).path_id = path_id;
+  SimEnv::OpenFile& w = env_->CreateOpenFile(write_fd);
+  w.path_id = path_id;
   w.for_write = true;
-  env_->open_files()[read_fd] = std::move(r);
-  env_->open_files()[write_fd] = std::move(w);
   return 0;
 }
 
@@ -578,7 +586,7 @@ int SimLibc::ClockGettime(long& out) {
   return 0;
 }
 
-uint64_t SimLibc::Setlocale(const std::string& locale) {
+uint64_t SimLibc::Setlocale(std::string_view locale) {
   if (CheckFault("setlocale")) {
     return 0;
   }
@@ -602,7 +610,7 @@ int SimLibc::Setrlimit(long /*soft_limit*/) {
   return 0;
 }
 
-long SimLibc::Strtol(const std::string& s, bool& ok) {
+long SimLibc::Strtol(std::string_view s, bool& ok) {
   if (CheckFault("strtol")) {
     ok = false;
     return 0;
@@ -638,7 +646,7 @@ int SimLibc::Wait(int& status) {
   return 1;  // simulated child pid
 }
 
-int SimLibc::MutexLock(const std::string& name) {
+int SimLibc::MutexLock(std::string_view name) {
   if (const FaultSpec* spec = CheckFault("pthread_mutex_lock")) {
     return static_cast<int>(spec->retval);
   }
@@ -646,7 +654,7 @@ int SimLibc::MutexLock(const std::string& name) {
   return 0;
 }
 
-int SimLibc::MutexUnlock(const std::string& name) {
+int SimLibc::MutexUnlock(std::string_view name) {
   if (const FaultSpec* spec = CheckFault("pthread_mutex_unlock")) {
     return static_cast<int>(spec->retval);
   }

@@ -10,12 +10,18 @@
 //    on injection and set the simulated errno.
 //  * Every call consumes one watchdog step, so hangs are detectable even in
 //    loops made only of libc calls.
+//  * Path and data parameters are std::string_view, so call sites passing
+//    literals, strings, or substrings never materialize a temporary.
+//  * Fread/Read/Recv APPEND into the caller's buffer (the sim analogue of
+//    reading into a caller-provided char*): accumulation loops pass their
+//    result buffer directly and no intermediate chunk string exists. Fgets
+//    overwrites the caller's line buffer in place, reusing its capacity.
 #ifndef AFEX_SIM_SIMLIBC_H_
 #define AFEX_SIM_SIMLIBC_H_
 
 #include <cstdint>
-#include <optional>
 #include <string>
+#include <string_view>
 
 namespace afex {
 
@@ -47,16 +53,18 @@ class SimLibc {
   void Free(uint64_t handle);
   // strdup allocates via Malloc internally, so an injected malloc failure
   // propagates through it — the mechanism behind the paper's Fig. 7 bug.
-  uint64_t Strdup(const std::string& s);
+  uint64_t Strdup(std::string_view s);
 
   // ---- stream I/O ----
-  uint64_t Fopen(const std::string& path, const std::string& mode);
+  uint64_t Fopen(std::string_view path, std::string_view mode);
   int Fclose(uint64_t stream);
-  // Reads up to n bytes; returns bytes read (0 on EOF or error; error sets
-  // the stream's error flag, distinguishable via Ferror).
+  // Appends up to n bytes to `out`; returns bytes read (0 on EOF or error;
+  // error sets the stream's error flag, distinguishable via Ferror).
   size_t Fread(uint64_t stream, std::string& out, size_t n);
-  size_t Fwrite(uint64_t stream, const std::string& data);
-  // Reads one '\n'-terminated line (newline included); false on EOF/error.
+  size_t Fwrite(uint64_t stream, std::string_view data);
+  // Reads one '\n'-terminated line (newline included) into `line`,
+  // overwriting it in place (the caller's buffer is the resident line
+  // buffer); false on EOF/error.
   bool Fgets(uint64_t stream, std::string& line);
   int Fflush(uint64_t stream);
   int Ferror(uint64_t stream);
@@ -66,47 +74,51 @@ class SimLibc {
   int Fputc(uint64_t stream, char c);
 
   // ---- fd I/O ----
-  int Open(const std::string& path, int flags);
+  int Open(std::string_view path, int flags);
+  // Appends up to n bytes to `out`; returns bytes read, 0 at EOF, the armed
+  // retval on injection.
   long Read(int fd, std::string& out, size_t n);
-  long Write(int fd, const std::string& data);
+  long Write(int fd, std::string_view data);
   int Close(int fd);
   long Lseek(int fd, long offset, int whence);  // whence: 0=SET 1=CUR 2=END
-  int Stat(const std::string& path, StatBuf& out);
-  int Rename(const std::string& from, const std::string& to);
-  int Unlink(const std::string& path);
+  int Stat(std::string_view path, StatBuf& out);
+  int Rename(std::string_view from, std::string_view to);
+  int Unlink(std::string_view path);
 
   // ---- directories ----
-  uint64_t Opendir(const std::string& path);
+  uint64_t Opendir(std::string_view path);
   // False at end-of-directory or on error (errno distinguishes).
   bool Readdir(uint64_t dir, std::string& name);
   int Closedir(uint64_t dir);
-  int Chdir(const std::string& path);
+  int Chdir(std::string_view path);
   uint64_t Getcwd();  // allocates; payload holds the path
-  int Mkdir(const std::string& path);
+  int Mkdir(std::string_view path);
 
   // ---- networking ----
   int Socket();
-  int Bind(int fd, const std::string& address);
+  int Bind(int fd, std::string_view address);
   int Listen(int fd);
   int Accept(int fd);  // pops a pending simulated connection
-  long Send(int fd, const std::string& data);
+  long Send(int fd, std::string_view data);
+  // Appends up to n bytes to `out`.
   long Recv(int fd, std::string& out, size_t n);
   int Pipe(int& read_fd, int& write_fd);
 
   // ---- misc ----
   int ClockGettime(long& out);  // simulated nanoseconds = steps used
-  uint64_t Setlocale(const std::string& locale);
+  uint64_t Setlocale(std::string_view locale);
   int Getrlimit(long& soft_limit);
   int Setrlimit(long soft_limit);
   // strtol; ok=false on injected failure or unparsable input.
-  long Strtol(const std::string& s, bool& ok);
+  long Strtol(std::string_view s, bool& ok);
   int Wait(int& status);
-  int MutexLock(const std::string& name);
-  int MutexUnlock(const std::string& name);
+  int MutexLock(std::string_view name);
+  int MutexUnlock(std::string_view name);
 
  private:
   // Routes one call through the bus; on a hit records the injection and
-  // sets errno. Returns the armed spec or nullptr.
+  // sets errno. Returns the armed spec or nullptr. `function` must be a
+  // string literal (the bus caches by pointer identity).
   const FaultSpec* CheckFault(const char* function);
 
   SimEnv* env_;

@@ -9,7 +9,7 @@ namespace {
 
 // Copies a file byte-for-byte through the fd API with EINTR retry — shared
 // by cp and by mv's cross-filesystem fallback.
-int CopyFile(SimEnv& env, const std::string& source, const std::string& dest,
+int CopyFile(SimEnv& env, std::string_view source, std::string_view dest,
              uint32_t base_block, uint32_t recovery_block) {
   StackFrame frame(env, "copy_file");
   SimLibc& libc = env.libc();
@@ -27,6 +27,7 @@ int CopyFile(SimEnv& env, const std::string& source, const std::string& dest,
   }
   std::string chunk;
   while (true) {
+    chunk.clear();  // reuses capacity; Read appends into it
     long n = libc.Read(in, chunk, 32);
     if (n < 0) {
       if (env.sim_errno() == sim_errno::kEINTR) {
@@ -62,18 +63,18 @@ int CopyFile(SimEnv& env, const std::string& source, const std::string& dest,
 // True when source and dest live on different (simulated) filesystems —
 // real mv detects this via rename() failing with EXDEV; the simulated
 // filesystem namespaces devices by top-level directory.
-bool CrossDevice(const std::string& a, const std::string& b) {
-  auto top = [](const std::string& p) {
+bool CrossDevice(std::string_view a, std::string_view b) {
+  auto top = [](std::string_view p) {
     size_t start = p.empty() || p[0] != '/' ? 0 : 1;
     size_t slash = p.find('/', start);
-    return p.substr(0, slash == std::string::npos ? p.size() : slash);
+    return p.substr(0, slash == std::string_view::npos ? p.size() : slash);
   };
   return top(a) != top(b);
 }
 
 }  // namespace
 
-int LnMain(SimEnv& env, const std::string& source, const std::string& dest, bool force,
+int LnMain(SimEnv& env, std::string_view source, std::string_view dest, bool force,
            bool symbolic) {
   StackFrame frame(env, "ln_main");
   SimLibc& libc = env.libc();
@@ -116,12 +117,13 @@ int LnMain(SimEnv& env, const std::string& source, const std::string& dest, bool
   }
 
   // If the destination is an existing directory, link inside it.
-  std::string target = dest;
+  std::string target(dest);
   StatBuf dest_st;
   if (libc.Stat(dest, dest_st) == 0 && dest_st.is_dir) {
     AFEX_COV(env, kLnBase + 1);
     size_t slash = source.find_last_of('/');
-    target = dest + "/" + (slash == std::string::npos ? source : source.substr(slash + 1));
+    target += '/';
+    target += slash == std::string_view::npos ? source : source.substr(slash + 1);
   } else if (env.Exists(target)) {
     if (!force) {
       AFEX_COV(env, kLnRecovery + 3);
@@ -152,7 +154,8 @@ int LnMain(SimEnv& env, const std::string& source, const std::string& dest, bool
     // referent path (readable by the tests as "-> path").
     std::string payload;
     if (symbolic) {
-      payload = "-> " + source;
+      payload = "-> ";
+      payload += source;
     } else {
       const SimEnv::FileNode* node = env.Find(source);
       payload = node != nullptr ? node->content : "";
@@ -172,7 +175,7 @@ int LnMain(SimEnv& env, const std::string& source, const std::string& dest, bool
   return 0;
 }
 
-int MvMain(SimEnv& env, const std::string& source, const std::string& dest, bool force) {
+int MvMain(SimEnv& env, std::string_view source, std::string_view dest, bool force) {
   StackFrame frame(env, "mv_main");
   SimLibc& libc = env.libc();
   AFEX_COV(env, kMvBase + 0);
@@ -201,13 +204,14 @@ int MvMain(SimEnv& env, const std::string& source, const std::string& dest, bool
     return 1;  // "cannot stat: No such file or directory"
   }
 
-  std::string target = dest;
+  std::string target(dest);
   StatBuf dest_st;
   if (libc.Stat(dest, dest_st) == 0) {
     if (dest_st.is_dir) {
       AFEX_COV(env, kMvBase + 1);
       size_t slash = source.find_last_of('/');
-      target = dest + "/" + (slash == std::string::npos ? source : source.substr(slash + 1));
+      target += '/';
+      target += slash == std::string_view::npos ? source : source.substr(slash + 1);
     } else if (!force) {
       AFEX_COV(env, kMvRecovery + 3);
       cleanup();
@@ -248,7 +252,7 @@ int MvMain(SimEnv& env, const std::string& source, const std::string& dest, bool
   return 0;
 }
 
-int CpMain(SimEnv& env, const std::string& source, const std::string& dest) {
+int CpMain(SimEnv& env, std::string_view source, std::string_view dest) {
   StackFrame frame(env, "cp_main");
   SimLibc& libc = env.libc();
   AFEX_COV(env, kCpBase + 0);
@@ -294,7 +298,7 @@ int RmMain(SimEnv& env, const std::vector<std::string>& paths, bool force) {
   return exit_code;
 }
 
-int TouchMain(SimEnv& env, const std::string& path) {
+int TouchMain(SimEnv& env, std::string_view path) {
   StackFrame frame(env, "touch_main");
   SimLibc& libc = env.libc();
   AFEX_COV(env, kTouchBase + 0);
@@ -310,7 +314,7 @@ int TouchMain(SimEnv& env, const std::string& path) {
   return 0;
 }
 
-int MkdirMain(SimEnv& env, const std::string& path, bool parents) {
+int MkdirMain(SimEnv& env, std::string_view path, bool parents) {
   StackFrame frame(env, "mkdir_main");
   SimLibc& libc = env.libc();
   AFEX_COV(env, kMkdirBase + 0);
@@ -320,14 +324,14 @@ int MkdirMain(SimEnv& env, const std::string& path, bool parents) {
     size_t pos = 1;
     while (true) {
       size_t slash = path.find('/', pos);
-      std::string prefix = slash == std::string::npos ? path : path.substr(0, slash);
+      std::string_view prefix = slash == std::string_view::npos ? path : path.substr(0, slash);
       if (!env.IsDir(prefix)) {
         if (libc.Mkdir(prefix) != 0 && !env.IsDir(prefix)) {
           AFEX_COV(env, kMkdirRecovery + 0);
           return 1;
         }
       }
-      if (slash == std::string::npos) {
+      if (slash == std::string_view::npos) {
         break;
       }
       pos = slash + 1;

@@ -28,7 +28,20 @@ uint64_t OpenStdout(SimEnv& env) {
 
 }  // namespace
 
-int LsMain(SimEnv& env, const std::string& dir, bool long_format, bool sort_entries) {
+// Builds "prefix + operand + suffix" diagnostics without string_view
+// concatenation gymnastics at every call site.
+namespace {
+std::string Diag(std::string_view prefix, std::string_view operand, std::string_view suffix) {
+  std::string msg;
+  msg.reserve(prefix.size() + operand.size() + suffix.size());
+  msg += prefix;
+  msg += operand;
+  msg += suffix;
+  return msg;
+}
+}  // namespace
+
+int LsMain(SimEnv& env, std::string_view dir, bool long_format, bool sort_entries) {
   StackFrame frame(env, "ls_main");
   SimLibc& libc = env.libc();
   AFEX_COV(env, kLsBase + 0);
@@ -48,7 +61,7 @@ int LsMain(SimEnv& env, const std::string& dir, bool long_format, bool sort_entr
   }
   if (dirp == 0) {
     AFEX_COV(env, kLsRecovery + 2);
-    libc.Fwrite(out, "ls: cannot access '" + dir + "'\n");
+    libc.Fwrite(out, Diag("ls: cannot access '", dir, "'\n"));
     libc.Fclose(out);
     return 2;
   }
@@ -94,10 +107,10 @@ int LsMain(SimEnv& env, const std::string& dir, bool long_format, bool sort_entr
     if (long_format) {
       AFEX_COV(env, kLsBase + 5);
       StatBuf st;
-      std::string full = dir + "/" + e;
+      std::string full = Diag(dir, "/", e);
       if (libc.Stat(full, st) != 0) {
         AFEX_COV(env, kLsRecovery + 5);
-        libc.Fwrite(out, "ls: cannot access '" + full + "'\n");
+        libc.Fwrite(out, Diag("ls: cannot access '", full, "'\n"));
         exit_code = 1;  // keep listing the rest, like real ls
         continue;
       }
@@ -143,7 +156,7 @@ int CatMain(SimEnv& env, const std::vector<std::string>& files) {
     uint64_t in = libc.Fopen(file, "r");
     if (in == 0) {
       AFEX_COV(env, kCatRecovery + 2);
-      libc.Fwrite(out, "cat: " + file + ": No such file or directory\n");
+      libc.Fwrite(out, Diag("cat: ", file, ": No such file or directory\n"));
       exit_code = 1;
       continue;
     }
@@ -187,7 +200,7 @@ int CatMain(SimEnv& env, const std::vector<std::string>& files) {
   return exit_code;
 }
 
-int HeadMain(SimEnv& env, const std::string& file, size_t max_lines) {
+int HeadMain(SimEnv& env, std::string_view file, size_t max_lines) {
   StackFrame frame(env, "head_main");
   SimLibc& libc = env.libc();
   AFEX_COV(env, kHeadBase + 0);
@@ -201,7 +214,7 @@ int HeadMain(SimEnv& env, const std::string& file, size_t max_lines) {
   uint64_t in = libc.Fopen(file, "r");
   if (in == 0) {
     AFEX_COV(env, kHeadRecovery + 2);
-    libc.Fwrite(out, "head: cannot open '" + file + "'\n");
+    libc.Fwrite(out, Diag("head: cannot open '", file, "'\n"));
     libc.Fclose(out);
     return 1;
   }
@@ -224,7 +237,7 @@ int HeadMain(SimEnv& env, const std::string& file, size_t max_lines) {
   return 0;
 }
 
-int WcMain(SimEnv& env, const std::string& file) {
+int WcMain(SimEnv& env, std::string_view file) {
   StackFrame frame(env, "wc_main");
   SimLibc& libc = env.libc();
   AFEX_COV(env, kWcBase + 0);
@@ -238,7 +251,7 @@ int WcMain(SimEnv& env, const std::string& file) {
   int fd = libc.Open(file, kRdOnly);
   if (fd < 0) {
     AFEX_COV(env, kWcRecovery + 2);
-    libc.Fwrite(out, "wc: " + file + ": No such file or directory\n");
+    libc.Fwrite(out, Diag("wc: ", file, ": No such file or directory\n"));
     libc.Fclose(out);
     return 1;
   }
@@ -248,6 +261,7 @@ int WcMain(SimEnv& env, const std::string& file) {
   bool in_word = false;
   std::string chunk;
   while (true) {
+    chunk.clear();  // reuses capacity; Read appends into it
     long n = libc.Read(fd, chunk, 64);
     if (n < 0) {
       if (env.sim_errno() == sim_errno::kEINTR) {
@@ -278,8 +292,9 @@ int WcMain(SimEnv& env, const std::string& file) {
     }
   }
   libc.Close(fd);
-  libc.Fwrite(out, std::to_string(lines) + " " + std::to_string(words) + " " +
-                       std::to_string(bytes) + " " + file + "\n");
+  libc.Fwrite(out, Diag(std::to_string(lines) + " " + std::to_string(words) + " " +
+                            std::to_string(bytes) + " ",
+                        file, "\n"));
   if (libc.Fclose(out) != 0) {
     return 2;
   }
@@ -287,7 +302,7 @@ int WcMain(SimEnv& env, const std::string& file) {
   return 0;
 }
 
-int SortMain(SimEnv& env, const std::string& file) {
+int SortMain(SimEnv& env, std::string_view file) {
   StackFrame frame(env, "sort_main");
   SimLibc& libc = env.libc();
   AFEX_COV(env, kSortBase + 0);
@@ -301,7 +316,7 @@ int SortMain(SimEnv& env, const std::string& file) {
   uint64_t in = libc.Fopen(file, "r");
   if (in == 0) {
     AFEX_COV(env, kSortRecovery + 2);
-    libc.Fwrite(out, "sort: cannot read: " + file + "\n");
+    libc.Fwrite(out, Diag("sort: cannot read: ", file, "\n"));
     libc.Fclose(out);
     return 2;
   }
@@ -359,7 +374,7 @@ int SortMain(SimEnv& env, const std::string& file) {
   return 0;
 }
 
-int DuMain(SimEnv& env, const std::string& dir) {
+int DuMain(SimEnv& env, std::string_view dir) {
   StackFrame frame(env, "du_main");
   SimLibc& libc = env.libc();
   AFEX_COV(env, kDuBase + 0);
@@ -383,7 +398,7 @@ int DuMain(SimEnv& env, const std::string& dir) {
   uint64_t dirp = libc.Opendir(dir);
   if (dirp == 0) {
     AFEX_COV(env, kDuRecovery + 3);
-    libc.Fwrite(out, "du: cannot read directory '" + dir + "'\n");
+    libc.Fwrite(out, Diag("du: cannot read directory '", dir, "'\n"));
     libc.Free(cwd);
     libc.Fclose(out);
     return 1;
@@ -394,7 +409,7 @@ int DuMain(SimEnv& env, const std::string& dir) {
   env.set_sim_errno(0);
   while (libc.Readdir(dirp, name)) {
     AFEX_COV(env, kDuBase + 1);
-    std::string full = dir + "/" + name;
+    std::string full = Diag(dir, "/", name);
     StatBuf st;
     if (libc.Stat(full, st) != 0) {
       AFEX_COV(env, kDuRecovery + 4);
@@ -429,7 +444,7 @@ int DuMain(SimEnv& env, const std::string& dir) {
   }
   libc.Closedir(dirp);
   libc.Free(cwd);
-  libc.Fwrite(out, std::to_string(total) + "\t" + dir + "\n");
+  libc.Fwrite(out, Diag(std::to_string(total) + "\t", dir, "\n"));
   if (libc.Fclose(out) != 0) {
     return 2;
   }

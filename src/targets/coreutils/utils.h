@@ -17,6 +17,7 @@
 #define AFEX_TARGETS_COREUTILS_UTILS_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace afex {
@@ -61,21 +62,21 @@ inline constexpr uint32_t kTouchRecovery = kRecoveryBase + 60; // +0
 inline constexpr uint32_t kMkdirRecovery = kRecoveryBase + 61; // +0
 
 // ---- listing / text utilities (io_utils.cc) ----
-int LsMain(SimEnv& env, const std::string& dir, bool long_format, bool sort_entries);
+int LsMain(SimEnv& env, std::string_view dir, bool long_format, bool sort_entries);
 int CatMain(SimEnv& env, const std::vector<std::string>& files);
-int HeadMain(SimEnv& env, const std::string& file, size_t max_lines);
-int WcMain(SimEnv& env, const std::string& file);
-int SortMain(SimEnv& env, const std::string& file);
-int DuMain(SimEnv& env, const std::string& dir);
+int HeadMain(SimEnv& env, std::string_view file, size_t max_lines);
+int WcMain(SimEnv& env, std::string_view file);
+int SortMain(SimEnv& env, std::string_view file);
+int DuMain(SimEnv& env, std::string_view dir);
 
 // ---- filesystem-mutating utilities (fs_utils.cc) ----
-int LnMain(SimEnv& env, const std::string& source, const std::string& dest, bool force,
+int LnMain(SimEnv& env, std::string_view source, std::string_view dest, bool force,
            bool symbolic);
-int MvMain(SimEnv& env, const std::string& source, const std::string& dest, bool force);
-int CpMain(SimEnv& env, const std::string& source, const std::string& dest);
+int MvMain(SimEnv& env, std::string_view source, std::string_view dest, bool force);
+int CpMain(SimEnv& env, std::string_view source, std::string_view dest);
 int RmMain(SimEnv& env, const std::vector<std::string>& paths, bool force);
-int TouchMain(SimEnv& env, const std::string& path);
-int MkdirMain(SimEnv& env, const std::string& path, bool parents);
+int TouchMain(SimEnv& env, std::string_view path);
+int MkdirMain(SimEnv& env, std::string_view path, bool parents);
 
 }  // namespace coreutils
 }  // namespace afex

@@ -21,7 +21,7 @@ void InstallFixture(SimEnv& env) {
 
 // ---- V08 ----
 
-int DocStoreV08::Put(const std::string& id, const std::string& doc) {
+int DocStoreV08::Put(std::string_view id, std::string_view doc) {
   StackFrame frame(*env_, "v08_put");
   AFEX_COV(*env_, kV08Base + 0);
   // Pre-production code: one buffer allocation per put, properly checked.
@@ -31,11 +31,11 @@ int DocStoreV08::Put(const std::string& id, const std::string& doc) {
     return -1;
   }
   env_->libc().Free(buffer);
-  docs_[id] = doc;
+  docs_[std::string(id)] = doc;
   return 0;
 }
 
-int DocStoreV08::Get(const std::string& id, std::string& doc) {
+int DocStoreV08::Get(std::string_view id, std::string& doc) {
   StackFrame frame(*env_, "v08_get");
   AFEX_COV(*env_, kV08Base + 1);
   auto it = docs_.find(id);
@@ -46,10 +46,15 @@ int DocStoreV08::Get(const std::string& id, std::string& doc) {
   return 0;
 }
 
-int DocStoreV08::Remove(const std::string& id) {
+int DocStoreV08::Remove(std::string_view id) {
   StackFrame frame(*env_, "v08_remove");
   AFEX_COV(*env_, kV08Base + 2);
-  return docs_.erase(id) > 0 ? 0 : 1;
+  auto it = docs_.find(id);
+  if (it == docs_.end()) {
+    return 1;
+  }
+  docs_.erase(it);
+  return 0;
 }
 
 int DocStoreV08::Save() {
@@ -119,7 +124,7 @@ int DocStoreV20::Open() {
   return 0;
 }
 
-int DocStoreV20::EncodeDoc(const std::string& id, const std::string& doc, std::string& encoded) {
+int DocStoreV20::EncodeDoc(std::string_view id, std::string_view doc, std::string& encoded) {
   StackFrame frame(*env_, "v20_encode_bson");
   SimLibc& libc = env_->libc();
   AFEX_COV(*env_, kV20Base + 1);
@@ -135,12 +140,19 @@ int DocStoreV20::EncodeDoc(const std::string& id, const std::string& doc, std::s
     libc.Free(buffer);
     return -1;
   }
-  encoded = std::to_string(id.size()) + "|" + id + "|" + std::to_string(doc.size()) + "|" + doc;
+  // Appends to `encoded`, so callers can prefix the journal op in place.
+  encoded += std::to_string(id.size());
+  encoded += '|';
+  encoded += id;
+  encoded += '|';
+  encoded += std::to_string(doc.size());
+  encoded += '|';
+  encoded += doc;
   libc.Free(grown);
   return 0;
 }
 
-int DocStoreV20::Put(const std::string& id, const std::string& doc) {
+int DocStoreV20::Put(std::string_view id, std::string_view doc) {
   StackFrame frame(*env_, "v20_put");
   SimLibc& libc = env_->libc();
   AFEX_COV(*env_, kV20Base + 2);
@@ -148,20 +160,21 @@ int DocStoreV20::Put(const std::string& id, const std::string& doc) {
     AFEX_COV(*env_, kV20Recovery + 3);
     return -1;
   }
-  std::string encoded;
+  std::string encoded = "put ";
   if (EncodeDoc(id, doc, encoded) != 0) {
     return -1;
   }
-  if (libc.Write(journal_fd_, "put " + encoded + "\n") < 0) {
+  encoded += '\n';
+  if (libc.Write(journal_fd_, encoded) < 0) {
     AFEX_COV(*env_, kV20Recovery + 4);
     return -1;  // durability first: no un-journaled writes
   }
-  docs_[id] = doc;
+  docs_[std::string(id)] = doc;
   AFEX_COV(*env_, kV20Base + 3);
   return 0;
 }
 
-int DocStoreV20::Get(const std::string& id, std::string& doc) {
+int DocStoreV20::Get(std::string_view id, std::string& doc) {
   StackFrame frame(*env_, "v20_get");
   AFEX_COV(*env_, kV20Base + 4);
   auto it = docs_.find(id);
@@ -172,15 +185,25 @@ int DocStoreV20::Get(const std::string& id, std::string& doc) {
   return 0;
 }
 
-int DocStoreV20::Remove(const std::string& id) {
+int DocStoreV20::Remove(std::string_view id) {
   StackFrame frame(*env_, "v20_remove");
   SimLibc& libc = env_->libc();
   AFEX_COV(*env_, kV20Base + 5);
-  if (journal_fd_ >= 0 && libc.Write(journal_fd_, "del " + id + "\n") < 0) {
-    AFEX_COV(*env_, kV20Recovery + 5);
-    return -1;
+  if (journal_fd_ >= 0) {
+    std::string record = "del ";
+    record += id;
+    record += '\n';
+    if (libc.Write(journal_fd_, record) < 0) {
+      AFEX_COV(*env_, kV20Recovery + 5);
+      return -1;
+    }
   }
-  return docs_.erase(id) > 0 ? 0 : 1;
+  auto it = docs_.find(id);
+  if (it == docs_.end()) {
+    return 1;
+  }
+  docs_.erase(it);
+  return 0;
 }
 
 int DocStoreV20::Save() {
@@ -194,9 +217,10 @@ int DocStoreV20::Save() {
     AFEX_COV(*env_, kV20Recovery + 6);
     return -1;
   }
+  std::string encoded;
   for (const auto& [id, doc] : docs_) {
-    std::string encoded;
-    if (EncodeDoc(id, doc, encoded) != 0 || libc.Write(fd, encoded + "\n") < 0) {
+    encoded.clear();
+    if (EncodeDoc(id, doc, encoded) != 0 || (encoded += '\n', libc.Write(fd, encoded) < 0)) {
       AFEX_COV(*env_, kV20Recovery + 7);
       libc.Close(fd);
       libc.Unlink(temp);
@@ -227,9 +251,9 @@ int DocStoreV20::Load() {
     return -1;
   }
   std::string data;
-  std::string chunk;
   while (true) {
-    long n = libc.Read(fd, chunk, 128);
+    // Read appends straight into the accumulating buffer: no chunk string.
+    long n = libc.Read(fd, data, 128);
     if (n < 0) {
       if (env_->sim_errno() == sim_errno::kEINTR) {
         continue;
@@ -241,15 +265,14 @@ int DocStoreV20::Load() {
     if (n == 0) {
       break;
     }
-    data += chunk;
   }
   libc.Close(fd);
   docs_.clear();
-  for (const std::string& line : Split(data, '\n')) {
+  for (std::string_view line : SplitViews(data, '\n')) {
     // encoded form: idlen|id|doclen|doc
-    std::vector<std::string> parts = Split(line, '|');
+    std::vector<std::string_view> parts = SplitViews(line, '|');
     if (parts.size() == 4) {
-      docs_[parts[1]] = parts[3];
+      docs_[std::string(parts[1])] = parts[3];
     }
   }
   AFEX_COV(*env_, kV20Base + 9);
@@ -313,17 +336,20 @@ int DocStoreV20::ReplayJournal() {
 
   std::string line;
   while (libc.Fgets(stream, line)) {
-    std::string t(Trim(line));
+    std::string_view t = Trim(line);
     uint64_t node = libc.Malloc(32);
     env_->Deref(node, "journal replay index node");
     libc.Free(node);
     if (StartsWith(t, "put ")) {
-      std::vector<std::string> parts = Split(t.substr(4), '|');
+      std::vector<std::string_view> parts = SplitViews(t.substr(4), '|');
       if (parts.size() == 4) {
-        docs_[parts[1]] = parts[3];
+        docs_[std::string(parts[1])] = parts[3];
       }
     } else if (StartsWith(t, "del ")) {
-      docs_.erase(t.substr(4));
+      auto it = docs_.find(t.substr(4));
+      if (it != docs_.end()) {
+        docs_.erase(it);
+      }
     }
     AFEX_COV(*env_, kV20Base + 14);
   }

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 
 namespace afex {
 
@@ -37,9 +38,9 @@ class DocStoreV08 {
  public:
   explicit DocStoreV08(SimEnv& env) : env_(&env) {}
 
-  int Put(const std::string& id, const std::string& doc);
-  int Get(const std::string& id, std::string& doc);
-  int Remove(const std::string& id);
+  int Put(std::string_view id, std::string_view doc);
+  int Get(std::string_view id, std::string& doc);
+  int Remove(std::string_view id);
   // Writes all documents to /data/store.snap.
   int Save();
   // Replaces the in-memory state from the snapshot.
@@ -48,7 +49,7 @@ class DocStoreV08 {
 
  private:
   SimEnv* env_;
-  std::map<std::string, std::string> docs_;
+  std::map<std::string, std::string, std::less<>> docs_;
 };
 
 class DocStoreV20 {
@@ -57,9 +58,9 @@ class DocStoreV20 {
 
   // Opens the journal; must be called first.
   int Open();
-  int Put(const std::string& id, const std::string& doc);
-  int Get(const std::string& id, std::string& doc);
-  int Remove(const std::string& id);
+  int Put(std::string_view id, std::string_view doc);
+  int Get(std::string_view id, std::string& doc);
+  int Remove(std::string_view id);
   int Save();
   int Load();
   // Rewrites the snapshot and truncates the journal (rename + unlink).
@@ -73,10 +74,10 @@ class DocStoreV20 {
 
  private:
   // BSON-ish length-prefixed encoding; allocates via calloc/realloc.
-  int EncodeDoc(const std::string& id, const std::string& doc, std::string& encoded);
+  int EncodeDoc(std::string_view id, std::string_view doc, std::string& encoded);
 
   SimEnv* env_;
-  std::map<std::string, std::string> docs_;
+  std::map<std::string, std::string, std::less<>> docs_;
   int journal_fd_ = -1;
 };
 

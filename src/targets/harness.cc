@@ -8,9 +8,10 @@
 
 namespace afex {
 
-TargetHarness::TargetHarness(TargetSuite suite, uint64_t seed)
+TargetHarness::TargetHarness(TargetSuite suite, uint64_t seed, bool reference_sim_structures)
     : suite_(std::move(suite)),
       seed_(seed),
+      reference_sim_(reference_sim_structures),
       coverage_(suite_.total_blocks, suite_.recovery_base) {}
 
 FaultSpace TargetHarness::MakeSpace(size_t max_call, bool include_zero_call) const {
@@ -22,9 +23,54 @@ FaultSpace TargetHarness::MakeSpace(size_t max_call, bool include_zero_call) con
   return FaultSpace(std::move(axes), suite_.name);
 }
 
+SimEnv& TargetHarness::EnvForRun(uint64_t seed, std::optional<SimEnv>& fresh) {
+  if (reference_sim_) {
+    fresh.emplace(SimEnvConfig{seed, suite_.step_budget, /*reference_structures=*/true});
+    return *fresh;
+  }
+  if (!arena_.has_value()) {
+    arena_.emplace(SimEnvConfig{seed, suite_.step_budget, /*reference_structures=*/false});
+  } else {
+    arena_->ResetForRun(seed, suite_.step_budget);
+  }
+  return *arena_;
+}
+
+bool TargetHarness::DecoderMatches(const FaultSpace& space) const {
+  if (decoder_space_ != &space || decoder_space_name_ != space.name() ||
+      decoder_axes_.size() != space.dimensions()) {
+    return false;
+  }
+  for (size_t i = 0; i < decoder_axes_.size(); ++i) {
+    const Axis& cached = decoder_axes_[i];
+    const Axis& axis = space.axis(i);
+    if (cached.name() != axis.name() || cached.kind() != axis.kind() ||
+        cached.lo() != axis.lo() || cached.hi() != axis.hi() ||
+        cached.labels() != axis.labels()) {
+      return false;
+    }
+  }
+  return true;
+}
+
 TestOutcome TargetHarness::RunFault(const FaultSpace& space, const Fault& fault) {
-  InjectionPlan plan = DecodeFault(space, fault);
-  SimEnv env(seed_ ^ (0x9e3779b97f4a7c15ULL * (plan.test_id + 1)), suite_.step_budget);
+  InjectionPlan plan;
+  if (reference_sim_) {
+    // The seed decoded every fault from scratch (axis scans, label parsing,
+    // linear profile search); the baseline keeps paying that per test.
+    plan = DecodeFault(space, fault);
+  } else {
+    if (!DecoderMatches(space)) {
+      decoder_.emplace(space);
+      decoder_space_ = &space;
+      decoder_space_name_ = space.name();
+      decoder_axes_.assign(space.axes().begin(), space.axes().end());
+    }
+    plan = decoder_->Decode(fault);
+  }
+  std::optional<SimEnv> fresh;
+  SimEnv& env =
+      EnvForRun(seed_ ^ (0x9e3779b97f4a7c15ULL * (plan.test_id + 1)), fresh);
   if (plan.spec.has_value()) {
     env.bus().Arm(*plan.spec);
   }
@@ -45,6 +91,7 @@ TestOutcome TargetHarness::RunFault(const FaultSpace& space, const Fault& fault)
   std::sort(outcome.new_block_ids.begin(), outcome.new_block_ids.end());
   outcome.detail = run.termination_detail;
   ++tests_run_;
+  sim_steps_ += env.steps_used();
   return outcome;
 }
 
@@ -55,13 +102,15 @@ ExplorationSession::Runner TargetHarness::MakeRunner(const FaultSpace& space) {
 size_t TargetHarness::RunSuiteWithoutInjection() {
   size_t failed = 0;
   for (size_t t = 0; t < suite_.num_tests; ++t) {
-    SimEnv env(seed_ ^ (0x9e3779b97f4a7c15ULL * (t + 1)), suite_.step_budget);
+    std::optional<SimEnv> fresh;
+    SimEnv& env = EnvForRun(seed_ ^ (0x9e3779b97f4a7c15ULL * (t + 1)), fresh);
     RunOutcome run = RunProgram(env, [&](SimEnv& e) { return suite_.run_test(e, t); });
     if (run.exit_code != 0 || run.crashed || run.hung) {
       ++failed;
     }
     coverage_.Merge(env.coverage());
     ++tests_run_;
+    sim_steps_ += env.steps_used();
   }
   return failed;
 }

@@ -9,18 +9,25 @@
 #ifndef AFEX_TARGETS_HARNESS_H_
 #define AFEX_TARGETS_HARNESS_H_
 
+#include <optional>
 #include <string>
 
 #include "core/impact.h"
 #include "core/session.h"
+#include "injection/plan.h"
 #include "sim/coverage.h"
+#include "sim/env.h"
 #include "targets/target.h"
 
 namespace afex {
 
 class TargetHarness {
  public:
-  explicit TargetHarness(TargetSuite suite, uint64_t seed = 42);
+  // `reference_sim_structures` runs every SimEnv with the retained std::map
+  // tables (SimEnvConfig::reference_structures) — the sim-layer equivalence
+  // oracle and the bench/perf_sim baseline.
+  explicit TargetHarness(TargetSuite suite, uint64_t seed = 42,
+                         bool reference_sim_structures = false);
 
   // Builds the canonical <test, function, call> fault space. When
   // `include_zero_call` is true the call axis starts at 0, whose label "0"
@@ -48,12 +55,36 @@ class TargetHarness {
   double CoverageFraction() const { return coverage_.Fraction(); }
   double RecoveryCoverageFraction() const { return coverage_.RecoveryFraction(); }
   size_t tests_run() const { return tests_run_; }
+  // Watchdog steps consumed across all runs — the "simulated instructions
+  // executed" counter the CLI reports as sim steps/sec.
+  size_t total_sim_steps() const { return sim_steps_; }
 
  private:
+  // The env each test runs in. Flat mode reuses one arena environment
+  // (SimEnv::ResetForRun) so per-test construction, interning, and teardown
+  // amortize away; reference mode constructs a fresh env per test, exactly
+  // as the seed implementation did.
+  SimEnv& EnvForRun(uint64_t seed, std::optional<SimEnv>& fresh);
+
   TargetSuite suite_;
   uint64_t seed_;
+  bool reference_sim_;
   CoverageAccumulator coverage_;
+  // True when `space` is the one the cached decoder was built from.
+  // Address identity alone is not enough (a different space could be
+  // reconstructed at the same address), so name, axis geometry, and axis
+  // labels — which carry the decode semantics — are all compared.
+  bool DecoderMatches(const FaultSpace& space) const;
+
   size_t tests_run_ = 0;
+  size_t sim_steps_ = 0;
+  std::optional<SimEnv> arena_;
+  // Decode cache for the space RunFault was last called with (one campaign
+  // drives one space; rebuilt transparently if the space changes).
+  const FaultSpace* decoder_space_ = nullptr;
+  std::string decoder_space_name_;
+  std::vector<Axis> decoder_axes_;  // full axis copies, labels included
+  std::optional<FaultDecoder> decoder_;
 };
 
 }  // namespace afex

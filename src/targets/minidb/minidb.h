@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace afex {
@@ -71,15 +72,15 @@ class MiniDb {
 
   // Creates a table file (mi_create path; contains Bug 1). Returns 0 on
   // success, -1 on (correctly handled) failure.
-  int CreateTable(const std::string& name);
-  bool TableExists(const std::string& name);
-  int DropTable(const std::string& name);
+  int CreateTable(std::string_view name);
+  bool TableExists(std::string_view name);
+  int DropTable(std::string_view name);
 
   // Row operations; all WAL-logged.
-  int Insert(const std::string& table, const Row& row);
-  int Select(const std::string& table, int64_t key, Row& out);
-  int Update(const std::string& table, const Row& row);
-  int Delete(const std::string& table, int64_t key);
+  int Insert(std::string_view table, const Row& row);
+  int Select(std::string_view table, int64_t key, Row& out);
+  int Update(std::string_view table, const Row& row);
+  int Delete(std::string_view table, int64_t key);
 
   // Flushes tables and truncates the WAL.
   int Checkpoint();
@@ -93,10 +94,10 @@ class MiniDb {
   size_t wal_records() const { return wal_records_; }
 
  private:
-  int AppendWal(const std::string& record);
-  int LoadTable(const std::string& table, std::vector<Row>& rows);
-  int StoreTable(const std::string& table, const std::vector<Row>& rows);
-  void LogError(const std::string& what);
+  int AppendWal(std::string_view record);
+  int LoadTable(std::string_view table, std::vector<Row>& rows);
+  int StoreTable(std::string_view table, const std::vector<Row>& rows);
+  void LogError(std::string_view what);
 
   SimEnv* env_;
   uint64_t errmsg_handle_ = 0;  // NULL when errmsg.sys could not be read

@@ -22,9 +22,13 @@ void InstallFixture(SimEnv& env, size_t test_id) {
   env.AddDir("/db");
   // Config size and pool count vary per test: bootstrap's call numbers
   // shift accordingly, like a real server whose startup I/O depends on its
-  // configuration.
-  std::string config = "pool=" + std::to_string(1 + test_id % 3) + "\n";
-  config += std::string((test_id % 6) * 64, '#');
+  // configuration. Reused build buffer: this runs before every test.
+  thread_local std::string config;
+  config.clear();
+  config += "pool=";
+  config += std::to_string(1 + test_id % 3);
+  config += '\n';
+  config.append((test_id % 6) * 64, '#');
   env.AddFile(kConfigPath, config);
   env.AddFile(kErrmsgPath,
               "001 syntax error\n"
@@ -54,9 +58,9 @@ int MiniDb::Bootstrap() {
       LogError("cannot open my.cnf; using defaults");
     } else {
       std::string config;
-      std::string chunk;
       while (true) {
-        long n = libc.Read(fd, chunk, 64);
+        // Read appends into the accumulating buffer directly.
+        long n = libc.Read(fd, config, 64);
         if (n < 0) {
           AFEX_COV(*env_, kBootRecovery + 6);
           LogError("error reading my.cnf; using defaults");
@@ -66,7 +70,6 @@ int MiniDb::Bootstrap() {
         if (n == 0) {
           break;
         }
-        config += chunk;
       }
       libc.Close(fd);
       size_t pos = config.find("pool=");
@@ -74,7 +77,8 @@ int MiniDb::Bootstrap() {
         bool ok = false;
         size_t end = config.find('\n', pos);
         long parsed = libc.Strtol(
-            config.substr(pos + 5, end == std::string::npos ? std::string::npos : end - pos - 5),
+            std::string_view(config).substr(
+                pos + 5, end == std::string::npos ? std::string_view::npos : end - pos - 5),
             ok);
         if (ok && parsed >= 1 && parsed <= 16) {
           pool_count = parsed;
@@ -192,7 +196,7 @@ std::string MiniDb::FormatError(int code) {
   return messages.substr(pos, end == std::string::npos ? messages.size() - pos : end - pos);
 }
 
-void MiniDb::LogError(const std::string& what) {
+void MiniDb::LogError(std::string_view what) {
   StackFrame frame(*env_, "log_error");
   SimLibc& libc = env_->libc();
   // Logging must never take the server down: every failure here is
@@ -202,11 +206,14 @@ void MiniDb::LogError(const std::string& what) {
     AFEX_COV(*env_, kQueryRecovery + 0);
     return;
   }
-  libc.Fwrite(stream, "[ERROR] " + what + "\n");
+  std::string entry = "[ERROR] ";
+  entry += what;
+  entry += '\n';
+  libc.Fwrite(stream, entry);
   libc.Fclose(stream);
 }
 
-int MiniDb::Insert(const std::string& table, const Row& row) {
+int MiniDb::Insert(std::string_view table, const Row& row) {
   StackFrame frame(*env_, "handle_insert");
   AFEX_COV(*env_, kQueryBase + 0);
   std::vector<Row> rows;
@@ -220,7 +227,13 @@ int MiniDb::Insert(const std::string& table, const Row& row) {
     LogError(FormatError(3));  // duplicate key
     return -1;
   }
-  if (AppendWal("ins|" + table + "|" + std::to_string(row.key) + "|" + row.value) != 0) {
+  std::string record = "ins|";
+  record += table;
+  record += '|';
+  record += std::to_string(row.key);
+  record += '|';
+  record += row.value;
+  if (AppendWal(record) != 0) {
     AFEX_COV(*env_, kQueryRecovery + 3);
     return -1;  // durability first: refuse un-logged writes
   }
@@ -237,7 +250,7 @@ int MiniDb::Insert(const std::string& table, const Row& row) {
   return 0;
 }
 
-int MiniDb::Select(const std::string& table, int64_t key, Row& out) {
+int MiniDb::Select(std::string_view table, int64_t key, Row& out) {
   StackFrame frame(*env_, "handle_select");
   AFEX_COV(*env_, kQueryBase + 2);
   std::vector<Row> rows;
@@ -255,7 +268,7 @@ int MiniDb::Select(const std::string& table, int64_t key, Row& out) {
   return 0;
 }
 
-int MiniDb::Update(const std::string& table, const Row& row) {
+int MiniDb::Update(std::string_view table, const Row& row) {
   StackFrame frame(*env_, "handle_update");
   AFEX_COV(*env_, kQueryBase + 5);
   std::vector<Row> rows;
@@ -269,7 +282,13 @@ int MiniDb::Update(const std::string& table, const Row& row) {
     LogError(FormatError(2));  // table/row not found
     return -1;
   }
-  if (AppendWal("ins|" + table + "|" + std::to_string(row.key) + "|" + row.value) != 0) {
+  std::string record = "ins|";
+  record += table;
+  record += '|';
+  record += std::to_string(row.key);
+  record += '|';
+  record += row.value;
+  if (AppendWal(record) != 0) {
     return -1;
   }
   it->value = row.value;
@@ -280,7 +299,7 @@ int MiniDb::Update(const std::string& table, const Row& row) {
   return 0;
 }
 
-int MiniDb::Delete(const std::string& table, int64_t key) {
+int MiniDb::Delete(std::string_view table, int64_t key) {
   StackFrame frame(*env_, "handle_delete");
   AFEX_COV(*env_, kQueryBase + 7);
   std::vector<Row> rows;
@@ -293,7 +312,11 @@ int MiniDb::Delete(const std::string& table, int64_t key) {
     AFEX_COV(*env_, kQueryBase + 8);
     return 1;
   }
-  if (AppendWal("del|" + table + "|" + std::to_string(key)) != 0) {
+  std::string record = "del|";
+  record += table;
+  record += '|';
+  record += std::to_string(key);
+  if (AppendWal(record) != 0) {
     return -1;
   }
   rows.erase(it);

@@ -12,12 +12,17 @@ namespace afex {
 namespace minidb {
 
 namespace {
-std::string TablePath(const std::string& name) { return "/db/" + name + ".tbl"; }
+std::string TablePath(std::string_view name) {
+  std::string path = "/db/";
+  path += name;
+  path += ".tbl";
+  return path;
+}
 constexpr char kWalPath[] = "/db/wal.log";
 constexpr char kEngineMutex[] = "THR_LOCK_myisam";
 }  // namespace
 
-int MiniDb::CreateTable(const std::string& name) {
+int MiniDb::CreateTable(std::string_view name) {
   StackFrame frame(*env_, "mi_create");
   SimLibc& libc = env_->libc();
   AFEX_COV(*env_, kCreateBase + 0);
@@ -76,16 +81,16 @@ err:
   AFEX_COV(*env_, kCreateRecovery + 4);
   env_->libc().MutexUnlock(kEngineMutex);  // SIGABRT when already unlocked
   env_->libc().Unlink(TablePath(name));
-  LogError("mi_create failed for table " + name);
+  LogError(std::string("mi_create failed for table ").append(name));
   return -1;
 }
 
-bool MiniDb::TableExists(const std::string& name) {
+bool MiniDb::TableExists(std::string_view name) {
   StatBuf st;
   return env_->libc().Stat(TablePath(name), st) == 0;
 }
 
-int MiniDb::DropTable(const std::string& name) {
+int MiniDb::DropTable(std::string_view name) {
   StackFrame frame(*env_, "drop_table");
   SimLibc& libc = env_->libc();
   AFEX_COV(*env_, kAdminBase + 0);
@@ -99,14 +104,14 @@ int MiniDb::DropTable(const std::string& name) {
   libc.MutexUnlock(kEngineMutex);
   if (rc != 0) {
     AFEX_COV(*env_, kAdminRecovery + 0);
-    LogError("cannot drop table " + name);
+    LogError(std::string("cannot drop table ").append(name));
     return -1;
   }
   AFEX_COV(*env_, kAdminBase + 1);
   return 0;
 }
 
-int MiniDb::AppendWal(const std::string& record) {
+int MiniDb::AppendWal(std::string_view record) {
   StackFrame frame(*env_, "wal_append");
   SimLibc& libc = env_->libc();
   AFEX_COV(*env_, kWalBase + 0);
@@ -115,7 +120,9 @@ int MiniDb::AppendWal(const std::string& record) {
     LogError("WAL not open");
     return -1;
   }
-  if (libc.Write(wal_fd_, record + "\n") < 0) {
+  std::string line(record);
+  line += '\n';
+  if (libc.Write(wal_fd_, line) < 0) {
     // A failed log write must not corrupt the engine: report and refuse
     // the operation (durability first).
     AFEX_COV(*env_, kWalRecovery + 1);
@@ -127,7 +134,7 @@ int MiniDb::AppendWal(const std::string& record) {
   return 0;
 }
 
-int MiniDb::LoadTable(const std::string& table, std::vector<Row>& rows) {
+int MiniDb::LoadTable(std::string_view table, std::vector<Row>& rows) {
   StackFrame frame(*env_, "load_table");
   SimLibc& libc = env_->libc();
   AFEX_COV(*env_, kRowBase + 0);
@@ -136,9 +143,10 @@ int MiniDb::LoadTable(const std::string& table, std::vector<Row>& rows) {
   uint64_t stream = libc.Fopen(TablePath(table), "r");
   if (stream == 0) {
     AFEX_COV(*env_, kRowRecovery + 0);
-    LogError("cannot open table " + table);
+    LogError(std::string("cannot open table ").append(table));
     return -1;
   }
+  rows.reserve(8);
   std::string line;
   bool header_seen = false;
   while (libc.Fgets(stream, line)) {
@@ -147,7 +155,7 @@ int MiniDb::LoadTable(const std::string& table, std::vector<Row>& rows) {
       if (!StartsWith(line, "MINIDB1")) {
         AFEX_COV(*env_, kRowRecovery + 1);
         libc.Fclose(stream);
-        LogError("corrupt table header in " + table);
+        LogError(std::string("corrupt table header in ").append(table));
         return -1;
       }
       continue;
@@ -161,19 +169,19 @@ int MiniDb::LoadTable(const std::string& table, std::vector<Row>& rows) {
     }
     Row row;
     bool ok = false;
-    row.key = libc.Strtol(line.substr(0, eq), ok);
+    row.key = libc.Strtol(std::string_view(line).substr(0, eq), ok);
     if (!ok) {
       AFEX_COV(*env_, kRowRecovery + 2);
       continue;  // skip unparsable rows, keep scanning
     }
-    row.value = std::string(Trim(line.substr(eq + 1)));
+    row.value = std::string(Trim(std::string_view(line).substr(eq + 1)));
     rows.push_back(std::move(row));
     AFEX_COV(*env_, kRowBase + 1);
   }
   if (libc.Ferror(stream) != 0) {
     AFEX_COV(*env_, kRowRecovery + 3);
     libc.Fclose(stream);
-    LogError("I/O error reading table " + table);
+    LogError(std::string("I/O error reading table ").append(table));
     return -1;
   }
   libc.Fclose(stream);
@@ -181,7 +189,7 @@ int MiniDb::LoadTable(const std::string& table, std::vector<Row>& rows) {
   return 0;
 }
 
-int MiniDb::StoreTable(const std::string& table, const std::vector<Row>& rows) {
+int MiniDb::StoreTable(std::string_view table, const std::vector<Row>& rows) {
   StackFrame frame(*env_, "store_table");
   SimLibc& libc = env_->libc();
   AFEX_COV(*env_, kRowBase + 3);
@@ -192,33 +200,39 @@ int MiniDb::StoreTable(const std::string& table, const std::vector<Row>& rows) {
   int fd = libc.Open(temp, kWrOnly | kCreate | kTrunc);
   if (fd < 0) {
     AFEX_COV(*env_, kRowRecovery + 4);
-    LogError("cannot create temp file for " + table);
+    LogError(std::string("cannot create temp file for ").append(table));
     return -1;
   }
   bool write_failed = libc.Write(fd, "MINIDB1\n") < 0;
+  std::string record;
   for (const Row& row : rows) {
     if (write_failed) {
       break;
     }
-    write_failed = libc.Write(fd, std::to_string(row.key) + "=" + row.value + "\n") < 0;
+    record.clear();
+    record += std::to_string(row.key);
+    record += '=';
+    record += row.value;
+    record += '\n';
+    write_failed = libc.Write(fd, record) < 0;
   }
   if (write_failed) {
     AFEX_COV(*env_, kRowRecovery + 5);
     libc.Close(fd);
     libc.Unlink(temp);
-    LogError("write failed while storing " + table);
+    LogError(std::string("write failed while storing ").append(table));
     return -1;
   }
   if (libc.Close(fd) != 0) {
     AFEX_COV(*env_, kRowRecovery + 5);
     libc.Unlink(temp);
-    LogError("close failed while storing " + table);
+    LogError(std::string("close failed while storing ").append(table));
     return -1;
   }
   if (libc.Rename(temp, TablePath(table)) != 0) {
     AFEX_COV(*env_, kRowRecovery + 4);
     libc.Unlink(temp);
-    LogError("rename failed while storing " + table);
+    LogError(std::string("rename failed while storing ").append(table));
     return -1;
   }
   AFEX_COV(*env_, kRowBase + 4);
@@ -284,7 +298,7 @@ int MiniDb::Recover() {
   int applied = 0;
   while (libc.Fgets(stream, line)) {
     // Record format: op|table|key|value
-    std::vector<std::string> parts = Split(std::string(Trim(line)), '|');
+    std::vector<std::string_view> parts = SplitViews(Trim(line), '|');
     if (parts.size() < 3) {
       AFEX_COV(*env_, kRecoverRecovery + 1);
       continue;  // torn record at the tail is expected after a crash
@@ -303,7 +317,7 @@ int MiniDb::Recover() {
     auto it = std::find_if(rows.begin(), rows.end(), [&](const Row& r) { return r.key == key; });
     if (parts[0] == "ins" && parts.size() >= 4) {
       if (it == rows.end()) {
-        rows.push_back(Row{key, parts[3]});
+        rows.push_back(Row{key, std::string(parts[3])});
       } else {
         it->value = parts[3];
       }

@@ -13,7 +13,10 @@ const char* kModuleCatalog[] = {"mod_core", "mod_mime", "mod_log", "mod_cgi"};
 }
 
 void InstallFixture(SimEnv& env, size_t modules, size_t comment_lines) {
-  std::string config;
+  // Reused build buffer: fixture installation runs before every test, so
+  // the config assembly should not allocate once warm.
+  thread_local std::string config;
+  config.clear();
   for (size_t i = 0; i < comment_lines; ++i) {
     config += "# scenario note " + std::to_string(i) + "\n";
   }
@@ -32,7 +35,7 @@ void InstallFixture(SimEnv& env, size_t modules, size_t comment_lines) {
   env.AddFile("/logs/access.log", "");
 }
 
-int WebServer::RegisterModule(const std::string& name) {
+int WebServer::RegisterModule(std::string_view name) {
   StackFrame frame(*env_, "ap_add_module");
   SimLibc& libc = env_->libc();
   AFEX_COV(*env_, kModuleBase + 0);
@@ -50,7 +53,7 @@ int WebServer::RegisterModule(const std::string& name) {
   return 0;
 }
 
-int WebServer::LoadConfig(const std::string& path) {
+int WebServer::LoadConfig(std::string_view path) {
   StackFrame frame(*env_, "ap_read_config");
   SimLibc& libc = env_->libc();
   AFEX_COV(*env_, kConfigBase + 0);
@@ -72,13 +75,15 @@ int WebServer::LoadConfig(const std::string& path) {
   std::string line;
   int rc = 0;
   while (libc.Fgets(stream, line)) {
-    std::string trimmed(Trim(line));
+    std::string_view trimmed = Trim(line);
     if (trimmed.empty() || trimmed[0] == '#') {
       continue;
     }
     size_t space = trimmed.find(' ');
-    std::string key = space == std::string::npos ? trimmed : trimmed.substr(0, space);
-    std::string value = space == std::string::npos ? "" : std::string(Trim(trimmed.substr(space)));
+    std::string_view key =
+        space == std::string_view::npos ? trimmed : trimmed.substr(0, space);
+    std::string_view value =
+        space == std::string_view::npos ? std::string_view() : Trim(trimmed.substr(space));
     if (key == "DocumentRoot") {
       AFEX_COV(*env_, kConfigBase + 1);
       document_root_ = value;
@@ -150,7 +155,7 @@ int WebServer::Stop() {
   return 0;
 }
 
-void WebServer::LogAccess(const std::string& line) {
+void WebServer::LogAccess(std::string line) {
   StackFrame frame(*env_, "ap_log_access");
   SimLibc& libc = env_->libc();
   AFEX_COV(*env_, kLogBase + 0);
@@ -160,7 +165,8 @@ void WebServer::LogAccess(const std::string& line) {
     AFEX_COV(*env_, kLogRecovery + 0);
     return;
   }
-  if (libc.Fwrite(stream, line + "\n") == 0) {
+  line += '\n';
+  if (libc.Fwrite(stream, line) == 0) {
     AFEX_COV(*env_, kLogRecovery + 1);
   }
   if (libc.Fflush(stream) != 0) {
@@ -170,11 +176,12 @@ void WebServer::LogAccess(const std::string& line) {
   AFEX_COV(*env_, kLogBase + 1);
 }
 
-int WebServer::HandleGet(const std::string& path, std::string& response) {
+int WebServer::HandleGet(std::string_view path, std::string& response) {
   StackFrame frame(*env_, "ap_handle_get");
   SimLibc& libc = env_->libc();
   AFEX_COV(*env_, kRequestBase + 0);
-  std::string full = document_root_ + path;
+  std::string full = document_root_;
+  full += path;
   StatBuf st;
   if (libc.Stat(full, st) != 0 || st.is_dir) {
     AFEX_COV(*env_, kRequestRecovery + 0);
@@ -196,10 +203,9 @@ int WebServer::HandleGet(const std::string& path, std::string& response) {
     return 0;
   }
   std::string body;
-  std::string chunk;
   bool read_failed = false;
   while (true) {
-    long n = libc.Read(fd, chunk, 64);
+    long n = libc.Read(fd, body, 64);  // appends in place; no chunk string
     if (n < 0) {
       if (env_->sim_errno() == sim_errno::kEINTR) {
         AFEX_COV(*env_, kRequestRecovery + 3);
@@ -211,7 +217,6 @@ int WebServer::HandleGet(const std::string& path, std::string& response) {
     if (n == 0) {
       break;
     }
-    body += chunk;
   }
   libc.Close(fd);
   libc.Free(buffer);
@@ -225,7 +230,7 @@ int WebServer::HandleGet(const std::string& path, std::string& response) {
   return 0;
 }
 
-int WebServer::HandlePost(const std::string& path, const std::string& body,
+int WebServer::HandlePost(std::string_view path, std::string_view body,
                           std::string& response) {
   StackFrame frame(*env_, "ap_handle_post");
   SimLibc& libc = env_->libc();
@@ -245,7 +250,9 @@ int WebServer::HandlePost(const std::string& path, const std::string& body,
     env_->Deref(grown, "request body staging buffer");
     staging = grown;
   }
-  std::string full = document_root_ + "/uploads" + path;
+  std::string full = document_root_;
+  full += "/uploads";
+  full += path;
   int fd = libc.Open(full, kWrOnly | kCreate | kTrunc);
   libc.Free(staging);
   if (fd < 0) {
@@ -271,11 +278,12 @@ int WebServer::HandlePost(const std::string& path, const std::string& body,
   return 0;
 }
 
-int WebServer::HandleCgi(const std::string& path, std::string& response) {
+int WebServer::HandleCgi(std::string_view path, std::string& response) {
   StackFrame frame(*env_, "ap_handle_cgi");
   SimLibc& libc = env_->libc();
   AFEX_COV(*env_, kCgiBase + 0);
-  std::string full = document_root_ + path;
+  std::string full = document_root_;
+  full += path;
   int fd = libc.Open(full, kRdOnly);
   if (fd < 0) {
     AFEX_COV(*env_, kCgiRecovery + 0);
@@ -306,7 +314,8 @@ int WebServer::HandleCgi(const std::string& path, std::string& response) {
     response = "HTTP/1.1 500 Internal Server Error\r\n\r\n";
     return 0;
   }
-  std::string output = StartsWith(script, "echo:") ? script.substr(5) : "";
+  std::string_view output =
+      StartsWith(script, "echo:") ? std::string_view(script).substr(5) : std::string_view();
   if (libc.Write(pipe_w, output) < 0) {
     AFEX_COV(*env_, kCgiRecovery + 3);
     libc.Close(pipe_r);
@@ -328,7 +337,7 @@ int WebServer::HandleCgi(const std::string& path, std::string& response) {
   return 0;
 }
 
-int WebServer::ServeOne(const std::string& request) {
+int WebServer::ServeOne(std::string_view request) {
   StackFrame frame(*env_, "ap_process_connection");
   SimLibc& libc = env_->libc();
   AFEX_COV(*env_, kRequestBase + 4);
@@ -338,7 +347,11 @@ int WebServer::ServeOne(const std::string& request) {
     return -1;
   }
   // The fixture's request bytes arrive through the listening socket.
-  env_->sockets()[listen_fd_].inbox = request;
+  SimEnv::Socket* listener = env_->FindSocket(listen_fd_);
+  if (listener == nullptr) {
+    listener = &env_->AddSocket(listen_fd_);
+  }
+  listener->inbox = request;
   int conn = libc.Accept(listen_fd_);
   if (conn < 0) {
     AFEX_COV(*env_, kRequestRecovery + 9);
@@ -354,8 +367,9 @@ int WebServer::ServeOne(const std::string& request) {
   // Parse "<METHOD> <path> ...\r\n\r\n<body>".
   std::string response;
   size_t line_end = raw.find("\r\n");
-  std::string first = line_end == std::string::npos ? raw : raw.substr(0, line_end);
-  std::vector<std::string> parts = Split(first, ' ');
+  std::string_view first =
+      line_end == std::string::npos ? std::string_view(raw) : std::string_view(raw).substr(0, line_end);
+  std::vector<std::string_view> parts = SplitViews(first, ' ');
   if (parts.size() < 2) {
     AFEX_COV(*env_, kRequestRecovery + 11);
     response = "HTTP/1.1 400 Bad Request\r\n\r\n";
@@ -365,7 +379,8 @@ int WebServer::ServeOne(const std::string& request) {
     HandleGet(parts[1], response);
   } else if (parts[0] == "POST") {
     size_t body_at = raw.find("\r\n\r\n");
-    std::string body = body_at == std::string::npos ? "" : raw.substr(body_at + 4);
+    std::string_view body =
+        body_at == std::string::npos ? std::string_view() : std::string_view(raw).substr(body_at + 4);
     HandlePost(parts[1], body, response);
   } else {
     AFEX_COV(*env_, kRequestBase + 5);
@@ -378,7 +393,14 @@ int WebServer::ServeOne(const std::string& request) {
     rc = -1;  // client never got the response
   }
   libc.Close(conn);
-  LogAccess(parts.size() >= 2 ? parts[0] + " " + parts[1] : "malformed");
+  if (parts.size() >= 2) {
+    std::string entry(parts[0]);
+    entry += ' ';
+    entry += parts[1];
+    LogAccess(std::move(entry));
+  } else {
+    LogAccess("malformed");
+  }
   last_response_ = response;
   if (rc == 0) {
     AFEX_COV(*env_, kRequestBase + 6);

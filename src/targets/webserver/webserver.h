@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace afex {
@@ -41,7 +42,7 @@ class WebServer {
 
   // Parses the config file: Listen, DocumentRoot, LogFile, Module lines.
   // Registers each module (Fig. 7 bug lives there). Returns 0 on success.
-  int LoadConfig(const std::string& path);
+  int LoadConfig(std::string_view path);
 
   // Creates, binds, and listens on the server socket.
   int Start();
@@ -49,7 +50,7 @@ class WebServer {
   // Serves one simulated connection whose request bytes are `request`.
   // Returns 0 when a response (any status) was delivered, -1 on connection-
   // level failure. The response is retained for inspection.
-  int ServeOne(const std::string& request);
+  int ServeOne(std::string_view request);
 
   // Closes the listening socket.
   int Stop();
@@ -59,11 +60,11 @@ class WebServer {
   const std::string& document_root() const { return document_root_; }
 
  private:
-  int RegisterModule(const std::string& name);
-  int HandleGet(const std::string& path, std::string& response);
-  int HandlePost(const std::string& path, const std::string& body, std::string& response);
-  int HandleCgi(const std::string& path, std::string& response);
-  void LogAccess(const std::string& line);
+  int RegisterModule(std::string_view name);
+  int HandleGet(std::string_view path, std::string& response);
+  int HandlePost(std::string_view path, std::string_view body, std::string& response);
+  int HandleCgi(std::string_view path, std::string& response);
+  void LogAccess(std::string line);
 
   SimEnv* env_;
   std::string document_root_ = "/www";

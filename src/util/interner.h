@@ -42,7 +42,28 @@ class StringInterner {
  private:
   struct Hash {
     using is_transparent = void;
-    size_t operator()(std::string_view s) const { return std::hash<std::string_view>{}(s); }
+    // FNV-1a over 8-byte chunks: interned strings are short (paths, frame
+    // names, libc functions), and the bytewise library hash shows up in
+    // profiles once every libc call resolves a path through the interner.
+    size_t operator()(std::string_view s) const {
+      uint64_t h = 0xcbf29ce484222325ULL ^ (s.size() * 0x100000001b3ULL);
+      const char* data = s.data();
+      size_t n = s.size();
+      while (n >= 8) {
+        uint64_t chunk;
+        __builtin_memcpy(&chunk, data, 8);
+        h = (h ^ chunk) * 0x100000001b3ULL;
+        h ^= h >> 29;
+        data += 8;
+        n -= 8;
+      }
+      uint64_t tail = 0;
+      for (size_t i = 0; i < n; ++i) {
+        tail = (tail << 8) | static_cast<unsigned char>(data[i]);
+      }
+      h = (h ^ tail) * 0x100000001b3ULL;
+      return static_cast<size_t>(h ^ (h >> 31));
+    }
   };
 
   std::unordered_map<std::string, uint32_t, Hash, std::equal_to<>> ids_;

@@ -18,16 +18,18 @@ std::vector<std::string> Split(std::string_view s, char delim) {
   }
 }
 
-std::string_view Trim(std::string_view s) {
-  size_t begin = 0;
-  size_t end = s.size();
-  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
-    ++begin;
+std::vector<std::string_view> SplitViews(std::string_view s, char delim) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
   }
-  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
-    --end;
-  }
-  return s.substr(begin, end - begin);
 }
 
 std::string Join(const std::vector<std::string>& parts, std::string_view sep) {

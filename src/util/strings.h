@@ -12,8 +12,27 @@ namespace afex {
 // Splits on a single-character delimiter; empty fields are preserved.
 std::vector<std::string> Split(std::string_view s, char delim);
 
-// Trims ASCII whitespace from both ends.
-std::string_view Trim(std::string_view s);
+// Split without materializing the fields: the views alias `s`, so they are
+// valid only while the underlying buffer is. For per-record parse loops
+// that touch each field once.
+std::vector<std::string_view> SplitViews(std::string_view s, char delim);
+
+// Trims ASCII whitespace from both ends. Inline: line-parsing loops call
+// this once per record.
+inline std::string_view Trim(std::string_view s) {
+  auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f';
+  };
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && is_space(s[begin])) {
+    ++begin;
+  }
+  while (end > begin && is_space(s[end - 1])) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
 
 // Joins with a separator.
 std::string Join(const std::vector<std::string>& parts, std::string_view sep);

@@ -16,6 +16,7 @@
 #include "sim/coverage.h"
 #include "targets/docstore/suite.h"
 #include "targets/harness.h"
+#include "util/fenwick.h"
 #include "util/interner.h"
 #include "util/levenshtein.h"
 #include "util/rng.h"
@@ -103,6 +104,91 @@ TEST(RngTest, SampleWeightedPrefixZeroTotalFallsBackToUniform) {
   for (int i = 0; i < 100; ++i) {
     size_t idx = rng.SampleWeightedPrefix(prefix);
     ASSERT_LT(idx, prefix.size());
+  }
+}
+
+// ---- Fenwick trees and the weighted-selection descent ----
+
+TEST(FenwickTest, PushAddPrefixMatchNaiveSums) {
+  Rng rng(7);
+  Fenwick<double> tree;
+  std::vector<double> values;
+  for (int step = 0; step < 500; ++step) {
+    if (values.empty() || rng.NextBernoulli(0.4)) {
+      double v = rng.NextDouble() * 10.0;
+      values.push_back(v);
+      tree.Push(v);
+    } else {
+      size_t i = rng.NextBelow(values.size());
+      double delta = rng.NextDouble() - 0.5;
+      values[i] += delta;
+      tree.Add(i, delta);
+    }
+    size_t count = rng.NextBelow(values.size() + 1);
+    double naive = 0.0;
+    for (size_t i = 0; i < count; ++i) {
+      naive += values[i];
+    }
+    ASSERT_NEAR(tree.Prefix(count), naive, 1e-9) << "step " << step;
+  }
+}
+
+TEST(FenwickTest, SelectByWeightMatchesLinearScan) {
+  // The affine weight form used by the explorer: a*f[i] + b*live[i].
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t n = 1 + rng.NextBelow(40);
+    Fenwick<double> f;
+    Fenwick<int64_t> live;
+    std::vector<double> fitness(n);
+    std::vector<int64_t> liveness(n);
+    for (size_t i = 0; i < n; ++i) {
+      bool is_live = rng.NextBernoulli(0.8);
+      fitness[i] = is_live ? rng.NextDouble() * 5.0 : 0.0;
+      liveness[i] = is_live ? 1 : 0;
+      f.Push(fitness[i]);
+      live.Push(liveness[i]);
+    }
+    double a = rng.NextDouble();
+    double b = rng.NextDouble() + 0.01;
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      total += a * fitness[i] + b * static_cast<double>(liveness[i]);
+    }
+    double r = rng.NextDouble() * total;
+    // First index whose cumulative weight strictly exceeds r.
+    size_t expected = n - 1;
+    double cum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      cum += a * fitness[i] + b * static_cast<double>(liveness[i]);
+      if (cum > r) {
+        expected = i;
+        break;
+      }
+    }
+    ASSERT_EQ(SelectByWeight(f, live, a, b, r), expected) << "trial " << trial;
+  }
+}
+
+TEST(FenwickTest, MaxTreeTracksMaxUnderUpdates) {
+  Rng rng(13);
+  MaxTree tree;
+  std::vector<double> values;
+  for (int step = 0; step < 400; ++step) {
+    if (values.empty() || rng.NextBernoulli(0.3)) {
+      values.push_back(rng.NextDouble());
+      tree.Push(values.back());
+    } else {
+      size_t i = rng.NextBelow(values.size());
+      values[i] = rng.NextBernoulli(0.2) ? -std::numeric_limits<double>::infinity()
+                                         : rng.NextDouble() * 3.0;
+      tree.Update(i, values[i]);
+    }
+    double naive = -std::numeric_limits<double>::infinity();
+    for (double v : values) {
+      naive = std::max(naive, v);
+    }
+    ASSERT_EQ(tree.Max(), naive) << "step " << step;
   }
 }
 
@@ -218,12 +304,23 @@ void ExpectIdenticalRecords(const SessionResult& a, const SessionResult& b) {
 
 TEST(ExplorerEquivalenceTest, SeededCampaignIdenticalRecordSequences) {
   // Small and large pools: the large-pool path exercises retirement-heavy
-  // steady state, the small pool exercises eviction.
-  for (size_t pool : {size_t{16}, size_t{64}, size_t{512}}) {
+  // steady state (the Fenwick pool's tombstone queue and compaction), the
+  // small pools hammer the eviction descent.
+  for (size_t pool : {size_t{4}, size_t{16}, size_t{64}, size_t{512}}) {
     SessionResult reference = RunSyntheticCampaign(/*reference=*/true, 1200, pool);
     SessionResult optimized = RunSyntheticCampaign(/*reference=*/false, 1200, pool);
     ExpectIdenticalRecords(reference, optimized);
   }
+}
+
+TEST(ExplorerEquivalenceTest, RetirementHeavySteadyStateIdentical) {
+  // Long enough that every early entry ages past the retirement threshold
+  // many times over (default decay retires an entry ~150 results after
+  // insertion), so the insertion-order retirement queue, slot tombstones,
+  // and compaction all churn continuously.
+  SessionResult reference = RunSyntheticCampaign(/*reference=*/true, 2500, 256);
+  SessionResult optimized = RunSyntheticCampaign(/*reference=*/false, 2500, 256);
+  ExpectIdenticalRecords(reference, optimized);
 }
 
 TEST(ExplorerEquivalenceTest, SpaceExhaustionIdenticalThroughTheFallbackScan) {

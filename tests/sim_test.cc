@@ -246,7 +246,8 @@ TEST(SimLibcTest, SocketLifecycle) {
   ASSERT_GE(s, 0);
   EXPECT_EQ(libc.Bind(s, "0.0.0.0:80"), 0);
   EXPECT_EQ(libc.Listen(s), 0);
-  env.sockets()[s].inbox = "GET / HTTP/1.1";
+  ASSERT_NE(env.FindSocket(s), nullptr);
+  env.FindSocket(s)->inbox = "GET / HTTP/1.1";
   int conn = libc.Accept(s);
   ASSERT_GE(conn, 0);
   std::string req;
@@ -319,7 +320,7 @@ TEST(SimLibcTest, FcloseInjectionInvalidatesStream) {
   env.bus().Arm({.function = "fclose", .call_lo = 1, .call_hi = 1, .retval = -1,
                  .errno_value = sim_errno::kEIO});
   EXPECT_EQ(env.libc().Fclose(s), -1);
-  EXPECT_FALSE(env.open_files().contains(static_cast<int>(s)));
+  EXPECT_FALSE(env.HasOpenFile(static_cast<int>(s)));
 }
 
 // ---- RunProgram ----

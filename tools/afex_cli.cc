@@ -442,10 +442,20 @@ int main(int argc, char** argv) {
     // binaries. Replayed (resumed) records are bookkeeping, not executions,
     // and are excluded from the rate.
     size_t live_tests = result->tests_executed - replayed_tests;
+    size_t sim_steps = harness.total_sim_steps();
+    for (const auto& node : node_harnesses) {
+      sim_steps += node->total_sim_steps();
+    }
     std::printf("campaign wall time %.3f s", campaign_seconds);
     if (campaign_seconds > 0.0 && live_tests > 0) {
       std::printf(", %.0f tests/sec (%zu executed this run)",
                   static_cast<double>(live_tests) / campaign_seconds, live_tests);
+      if (sim_steps > 0) {
+        // Watchdog steps are the simulated instruction counter, so this is
+        // the sim layer's own throughput alongside the campaign's.
+        std::printf(", %.2fM sim steps/sec",
+                    static_cast<double>(sim_steps) / campaign_seconds / 1e6);
+      }
     }
     std::printf("\n");
     if (options.jobs == 1) {
