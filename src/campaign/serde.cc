@@ -329,15 +329,14 @@ bool ParseFault(std::string_view s, Fault& out) {
     out = Fault();
     return true;
   }
-  std::vector<size_t> indices;
+  out = Fault();
   for (const std::string& part : Split(s, ',')) {
     uint64_t v = 0;
     if (!ParseUint(part, v)) {
       return false;
     }
-    indices.push_back(static_cast<size_t>(v));
+    out.Append(static_cast<size_t>(v));
   }
-  out = Fault(std::move(indices));
   return true;
 }
 

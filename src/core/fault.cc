@@ -4,24 +4,47 @@
 
 namespace afex {
 
+Fault::Fault(const std::vector<size_t>& indices) : size_(static_cast<uint32_t>(indices.size())) {
+  if (size_ <= kInlineDims) {
+    for (uint32_t i = 0; i < size_; ++i) {
+      inline_[i] = indices[i];
+    }
+  } else {
+    heap_ = indices;
+  }
+}
+
+void Fault::Append(size_t value) {
+  if (size_ < kInlineDims) {
+    inline_[size_++] = value;
+    return;
+  }
+  if (size_ == kInlineDims) {
+    // Spill: from here on the heap vector is authoritative.
+    heap_.assign(inline_.begin(), inline_.end());
+  }
+  heap_.push_back(value);
+  ++size_;
+}
+
 size_t Fault::ManhattanDistanceTo(const Fault& other) const {
   assert(dimensions() == other.dimensions());
   size_t d = 0;
-  for (size_t i = 0; i < indices_.size(); ++i) {
-    size_t a = indices_[i];
-    size_t b = other.indices_[i];
-    d += a > b ? a - b : b - a;
+  const size_t* a = data();
+  const size_t* b = other.data();
+  for (uint32_t i = 0; i < size_; ++i) {
+    d += a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
   }
   return d;
 }
 
 std::string Fault::ToString() const {
   std::string out = "<";
-  for (size_t i = 0; i < indices_.size(); ++i) {
+  for (uint32_t i = 0; i < size_; ++i) {
     if (i > 0) {
       out += ",";
     }
-    out += std::to_string(indices_[i]);
+    out += std::to_string(data()[i]);
   }
   out += ">";
   return out;

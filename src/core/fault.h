@@ -2,9 +2,16 @@
 // *indices*, one per axis. Index representation (rather than raw attribute
 // values) is what lets the search measure Manhattan distances and mutate
 // attributes by +/- increments along each axis's total order.
+//
+// Storage is an inline small-buffer: the canonical spaces have 3–5 axes
+// and a Fault is copied ~4 times per executed test (candidate, mutation
+// child, session record, journal observer), so the common case must not
+// touch the heap. Spaces with more than kInlineDims axes spill to a heap
+// vector transparently.
 #ifndef AFEX_CORE_FAULT_H_
 #define AFEX_CORE_FAULT_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -15,15 +22,44 @@ namespace afex {
 
 class Fault {
  public:
+  // Covers every space the description language can reasonably produce
+  // (<test, function, call, errno, retval> plus one custom axis).
+  static constexpr size_t kInlineDims = 6;
+
   Fault() = default;
-  explicit Fault(std::vector<size_t> indices) : indices_(std::move(indices)) {}
+  explicit Fault(const std::vector<size_t>& indices);
 
-  size_t dimensions() const { return indices_.size(); }
-  size_t operator[](size_t axis) const { return indices_[axis]; }
-  size_t& operator[](size_t axis) { return indices_[axis]; }
-  const std::vector<size_t>& indices() const { return indices_; }
+  size_t dimensions() const { return size_; }
+  size_t operator[](size_t axis) const { return data()[axis]; }
+  size_t& operator[](size_t axis) { return data()[axis]; }
 
-  bool operator==(const Fault& other) const = default;
+  // Contiguous view of the indices (inline buffer or heap spill).
+  const size_t* data() const { return size_ <= kInlineDims ? inline_.data() : heap_.data(); }
+  size_t* data() { return size_ <= kInlineDims ? inline_.data() : heap_.data(); }
+  const size_t* begin() const { return data(); }
+  const size_t* end() const { return data() + size_; }
+
+  // Appends one trailing index (parsers and space iterators build faults
+  // incrementally).
+  void Append(size_t value);
+
+  // Materialized copy, for cold paths (exports, test assertions) that want
+  // a std::vector.
+  std::vector<size_t> indices() const { return {begin(), end()}; }
+
+  bool operator==(const Fault& other) const {
+    if (size_ != other.size_) {
+      return false;
+    }
+    const size_t* a = data();
+    const size_t* b = other.data();
+    for (uint32_t i = 0; i < size_; ++i) {
+      if (a[i] != b[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
 
   // Manhattan (city-block) distance: the smallest number of single-step
   // attribute increments/decrements that turn one fault into the other
@@ -34,14 +70,16 @@ class Fault {
   std::string ToString() const;
 
  private:
-  std::vector<size_t> indices_;
+  uint32_t size_ = 0;
+  std::array<size_t, kInlineDims> inline_{};
+  std::vector<size_t> heap_;  // engaged only when size_ > kInlineDims
 };
 
 struct FaultHash {
   size_t operator()(const Fault& f) const {
     // FNV-1a over the index words; cheap and adequate for dedup sets.
     uint64_t h = 0xcbf29ce484222325ULL;
-    for (size_t v : f.indices()) {
+    for (size_t v : f) {
       h ^= static_cast<uint64_t>(v);
       h *= 0x100000001b3ULL;
     }

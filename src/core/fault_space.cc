@@ -53,11 +53,10 @@ bool FaultSpace::IsValid(const Fault& f) const {
 
 std::optional<Fault> FaultSpace::SampleUniform(Rng& rng, int max_attempts) const {
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    std::vector<size_t> idx(axes_.size());
+    Fault f;
     for (size_t i = 0; i < axes_.size(); ++i) {
-      idx[i] = rng.NextBelow(axes_[i].cardinality());
+      f.Append(rng.NextBelow(axes_[i].cardinality()));
     }
-    Fault f(std::move(idx));
     if (IsValid(f)) {
       return f;
     }
@@ -69,7 +68,10 @@ std::optional<Fault> FaultSpace::FirstValid() const {
   if (axes_.empty()) {
     return std::nullopt;
   }
-  Fault f(std::vector<size_t>(axes_.size(), 0));
+  Fault f;
+  for (size_t i = 0; i < axes_.size(); ++i) {
+    f.Append(0);
+  }
   if (IsValid(f)) {
     return f;
   }

@@ -13,6 +13,13 @@ ExplorationSession::ExplorationSession(Explorer& explorer, Runner runner, Sessio
       config_(std::move(config)),
       clusterer_(config_.cluster_config) {}
 
+ExplorationSession::ExplorationSession(Explorer& explorer, TargetBackend& backend,
+                                       const FaultSpace& space, SessionConfig config)
+    : ExplorationSession(
+          explorer,
+          [&backend, &space](const Fault& fault) { return backend.RunFault(space, fault); },
+          std::move(config)) {}
+
 bool ExplorationSession::Step() {
   auto candidate = explorer_->NextCandidate();
   if (!candidate.has_value()) {

@@ -62,6 +62,36 @@ struct SessionConfig {
   std::function<void(const SessionRecord&)> record_observer;
 };
 
+// TargetBackend: the execution side of a campaign — "run this fault against
+// this space, observe the outcome" — plus the coverage bookkeeping the
+// campaign store needs for resume and reporting. The simulated harness
+// (targets/harness.h) and the real-process harness
+// (exec/real_target_harness.h) both implement it, so the sessions, the
+// campaign layer, and the CLI are backend-agnostic: the sim stays the fast
+// path, real processes are an opt-in backend with identical semantics.
+class TargetBackend {
+ public:
+  virtual ~TargetBackend() = default;
+
+  // Executes one fault-injection test. Must be deterministic in `fault`
+  // (and the backend's own seed) for campaign resume to hold.
+  virtual TestOutcome RunFault(const FaultSpace& space, const Fault& fault) = 0;
+
+  // Pre-seeds session coverage from journaled new-block ids, so a resumed
+  // campaign keeps counting "new" relative to the whole campaign.
+  virtual void SeedCoverage(const std::vector<uint32_t>& blocks) = 0;
+
+  // Coverage accounting for reports. total_blocks == 0 means the backend
+  // cannot enumerate blocks (coverage fractions read 0).
+  virtual uint32_t coverage_total_blocks() const = 0;
+  virtual uint32_t coverage_recovery_base() const = 0;
+  virtual double CoverageFraction() const = 0;
+  virtual double RecoveryCoverageFraction() const = 0;
+  virtual size_t tests_run() const = 0;
+  // Simulated instruction counter; real-process backends have none.
+  virtual size_t total_sim_steps() const { return 0; }
+};
+
 struct SessionResult {
   std::vector<SessionRecord> records;
 
@@ -94,6 +124,11 @@ class ExplorationSession {
   using Runner = std::function<TestOutcome(const Fault&)>;
 
   ExplorationSession(Explorer& explorer, Runner runner, SessionConfig config = {});
+
+  // Backend-agnostic form: runs every candidate through
+  // `backend.RunFault(space, fault)`. Both must outlive the session.
+  ExplorationSession(Explorer& explorer, TargetBackend& backend, const FaultSpace& space,
+                     SessionConfig config = {});
 
   // Runs until the target is met or the space is exhausted. Returns the
   // accumulated result (also available via result()).

@@ -1,0 +1,82 @@
+#include "exec/fault_plan.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "exec/feedback_block.h"
+#include "util/strings.h"
+
+namespace afex {
+namespace exec {
+
+bool WriteFaultPlan(const std::string& path, const std::vector<FaultSpec>& specs) {
+  std::string text = "afexplan " + std::to_string(kPlanFormatVersion) + "\n";
+  for (const FaultSpec& spec : specs) {
+    if (InterposedSlot(spec.function.c_str()) < 0) {
+      return false;
+    }
+    text += "inject ";
+    text += spec.function;
+    text += ' ';
+    text += std::to_string(spec.call_lo);
+    text += ' ';
+    text += std::to_string(spec.call_hi);
+    text += ' ';
+    text += std::to_string(spec.retval);
+    text += ' ';
+    text += std::to_string(spec.errno_value);
+    text += '\n';
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << text;
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+bool ParseFaultPlanFile(const std::string& path, std::vector<FaultSpec>& out) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  out.clear();
+  std::string line;
+  if (!std::getline(in, line)) {
+    return false;
+  }
+  {
+    std::istringstream header(line);
+    std::string tag;
+    int version = 0;
+    if (!(header >> tag >> version) || tag != "afexplan" || version != kPlanFormatVersion) {
+      return false;
+    }
+  }
+  while (std::getline(in, line)) {
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) {
+      continue;
+    }
+    std::istringstream fields{std::string(trimmed)};
+    std::string directive;
+    FaultSpec spec;
+    if (!(fields >> directive >> spec.function >> spec.call_lo >> spec.call_hi >>
+          spec.retval >> spec.errno_value) ||
+        directive != "inject" || InterposedSlot(spec.function.c_str()) < 0 ||
+        spec.call_lo < 1 || spec.call_hi < spec.call_lo) {
+      return false;
+    }
+    std::string extra;
+    if (fields >> extra) {
+      return false;
+    }
+    out.push_back(std::move(spec));
+  }
+  return true;
+}
+
+}  // namespace exec
+}  // namespace afex

@@ -1,0 +1,39 @@
+// Control-file serialization for the real-process backend. The parent
+// writes one plan file per run describing the faults to inject; the child's
+// LD_PRELOADed interposer (pointed at it via AFEX_PLAN) parses it with its
+// own allocation-free reader. The format is line-oriented text:
+//
+//   afexplan 1
+//   inject <function> <call_lo> <call_hi> <retval> <errno>
+//
+// e.g. "inject open 3 3 -1 13" = the third open() fails with EACCES.
+// Zero `inject` lines is a valid plan (run without injection — the
+// Phi_coreutils call-label-0 convention). The parent-side parser here
+// exists for tests and tooling round-trips; it accepts exactly what the
+// interposer accepts.
+#ifndef AFEX_EXEC_FAULT_PLAN_H_
+#define AFEX_EXEC_FAULT_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "injection/fault_bus.h"
+
+namespace afex {
+namespace exec {
+
+inline constexpr int kPlanFormatVersion = 1;
+
+// Writes the control file for `specs`. Returns false on I/O failure or when
+// a spec names a function the interposer does not wrap (injecting it could
+// never trigger, which would silently bias a campaign).
+bool WriteFaultPlan(const std::string& path, const std::vector<FaultSpec>& specs);
+
+// Parses a control file back into specs. Strict: unknown directives,
+// malformed numbers, unwrapped functions, and a bad header all fail.
+bool ParseFaultPlanFile(const std::string& path, std::vector<FaultSpec>& out);
+
+}  // namespace exec
+}  // namespace afex
+
+#endif  // AFEX_EXEC_FAULT_PLAN_H_

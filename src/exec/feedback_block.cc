@@ -1,0 +1,29 @@
+#include "exec/feedback_block.h"
+
+#include <cstdio>
+
+namespace afex {
+namespace exec {
+
+bool CreateFeedbackFile(const char* path) {
+  FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  static const FeedbackBlock kZero{};
+  size_t written = std::fwrite(&kZero, sizeof(kZero), 1, f);
+  return std::fclose(f) == 0 && written == 1;
+}
+
+bool ReadFeedbackBlock(const char* path, FeedbackBlock& out) {
+  FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  size_t read = std::fread(&out, sizeof(out), 1, f);
+  std::fclose(f);
+  return read == 1 && out.magic == kFeedbackMagic && out.version == kFeedbackVersion;
+}
+
+}  // namespace exec
+}  // namespace afex

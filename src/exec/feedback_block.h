@@ -1,0 +1,98 @@
+// Shared-memory contract between libafex_interpose.so (running inside a real
+// target process) and the parent-side exec layer. The parent creates a
+// zero-filled feedback file and points the child at it via AFEX_FEEDBACK; the
+// interposer mmaps it MAP_SHARED and streams per-function call counts and
+// injected-site hits into it as the target runs. After the child exits the
+// parent reads the block back and translates it into the TestOutcome the
+// exploration machinery consumes (real_target_harness.cc).
+//
+// The layout is a fixed-size POD — no pointers, no lengths to trust — so a
+// crashed or SIGKILLed child always leaves a readable block behind: whatever
+// was counted up to the moment of death is the observation. This mirrors the
+// MetaSys-style cross-layer channel: a thin instrumentation layer exports
+// counters; policy stays entirely on the parent side.
+//
+// This header is included by the interposer, which is built free-standing
+// (no gtest, no afex libraries, no sanitizers): keep it to constants, POD
+// types, and allocation-free inline helpers.
+#ifndef AFEX_EXEC_FEEDBACK_BLOCK_H_
+#define AFEX_EXEC_FEEDBACK_BLOCK_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace afex {
+namespace exec {
+
+// The logical libc functions the interposer profiles, in the category order
+// of injection/libc_profile.cc (memory, file, dir, net) so the real
+// backend's function axis keeps the neighbour-similarity the Gaussian
+// mutation exploits. Slot index in this table = index into
+// FeedbackBlock::calls / ::injected. LP64 aliases (open64, fopen64,
+// lseek64) are folded into their logical slot by the interposer.
+inline constexpr const char* kInterposedFunctions[] = {
+    "malloc", "calloc",  "realloc",                                // memory
+    "fopen",  "fclose",  "fread",  "fwrite", "fgets", "fflush",    // stdio
+    "open",   "close",   "read",   "write",  "lseek",              // fd I/O
+    "rename", "unlink",  "mkdir",                                  // dir/meta
+    "socket", "bind",    "listen", "accept", "connect",            // net
+    "send",   "recv",
+};
+inline constexpr uint32_t kInterposedFunctionCount =
+    sizeof(kInterposedFunctions) / sizeof(kInterposedFunctions[0]);
+// Fixed array size in the block; > kInterposedFunctionCount so the layout
+// survives adding a few functions without a version bump.
+inline constexpr uint32_t kMaxInterposedFunctions = 32;
+
+inline constexpr uint64_t kFeedbackMagic = 0x3130424658454641ULL;  // "AFEXFB01"
+inline constexpr uint32_t kFeedbackVersion = 1;
+
+// Slot index for a logical function name, or -1 when not interposed.
+// Linear scan: called once per decode on the parent and once per plan line
+// in the interposer, never per libc call.
+inline int InterposedSlot(const char* name) {
+  for (uint32_t i = 0; i < kInterposedFunctionCount; ++i) {
+    if (std::strcmp(kInterposedFunctions[i], name) == 0) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+struct FeedbackBlock {
+  uint64_t magic = 0;        // kFeedbackMagic once the interposer attached
+  uint32_t version = 0;      // kFeedbackVersion
+  uint32_t function_count = 0;  // slots in use (= kInterposedFunctionCount)
+  // 1 once the interposer's constructor ran inside the child; proves the
+  // preload actually took effect (a missing .so fails execve-silently via
+  // ld.so warnings only).
+  uint64_t attached = 0;
+  // Number of `inject` lines successfully parsed from the control file.
+  uint64_t plans_loaded = 0;
+  // Per-slot call counts and injected-call counts (indexed as
+  // kInterposedFunctions).
+  uint64_t calls[kMaxInterposedFunctions] = {};
+  uint64_t injected[kMaxInterposedFunctions] = {};
+  // Total faults injected across all slots.
+  uint64_t injected_total = 0;
+  // 1-based ordinal of the first injected call in its function's count
+  // sequence (0 = nothing injected) — the "site hit" the journal records.
+  uint64_t first_injected_call = 0;
+  // Slot of the first injected call (valid when first_injected_call > 0).
+  uint32_t first_injected_slot = 0;
+  uint32_t reserved = 0;
+};
+
+// Parent-side helpers (implemented in feedback_block.cc; not used by the
+// interposer, which maps the file itself).
+//
+// Creates (truncating) a zero-filled feedback file sized for one block.
+bool CreateFeedbackFile(const char* path);
+// Reads the block back after the child exited. Returns false on I/O error
+// or magic/version mismatch (interposer never attached / incompatible .so).
+bool ReadFeedbackBlock(const char* path, FeedbackBlock& out);
+
+}  // namespace exec
+}  // namespace afex
+
+#endif  // AFEX_EXEC_FEEDBACK_BLOCK_H_

@@ -1,0 +1,721 @@
+// libafex_interpose.so — the real-process injection mechanism (the LFI role
+// of paper §6.1, realized as an LD_PRELOAD libc interposer). Wraps the
+// profiled libc entry points; each wrapper counts the call in a mmap'd
+// feedback block (exec/feedback_block.h) shared with the parent and, when
+// the call ordinal falls inside an armed plan's window, injects the planned
+// fault: set errno, return the profiled error value, never enter libc.
+//
+// The per-run plan arrives via two environment variables set by the process
+// runner:
+//   AFEX_PLAN     — control file ("afexplan 1" header + `inject` lines,
+//                   exec/fault_plan.h)
+//   AFEX_FEEDBACK — feedback file, pre-sized by the parent, mmapped here
+//
+// Engineering constraints, all consequences of living inside an arbitrary
+// target process:
+//  * No C++ runtime facilities that allocate or throw: a malloc interposer
+//    cannot call the allocator it replaces. Plan parsing and feedback setup
+//    use raw syscalls, fixed buffers, and manual tokenizing.
+//  * dlsym(RTLD_NEXT, ...) itself may allocate (dlerror state) before
+//    real_malloc is resolved; a small static bump arena serves those
+//    bootstrap allocations, and free()/realloc() recognize its range.
+//  * Counting starts only once the constructor has run (g_active): loader
+//    and pre-main libc initialization calls are excluded, so call ordinals
+//    are stable properties of the target program, not of ld.so internals.
+//  * Internal calls (parsing the plan, mapping feedback) run with
+//    g_internal set so they are neither counted nor injected.
+//  * Built with -fno-sanitize=all: preloading a sanitized .so into an
+//    arbitrary child would require the sanitizer runtime to lead the
+//    library list, which no plain target satisfies.
+//  * LD_PRELOAD, AFEX_PLAN, and the MAP_SHARED feedback block are
+//    inherited by every process the target spawns: the whole tree shares
+//    one ordinal space. Deterministic for sequential trees; concurrent
+//    children interleave ordinals nondeterministically (per-process
+//    counting is future work, alongside the forkserver).
+#ifndef _LARGEFILE64_SOURCE
+#define _LARGEFILE64_SOURCE 1  // off64_t / lseek64 for the LP64 alias wrappers
+#endif
+
+#include <dlfcn.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <stdarg.h>
+#include <stdlib.h>
+#include <stdio.h>
+#include <string.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "exec/feedback_block.h"
+
+namespace {
+
+using afex::exec::FeedbackBlock;
+using afex::exec::InterposedSlot;
+using afex::exec::kFeedbackMagic;
+using afex::exec::kFeedbackVersion;
+using afex::exec::kInterposedFunctionCount;
+
+// ---------------------------------------------------------------------------
+// Bootstrap allocator: serves allocations made while dlsym resolves the real
+// allocator entry points. Never freed; free()/realloc() detect the range.
+// ---------------------------------------------------------------------------
+// Each chunk is preceded by a 16-byte header holding its usable size, so
+// realloc can migrate a bootstrap chunk without over-reading.
+alignas(16) char g_boot_heap[64 * 1024];
+size_t g_boot_used = 0;
+
+void* BootAlloc(size_t size) {
+  size = (size + 15) & ~static_cast<size_t>(15);
+  if (g_boot_used + size + 16 > sizeof(g_boot_heap)) {
+    return nullptr;
+  }
+  char* header = g_boot_heap + g_boot_used;
+  *reinterpret_cast<size_t*>(header) = size;
+  g_boot_used += size + 16;
+  return header + 16;
+}
+
+bool IsBootPtr(const void* p) {
+  return p >= static_cast<const void*>(g_boot_heap) &&
+         p < static_cast<const void*>(g_boot_heap + sizeof(g_boot_heap));
+}
+
+size_t BootChunkSize(const void* p) {
+  return *reinterpret_cast<const size_t*>(static_cast<const char*>(p) - 16);
+}
+
+// ---------------------------------------------------------------------------
+// Real-function resolution.
+// ---------------------------------------------------------------------------
+using MallocFn = void* (*)(size_t);
+using CallocFn = void* (*)(size_t, size_t);
+using ReallocFn = void* (*)(void*, size_t);
+using FreeFn = void (*)(void*);
+using OpenFn = int (*)(const char*, int, ...);
+using CloseFn = int (*)(int);
+using ReadFn = ssize_t (*)(int, void*, size_t);
+using WriteFn = ssize_t (*)(int, const void*, size_t);
+using LseekFn = off_t (*)(int, off_t, int);
+using Lseek64Fn = off64_t (*)(int, off64_t, int);
+using FopenFn = FILE* (*)(const char*, const char*);
+using FcloseFn = int (*)(FILE*);
+using FreadFn = size_t (*)(void*, size_t, size_t, FILE*);
+using FwriteFn = size_t (*)(const void*, size_t, size_t, FILE*);
+using FgetsFn = char* (*)(char*, int, FILE*);
+using FflushFn = int (*)(FILE*);
+using UnlinkFn = int (*)(const char*);
+using RenameFn = int (*)(const char*, const char*);
+using MkdirFn = int (*)(const char*, mode_t);
+using SocketFn = int (*)(int, int, int);
+using SockaddrFn = int (*)(int, const struct sockaddr*, socklen_t);
+using ListenFn = int (*)(int, int);
+using AcceptFn = int (*)(int, struct sockaddr*, socklen_t*);
+using SendFn = ssize_t (*)(int, const void*, size_t, int);
+using RecvFn = ssize_t (*)(int, void*, size_t, int);
+
+MallocFn g_real_malloc;
+CallocFn g_real_calloc;
+ReallocFn g_real_realloc;
+FreeFn g_real_free;
+OpenFn g_real_open;
+OpenFn g_real_open64;
+CloseFn g_real_close;
+ReadFn g_real_read;
+WriteFn g_real_write;
+LseekFn g_real_lseek;
+Lseek64Fn g_real_lseek64;
+FopenFn g_real_fopen;
+FopenFn g_real_fopen64;
+FcloseFn g_real_fclose;
+FreadFn g_real_fread;
+FwriteFn g_real_fwrite;
+FgetsFn g_real_fgets;
+FflushFn g_real_fflush;
+UnlinkFn g_real_unlink;
+RenameFn g_real_rename;
+MkdirFn g_real_mkdir;
+SocketFn g_real_socket;
+SockaddrFn g_real_connect;
+SockaddrFn g_real_bind;
+ListenFn g_real_listen;
+AcceptFn g_real_accept;
+SendFn g_real_send;
+RecvFn g_real_recv;
+
+// Set while this thread resolves a symbol: its allocator calls route to the
+// bootstrap arena. Thread-local so one thread's resolution never misroutes
+// another thread's genuine allocations.
+__thread int g_resolving = 0;
+// Set around the interposer's own libc use (including dlsym, whose dlerror
+// state may allocate): count nothing, inject nothing.
+__thread int g_internal = 0;
+// Set at the end of the constructor: counting/injection live.
+int g_active = 0;
+
+template <typename Fn>
+void Resolve(Fn& slot, const char* name) {
+  if (slot == nullptr) {
+    ++g_internal;
+    g_resolving = 1;
+    slot = reinterpret_cast<Fn>(dlsym(RTLD_NEXT, name));
+    g_resolving = 0;
+    --g_internal;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Plan + feedback state.
+// ---------------------------------------------------------------------------
+struct Plan {
+  int slot = -1;
+  unsigned long call_lo = 0;
+  unsigned long call_hi = 0;
+  long retval = -1;
+  int errno_value = 0;
+};
+
+constexpr int kMaxPlans = 8;
+Plan g_plans[kMaxPlans];
+int g_plan_count = 0;
+
+// Local fallback block, replaced by the mmap'd file when AFEX_FEEDBACK is
+// set — the wrappers never need a null check.
+FeedbackBlock g_local_block;
+FeedbackBlock* g_block = &g_local_block;
+
+// First armed plan covering call ordinal `n` of `slot`, else null.
+const Plan* MatchPlan(int slot, unsigned long n) {
+  for (int i = 0; i < g_plan_count; ++i) {
+    const Plan& p = g_plans[i];
+    if (p.slot == slot && n >= p.call_lo && n <= p.call_hi) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+// Count one call to `slot`; returns the plan to inject, else null. Relaxed
+// atomics: counters are monotonic and read only after the child exits.
+// g_active is read with acquire to pair with the constructor's release
+// store (plan and feedback state are published before counting starts).
+const Plan* OnCall(int slot) {
+  if (!__atomic_load_n(&g_active, __ATOMIC_ACQUIRE) || g_internal) {
+    return nullptr;
+  }
+  unsigned long n = __atomic_add_fetch(&g_block->calls[slot], 1, __ATOMIC_RELAXED);
+  const Plan* plan = MatchPlan(slot, n);
+  if (plan != nullptr) {
+    __atomic_add_fetch(&g_block->injected[slot], 1, __ATOMIC_RELAXED);
+    if (__atomic_add_fetch(&g_block->injected_total, 1, __ATOMIC_RELAXED) == 1) {
+      g_block->first_injected_slot = static_cast<uint32_t>(slot);
+      g_block->first_injected_call = n;
+    }
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Allocation-free plan parsing (raw syscalls, fixed buffer).
+// ---------------------------------------------------------------------------
+bool ParseLong(const char*& p, long& out) {
+  while (*p == ' ') {
+    ++p;
+  }
+  bool negative = false;
+  if (*p == '-') {
+    negative = true;
+    ++p;
+  }
+  if (*p < '0' || *p > '9') {
+    return false;
+  }
+  long value = 0;
+  while (*p >= '0' && *p <= '9') {
+    value = value * 10 + (*p - '0');
+    ++p;
+  }
+  out = negative ? -value : value;
+  return true;
+}
+
+bool ParseWord(const char*& p, char* out, size_t cap) {
+  while (*p == ' ') {
+    ++p;
+  }
+  size_t n = 0;
+  while (*p != '\0' && *p != ' ' && *p != '\n') {
+    if (n + 1 >= cap) {
+      return false;
+    }
+    out[n++] = *p++;
+  }
+  out[n] = '\0';
+  return n > 0;
+}
+
+void LoadPlan() {
+  const char* path = getenv("AFEX_PLAN");
+  if (path == nullptr || *path == '\0') {
+    return;
+  }
+  Resolve(g_real_open, "open");
+  Resolve(g_real_read, "read");
+  Resolve(g_real_close, "close");
+  int fd = g_real_open(path, O_RDONLY);
+  if (fd < 0) {
+    return;
+  }
+  static char buf[4096];
+  ssize_t total = 0;
+  ssize_t n;
+  while ((n = g_real_read(fd, buf + total, sizeof(buf) - 1 - total)) > 0) {
+    total += n;
+    if (total >= static_cast<ssize_t>(sizeof(buf) - 1)) {
+      break;
+    }
+  }
+  g_real_close(fd);
+  buf[total] = '\0';
+
+  const char* p = buf;
+  // Header: "afexplan 1".
+  char word[64];
+  long version = 0;
+  if (!ParseWord(p, word, sizeof(word)) || strcmp(word, "afexplan") != 0 ||
+      !ParseLong(p, version) || version != 1) {
+    return;
+  }
+  while (*p != '\0') {
+    if (*p == '\n') {
+      ++p;
+      continue;
+    }
+    if (!ParseWord(p, word, sizeof(word)) || strcmp(word, "inject") != 0) {
+      return;  // unknown directive: stop, keep what parsed so far armed
+    }
+    Plan plan;
+    char function[64];
+    long lo = 0;
+    long hi = 0;
+    long retval = 0;
+    long err = 0;
+    if (!ParseWord(p, function, sizeof(function)) || !ParseLong(p, lo) ||
+        !ParseLong(p, hi) || !ParseLong(p, retval) || !ParseLong(p, err)) {
+      return;
+    }
+    plan.slot = InterposedSlot(function);
+    plan.call_lo = static_cast<unsigned long>(lo);
+    plan.call_hi = static_cast<unsigned long>(hi);
+    plan.retval = retval;
+    plan.errno_value = static_cast<int>(err);
+    if (plan.slot >= 0 && lo >= 1 && hi >= lo && g_plan_count < kMaxPlans) {
+      g_plans[g_plan_count++] = plan;
+      __atomic_add_fetch(&g_block->plans_loaded, 1, __ATOMIC_RELAXED);
+    }
+  }
+}
+
+void MapFeedback() {
+  const char* path = getenv("AFEX_FEEDBACK");
+  if (path == nullptr || *path == '\0') {
+    return;
+  }
+  Resolve(g_real_open, "open");
+  Resolve(g_real_close, "close");
+  int fd = g_real_open(path, O_RDWR);
+  if (fd < 0) {
+    return;
+  }
+  void* mem =
+      mmap(nullptr, sizeof(FeedbackBlock), PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  g_real_close(fd);
+  if (mem == MAP_FAILED) {
+    return;
+  }
+  g_block = static_cast<FeedbackBlock*>(mem);
+}
+
+// Resolves every wrapped symbol up front. The constructor runs while the
+// process is still single-threaded (program threads cannot exist before
+// preload constructors finish), so after this no wrapper ever writes a
+// g_real_* pointer again — multithreaded targets only read them.
+void ResolveAll() {
+  Resolve(g_real_malloc, "malloc");
+  Resolve(g_real_calloc, "calloc");
+  Resolve(g_real_realloc, "realloc");
+  Resolve(g_real_free, "free");
+  Resolve(g_real_open, "open");
+  Resolve(g_real_open64, "open64");
+  Resolve(g_real_close, "close");
+  Resolve(g_real_read, "read");
+  Resolve(g_real_write, "write");
+  Resolve(g_real_lseek, "lseek");
+  Resolve(g_real_lseek64, "lseek64");
+  Resolve(g_real_fopen, "fopen");
+  Resolve(g_real_fopen64, "fopen64");
+  Resolve(g_real_fclose, "fclose");
+  Resolve(g_real_fread, "fread");
+  Resolve(g_real_fwrite, "fwrite");
+  Resolve(g_real_fgets, "fgets");
+  Resolve(g_real_fflush, "fflush");
+  Resolve(g_real_unlink, "unlink");
+  Resolve(g_real_rename, "rename");
+  Resolve(g_real_mkdir, "mkdir");
+  Resolve(g_real_socket, "socket");
+  Resolve(g_real_connect, "connect");
+  Resolve(g_real_bind, "bind");
+  Resolve(g_real_listen, "listen");
+  Resolve(g_real_accept, "accept");
+  Resolve(g_real_send, "send");
+  Resolve(g_real_recv, "recv");
+}
+
+__attribute__((constructor)) void AfexInterposeInit() {
+  g_internal = 1;
+  ResolveAll();
+  MapFeedback();
+  g_block->magic = kFeedbackMagic;
+  g_block->version = kFeedbackVersion;
+  g_block->function_count = kInterposedFunctionCount;
+  g_block->attached = 1;
+  LoadPlan();
+  g_internal = 0;
+  __atomic_store_n(&g_active, 1, __ATOMIC_RELEASE);
+}
+
+// Slot constants, kept in sync with kInterposedFunctions by static_asserts
+// on the names that anchor each group.
+enum Slot : int {
+  kSlotMalloc = 0,
+  kSlotCalloc,
+  kSlotRealloc,
+  kSlotFopen,
+  kSlotFclose,
+  kSlotFread,
+  kSlotFwrite,
+  kSlotFgets,
+  kSlotFflush,
+  kSlotOpen,
+  kSlotClose,
+  kSlotRead,
+  kSlotWrite,
+  kSlotLseek,
+  kSlotRename,
+  kSlotUnlink,
+  kSlotMkdir,
+  kSlotSocket,
+  kSlotBind,
+  kSlotListen,
+  kSlotAccept,
+  kSlotConnect,
+  kSlotSend,
+  kSlotRecv,
+};
+static_assert(afex::exec::kInterposedFunctions[kSlotMalloc][0] == 'm');
+static_assert(afex::exec::kInterposedFunctions[kSlotFopen][1] == 'o');
+static_assert(afex::exec::kInterposedFunctions[kSlotOpen][0] == 'o');
+static_assert(afex::exec::kInterposedFunctions[kSlotRecv][0] == 'r');
+static_assert(kSlotRecv + 1 == static_cast<int>(kInterposedFunctionCount));
+
+// Inject helper: sets errno and produces the planned return value.
+template <typename T>
+T Inject(const Plan* plan) {
+  errno = plan->errno_value;
+  return reinterpret_cast<T>(static_cast<intptr_t>(plan->retval));
+}
+template <>
+int Inject<int>(const Plan* plan) {
+  errno = plan->errno_value;
+  return static_cast<int>(plan->retval);
+}
+template <>
+long Inject<long>(const Plan* plan) {
+  errno = plan->errno_value;
+  return plan->retval;
+}
+template <>
+size_t Inject<size_t>(const Plan* plan) {
+  errno = plan->errno_value;
+  return static_cast<size_t>(plan->retval < 0 ? 0 : plan->retval);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// The wrappers. All extern "C" with the exact libc signatures.
+// ---------------------------------------------------------------------------
+extern "C" {
+
+void* malloc(size_t size) {
+  if (g_real_malloc == nullptr) {
+    if (g_resolving) {
+      return BootAlloc(size);
+    }
+    Resolve(g_real_malloc, "malloc");
+    if (g_real_malloc == nullptr) {
+      return BootAlloc(size);
+    }
+  }
+  if (const Plan* plan = OnCall(kSlotMalloc)) {
+    return Inject<void*>(plan);
+  }
+  return g_real_malloc(size);
+}
+
+void* calloc(size_t nmemb, size_t size) {
+  if (g_real_calloc == nullptr) {
+    if (g_resolving) {
+      void* p = BootAlloc(nmemb * size);
+      if (p != nullptr) {
+        memset(p, 0, nmemb * size);
+      }
+      return p;
+    }
+    Resolve(g_real_calloc, "calloc");
+    if (g_real_calloc == nullptr) {
+      return nullptr;
+    }
+  }
+  if (const Plan* plan = OnCall(kSlotCalloc)) {
+    return Inject<void*>(plan);
+  }
+  return g_real_calloc(nmemb, size);
+}
+
+void* realloc(void* ptr, size_t size) {
+  Resolve(g_real_realloc, "realloc");
+  if (ptr != nullptr && IsBootPtr(ptr)) {
+    // Bootstrap storage cannot be resized in place; migrate to the heap.
+    Resolve(g_real_malloc, "malloc");
+    void* fresh = g_real_malloc(size);
+    if (fresh != nullptr) {
+      size_t old = BootChunkSize(ptr);
+      memcpy(fresh, ptr, old < size ? old : size);
+    }
+    return fresh;
+  }
+  if (const Plan* plan = OnCall(kSlotRealloc)) {
+    return Inject<void*>(plan);
+  }
+  return g_real_realloc(ptr, size);
+}
+
+void free(void* ptr) {
+  if (ptr == nullptr || IsBootPtr(ptr)) {
+    return;  // bootstrap storage is never reclaimed
+  }
+  Resolve(g_real_free, "free");
+  g_real_free(ptr);
+}
+
+int open(const char* path, int flags, ...) {
+  mode_t mode = 0;
+  if (flags & O_CREAT) {
+    va_list args;
+    va_start(args, flags);
+    mode = va_arg(args, mode_t);
+    va_end(args);
+  }
+  Resolve(g_real_open, "open");
+  if (const Plan* plan = OnCall(kSlotOpen)) {
+    return Inject<int>(plan);
+  }
+  return g_real_open(path, flags, mode);
+}
+
+int open64(const char* path, int flags, ...) {
+  mode_t mode = 0;
+  if (flags & O_CREAT) {
+    va_list args;
+    va_start(args, flags);
+    mode = va_arg(args, mode_t);
+    va_end(args);
+  }
+  Resolve(g_real_open64, "open64");
+  if (const Plan* plan = OnCall(kSlotOpen)) {
+    return Inject<int>(plan);
+  }
+  return g_real_open64(path, flags, mode);
+}
+
+int close(int fd) {
+  Resolve(g_real_close, "close");
+  if (const Plan* plan = OnCall(kSlotClose)) {
+    return Inject<int>(plan);
+  }
+  return g_real_close(fd);
+}
+
+ssize_t read(int fd, void* buf, size_t count) {
+  Resolve(g_real_read, "read");
+  if (const Plan* plan = OnCall(kSlotRead)) {
+    return Inject<long>(plan);
+  }
+  return g_real_read(fd, buf, count);
+}
+
+ssize_t write(int fd, const void* buf, size_t count) {
+  Resolve(g_real_write, "write");
+  if (const Plan* plan = OnCall(kSlotWrite)) {
+    return Inject<long>(plan);
+  }
+  return g_real_write(fd, buf, count);
+}
+
+off_t lseek(int fd, off_t offset, int whence) {
+  Resolve(g_real_lseek, "lseek");
+  if (const Plan* plan = OnCall(kSlotLseek)) {
+    return Inject<long>(plan);
+  }
+  return g_real_lseek(fd, offset, whence);
+}
+
+off64_t lseek64(int fd, off64_t offset, int whence) {
+  Resolve(g_real_lseek64, "lseek64");
+  if (const Plan* plan = OnCall(kSlotLseek)) {
+    return Inject<long>(plan);
+  }
+  return g_real_lseek64(fd, offset, whence);
+}
+
+FILE* fopen(const char* path, const char* mode) {
+  Resolve(g_real_fopen, "fopen");
+  if (const Plan* plan = OnCall(kSlotFopen)) {
+    return Inject<FILE*>(plan);
+  }
+  return g_real_fopen(path, mode);
+}
+
+FILE* fopen64(const char* path, const char* mode) {
+  Resolve(g_real_fopen64, "fopen64");
+  if (const Plan* plan = OnCall(kSlotFopen)) {
+    return Inject<FILE*>(plan);
+  }
+  return g_real_fopen64(path, mode);
+}
+
+int fclose(FILE* stream) {
+  Resolve(g_real_fclose, "fclose");
+  if (const Plan* plan = OnCall(kSlotFclose)) {
+    return Inject<int>(plan);
+  }
+  return g_real_fclose(stream);
+}
+
+size_t fread(void* ptr, size_t size, size_t nmemb, FILE* stream) {
+  Resolve(g_real_fread, "fread");
+  if (const Plan* plan = OnCall(kSlotFread)) {
+    return Inject<size_t>(plan);
+  }
+  return g_real_fread(ptr, size, nmemb, stream);
+}
+
+size_t fwrite(const void* ptr, size_t size, size_t nmemb, FILE* stream) {
+  Resolve(g_real_fwrite, "fwrite");
+  if (const Plan* plan = OnCall(kSlotFwrite)) {
+    return Inject<size_t>(plan);
+  }
+  return g_real_fwrite(ptr, size, nmemb, stream);
+}
+
+char* fgets(char* s, int size, FILE* stream) {
+  Resolve(g_real_fgets, "fgets");
+  if (const Plan* plan = OnCall(kSlotFgets)) {
+    return Inject<char*>(plan);
+  }
+  return g_real_fgets(s, size, stream);
+}
+
+int fflush(FILE* stream) {
+  Resolve(g_real_fflush, "fflush");
+  if (const Plan* plan = OnCall(kSlotFflush)) {
+    return Inject<int>(plan);
+  }
+  return g_real_fflush(stream);
+}
+
+int unlink(const char* path) {
+  Resolve(g_real_unlink, "unlink");
+  if (const Plan* plan = OnCall(kSlotUnlink)) {
+    return Inject<int>(plan);
+  }
+  return g_real_unlink(path);
+}
+
+int rename(const char* oldpath, const char* newpath) {
+  Resolve(g_real_rename, "rename");
+  if (const Plan* plan = OnCall(kSlotRename)) {
+    return Inject<int>(plan);
+  }
+  return g_real_rename(oldpath, newpath);
+}
+
+int mkdir(const char* path, mode_t mode) {
+  Resolve(g_real_mkdir, "mkdir");
+  if (const Plan* plan = OnCall(kSlotMkdir)) {
+    return Inject<int>(plan);
+  }
+  return g_real_mkdir(path, mode);
+}
+
+int socket(int domain, int type, int protocol) {
+  Resolve(g_real_socket, "socket");
+  if (const Plan* plan = OnCall(kSlotSocket)) {
+    return Inject<int>(plan);
+  }
+  return g_real_socket(domain, type, protocol);
+}
+
+int connect(int sockfd, const struct sockaddr* addr, socklen_t addrlen) {
+  Resolve(g_real_connect, "connect");
+  if (const Plan* plan = OnCall(kSlotConnect)) {
+    return Inject<int>(plan);
+  }
+  return g_real_connect(sockfd, addr, addrlen);
+}
+
+int bind(int sockfd, const struct sockaddr* addr, socklen_t addrlen) {
+  Resolve(g_real_bind, "bind");
+  if (const Plan* plan = OnCall(kSlotBind)) {
+    return Inject<int>(plan);
+  }
+  return g_real_bind(sockfd, addr, addrlen);
+}
+
+int listen(int sockfd, int backlog) {
+  Resolve(g_real_listen, "listen");
+  if (const Plan* plan = OnCall(kSlotListen)) {
+    return Inject<int>(plan);
+  }
+  return g_real_listen(sockfd, backlog);
+}
+
+int accept(int sockfd, struct sockaddr* addr, socklen_t* addrlen) {
+  Resolve(g_real_accept, "accept");
+  if (const Plan* plan = OnCall(kSlotAccept)) {
+    return Inject<int>(plan);
+  }
+  return g_real_accept(sockfd, addr, addrlen);
+}
+
+ssize_t send(int sockfd, const void* buf, size_t len, int flags) {
+  Resolve(g_real_send, "send");
+  if (const Plan* plan = OnCall(kSlotSend)) {
+    return Inject<long>(plan);
+  }
+  return g_real_send(sockfd, buf, len, flags);
+}
+
+ssize_t recv(int sockfd, void* buf, size_t len, int flags) {
+  Resolve(g_real_recv, "recv");
+  if (const Plan* plan = OnCall(kSlotRecv)) {
+    return Inject<long>(plan);
+  }
+  return g_real_recv(sockfd, buf, len, flags);
+}
+
+}  // extern "C"

@@ -1,0 +1,184 @@
+#include "exec/process_runner.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+
+namespace afex {
+namespace exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ElapsedMs(Clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - since).count());
+}
+
+// Drains whatever is readable right now from `fd` into `out`, up to `cap`
+// total bytes (excess is read and discarded so the child never blocks on a
+// full pipe). Returns false once the pipe reports EOF.
+bool DrainPipe(int fd, std::string& out, size_t cap) {
+  char buf[4096];
+  while (true) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      if (out.size() < cap) {
+        out.append(buf, buf + std::min<size_t>(static_cast<size_t>(n), cap - out.size()));
+      }
+      continue;
+    }
+    if (n == 0) {
+      return false;  // EOF: write end fully closed
+    }
+    return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+  }
+}
+
+}  // namespace
+
+bool IsCrashSignal(int signal) {
+  switch (signal) {
+    case SIGSEGV:
+    case SIGABRT:
+    case SIGBUS:
+    case SIGFPE:
+    case SIGILL:
+    case SIGTRAP:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ProcessResult RunProcess(const ProcessRequest& request) {
+  ProcessResult result;
+  if (request.argv.empty()) {
+    return result;
+  }
+
+  // Everything the child needs is materialized BEFORE fork: with --jobs the
+  // parent is multithreaded, so the child may only touch async-signal-safe
+  // calls (dup2/chdir/execvpe) — no setenv, no allocation.
+  std::vector<std::string> env_strings;
+  for (char** e = environ; *e != nullptr; ++e) {
+    env_strings.emplace_back(*e);
+  }
+  auto set_var = [&env_strings](const std::string& key, const std::string& value) {
+    std::string prefix = key + "=";
+    for (std::string& entry : env_strings) {
+      if (entry.rfind(prefix, 0) == 0) {
+        entry = prefix + value;
+        return;
+      }
+    }
+    env_strings.push_back(prefix + value);
+  };
+  for (const auto& [key, value] : request.env) {
+    set_var(key, value);
+  }
+  if (!request.preload.empty()) {
+    set_var("LD_PRELOAD", request.preload);
+  }
+  std::vector<char*> envp;
+  envp.reserve(env_strings.size() + 1);
+  for (std::string& entry : env_strings) {
+    envp.push_back(entry.data());
+  }
+  envp.push_back(nullptr);
+  std::vector<char*> argv;
+  argv.reserve(request.argv.size() + 1);
+  for (const std::string& arg : request.argv) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return result;
+  }
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    return result;
+  }
+
+  if (pid == 0) {
+    // ---- child ----
+    ::close(pipe_fds[0]);
+    ::dup2(pipe_fds[1], STDOUT_FILENO);
+    ::dup2(pipe_fds[1], STDERR_FILENO);
+    ::close(pipe_fds[1]);
+    if (!request.working_dir.empty() && ::chdir(request.working_dir.c_str()) != 0) {
+      ::_exit(126);
+    }
+    ::execvpe(argv[0], argv.data(), envp.data());
+    // exec failed: report via the conventional shell status.
+    ::_exit(127);
+  }
+
+  // ---- parent ----
+  ::close(pipe_fds[1]);
+  ::fcntl(pipe_fds[0], F_SETFL, O_NONBLOCK);
+  result.started = true;
+
+  const Clock::time_point start = Clock::now();
+  bool term_sent = false;
+  bool kill_sent = false;
+  bool pipe_open = true;
+  int status = 0;
+
+  while (true) {
+    pid_t done = ::waitpid(pid, &status, WNOHANG);
+    if (done == pid) {
+      break;
+    }
+    uint64_t elapsed = ElapsedMs(start);
+    if (!term_sent && elapsed >= request.timeout_ms) {
+      result.timed_out = true;
+      ::kill(pid, SIGTERM);
+      term_sent = true;
+    } else if (term_sent && !kill_sent &&
+               elapsed >= request.timeout_ms + request.kill_grace_ms) {
+      ::kill(pid, SIGKILL);
+      kill_sent = true;
+    }
+    if (pipe_open) {
+      struct pollfd pfd{pipe_fds[0], POLLIN, 0};
+      ::poll(&pfd, 1, 20);
+      pipe_open = DrainPipe(pipe_fds[0], result.output, request.max_output_bytes);
+    } else {
+      struct timespec ts{0, 5 * 1000 * 1000};
+      ::nanosleep(&ts, nullptr);
+    }
+  }
+
+  // Collect output written before exit that we have not read yet.
+  if (pipe_open) {
+    DrainPipe(pipe_fds[0], result.output, request.max_output_bytes);
+  }
+  ::close(pipe_fds[0]);
+
+  result.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  if (WIFEXITED(status)) {
+    result.exited = true;
+    result.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.term_signal = WTERMSIG(status);
+  }
+  return result;
+}
+
+}  // namespace exec
+}  // namespace afex

@@ -1,0 +1,56 @@
+// Fork/exec runner for real targets — the node manager's "start the system
+// under test" script (paper §6.1) as a library. Runs one command in a
+// sandbox working directory with LD_PRELOAD and the AFEX control
+// environment set, captures combined stdout/stderr, enforces a wall-clock
+// timeout with SIGTERM → SIGKILL escalation, and reports how the process
+// died (exit code, terminating signal, or timeout).
+#ifndef AFEX_EXEC_PROCESS_RUNNER_H_
+#define AFEX_EXEC_PROCESS_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace afex {
+namespace exec {
+
+struct ProcessRequest {
+  // argv[0] is the executable (resolved via PATH, execvp semantics).
+  std::vector<std::string> argv;
+  // Working directory for the child; must exist. Empty = inherit.
+  std::string working_dir;
+  // Extra environment (AFEX_PLAN, AFEX_FEEDBACK, ...), appended to the
+  // inherited environment.
+  std::vector<std::pair<std::string, std::string>> env;
+  // Shared library to LD_PRELOAD into the child ("" = none).
+  std::string preload;
+  // Wall-clock budget. On expiry the child gets SIGTERM; if it is still
+  // alive kill_grace_ms later, SIGKILL.
+  uint64_t timeout_ms = 5000;
+  uint64_t kill_grace_ms = 200;
+  // Combined stdout+stderr capture cap; output beyond it is discarded (the
+  // child keeps a writable pipe, so it never blocks on a full buffer).
+  size_t max_output_bytes = 1 << 16;
+};
+
+struct ProcessResult {
+  bool started = false;   // fork/exec plumbing succeeded
+  bool exited = false;    // terminated via exit(); exit_code valid
+  int exit_code = -1;
+  int term_signal = 0;    // non-zero when terminated by a signal
+  bool timed_out = false; // the runner had to kill it
+  std::string output;     // combined stdout+stderr, possibly truncated
+  double wall_seconds = 0.0;
+};
+
+ProcessResult RunProcess(const ProcessRequest& request);
+
+// True when `signal` is one of the crash signals (SEGV, ABRT, BUS, FPE,
+// ILL, TRAP) — the classification the harness maps to TestOutcome::crashed.
+bool IsCrashSignal(int signal);
+
+}  // namespace exec
+}  // namespace afex
+
+#endif  // AFEX_EXEC_PROCESS_RUNNER_H_

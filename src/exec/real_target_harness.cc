@@ -1,0 +1,219 @@
+#include "exec/real_target_harness.h"
+
+#include <stdlib.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+
+#include "exec/fault_plan.h"
+#include "exec/feedback_block.h"
+#include "exec/process_runner.h"
+#include "injection/libc_profile.h"
+#include "injection/plan.h"
+#include "util/log.h"
+
+namespace afex {
+namespace exec {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string Basename(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+// First line of the child's output, for the journal's detail field.
+std::string FirstLine(const std::string& output) {
+  size_t nl = output.find('\n');
+  return output.substr(0, nl == std::string::npos ? output.size() : nl);
+}
+
+}  // namespace
+
+std::vector<std::string> InterposableFunctions() {
+  std::vector<std::string> names;
+  for (const FunctionErrorProfile& f : LibcProfile::Default().functions()) {
+    if (InterposedSlot(f.function.c_str()) >= 0) {
+      names.push_back(f.function);
+    }
+  }
+  return names;
+}
+
+RealTargetHarness::RealTargetHarness(RealTargetConfig config)
+    : config_(std::move(config)),
+      coverage_(kInterposedFunctionCount, /*recovery_base=*/0) {
+  if (config_.functions.empty()) {
+    config_.functions = InterposableFunctions();
+  }
+  // The child runs inside the per-run sandbox, so caller-relative paths
+  // must be pinned down now. A bare command name (no '/') keeps execvp
+  // PATH-lookup semantics.
+  std::error_code ec;
+  if (!config_.target_argv.empty() &&
+      config_.target_argv[0].find('/') != std::string::npos) {
+    config_.target_argv[0] = fs::absolute(config_.target_argv[0], ec).string();
+  }
+  if (!config_.interposer_path.empty()) {
+    config_.interposer_path = fs::absolute(config_.interposer_path, ec).string();
+  }
+  if (!config_.target_argv.empty()) {
+    target_name_ = Basename(config_.target_argv[0]);
+  }
+  if (config_.work_root.empty()) {
+    std::string pattern =
+        (fs::temp_directory_path() / "afex_real_XXXXXX").string();
+    std::vector<char> buf(pattern.begin(), pattern.end());
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) != nullptr) {
+      work_root_.assign(buf.data());
+      own_work_root_ = true;
+    } else {
+      work_root_ = ".";
+    }
+  } else {
+    work_root_ = config_.work_root;
+    std::error_code ec;
+    fs::create_directories(work_root_, ec);
+  }
+}
+
+RealTargetHarness::~RealTargetHarness() {
+  if (own_work_root_ && !config_.keep_scratch) {
+    std::error_code ec;
+    fs::remove_all(work_root_, ec);
+  }
+}
+
+FaultSpace RealTargetHarness::MakeSpace(size_t max_call, bool include_zero_call) const {
+  std::vector<Axis> axes;
+  axes.push_back(Axis::MakeInterval("test", 1, static_cast<int64_t>(config_.num_tests)));
+  axes.push_back(Axis::MakeSet("function", config_.functions));
+  axes.push_back(
+      Axis::MakeInterval("call", include_zero_call ? 0 : 1, static_cast<int64_t>(max_call)));
+  return FaultSpace(std::move(axes), "real:" + target_name_);
+}
+
+TestOutcome RealTargetHarness::RunFault(const FaultSpace& space, const Fault& fault) {
+  InjectionPlan plan = decoder_.Decode(space, fault);
+  TestOutcome outcome;
+  ++tests_run_;
+
+  // ---- per-run sandbox + control files ----
+  fs::path run_dir = fs::path(work_root_) / ("run_" + std::to_string(tests_run_));
+  fs::path sandbox = run_dir / "sandbox";
+  std::error_code ec;
+  fs::create_directories(sandbox, ec);
+  if (ec) {
+    outcome.test_failed = true;
+    outcome.detail = "exec: cannot create sandbox " + sandbox.string();
+    return outcome;
+  }
+  std::string plan_path = (run_dir / "plan.afex").string();
+  std::string feedback_path = (run_dir / "feedback.afexfb").string();
+
+  std::vector<FaultSpec> specs;
+  if (plan.spec.has_value()) {
+    if (InterposedSlot(plan.spec->function.c_str()) < 0) {
+      // A custom space can name profile functions the interposer does not
+      // wrap; surface it rather than silently running without injection.
+      outcome.test_failed = true;
+      outcome.detail = "exec: function not interposable: " + plan.spec->function;
+      return outcome;
+    }
+    specs.push_back(*plan.spec);
+  }
+  if (!WriteFaultPlan(plan_path, specs) || !CreateFeedbackFile(feedback_path.c_str())) {
+    outcome.test_failed = true;
+    outcome.detail = "exec: cannot write control files under " + run_dir.string();
+    return outcome;
+  }
+
+  // ---- build the command ----
+  ProcessRequest request;
+  std::string test_label = std::to_string(plan.test_id + 1);
+  bool substituted = false;
+  for (const std::string& arg : config_.target_argv) {
+    std::string expanded = arg;
+    size_t pos;
+    while ((pos = expanded.find("{test}")) != std::string::npos) {
+      expanded.replace(pos, 6, test_label);
+      substituted = true;
+    }
+    request.argv.push_back(std::move(expanded));
+  }
+  if (!substituted) {
+    request.argv.push_back(test_label);
+  }
+  request.working_dir = sandbox.string();
+  request.preload = config_.interposer_path;
+  request.env = {{"AFEX_PLAN", plan_path}, {"AFEX_FEEDBACK", feedback_path}};
+  request.timeout_ms = config_.timeout_ms;
+  request.max_output_bytes = config_.max_output_bytes;
+
+  ProcessResult run = RunProcess(request);
+
+  // ---- translate the observation ----
+  outcome.hung = run.timed_out;
+  outcome.crashed = IsCrashSignal(run.term_signal);
+  outcome.exit_code = run.exited ? run.exit_code : 128 + run.term_signal;
+  outcome.test_failed =
+      !run.started || outcome.exit_code != 0 || outcome.crashed || outcome.hung;
+
+  FeedbackBlock block;
+  if (ReadFeedbackBlock(feedback_path.c_str(), block)) {
+    // Each profiled libc function the run touched is one black-box
+    // "coverage block": the call profile is the only structural signal a
+    // black-box run emits, and it feeds the impact metric's coverage term
+    // exactly like basic blocks do for the sim backend.
+    CoverageSet touched;
+    uint32_t slots = std::min(block.function_count, kMaxInterposedFunctions);
+    for (uint32_t slot = 0; slot < slots; ++slot) {
+      if (block.calls[slot] > 0) {
+        touched.Hit(slot);
+      }
+    }
+    outcome.new_blocks_covered = coverage_.MergeCollect(touched, outcome.new_block_ids);
+    std::sort(outcome.new_block_ids.begin(), outcome.new_block_ids.end());
+    outcome.fault_triggered = block.injected_total > 0;
+    if (outcome.fault_triggered && block.first_injected_slot < kInterposedFunctionCount) {
+      // Synthetic stack for redundancy clustering: target, test, injected
+      // function, and the call ordinal that actually fired.
+      outcome.injection_stack = {
+          target_name_, "test" + test_label,
+          kInterposedFunctions[block.first_injected_slot],
+          "call" + std::to_string(block.first_injected_call)};
+    }
+  } else if (!config_.interposer_path.empty()) {
+    AFEX_LOG(kWarn) << "no feedback block from " << feedback_path
+                    << " (interposer did not attach?)";
+  }
+
+  if (!run.started) {
+    outcome.detail = "exec: failed to start " +
+                     (request.argv.empty() ? std::string("<empty>") : request.argv[0]);
+  } else if (outcome.hung) {
+    outcome.detail = "timeout after " + std::to_string(config_.timeout_ms) + "ms";
+  } else if (run.term_signal != 0) {
+    outcome.detail = std::string("signal ") + strsignal(run.term_signal);
+  } else if (outcome.test_failed) {
+    outcome.detail = FirstLine(run.output);
+  }
+
+  if (!config_.keep_scratch) {
+    fs::remove_all(run_dir, ec);
+  }
+  return outcome;
+}
+
+ExplorationSession::Runner RealTargetHarness::MakeRunner(const FaultSpace& space) {
+  return [this, &space](const Fault& fault) { return RunFault(space, fault); };
+}
+
+}  // namespace exec
+}  // namespace afex

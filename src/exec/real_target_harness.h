@@ -1,0 +1,95 @@
+// RealTargetHarness: the TargetBackend that runs faults against *real*
+// processes — the paper's actual setting (black-box fault injection into
+// system processes), where PRs 1–4 only ever simulated targets.
+//
+// Per test it: decodes the abstract fault through the same FaultDecoder the
+// sim backend uses (the libc profile names real functions, so the fault
+// space vocabulary transfers verbatim), writes the interposer control file,
+// creates the feedback file, runs the target under LD_PRELOAD in a
+// per-run scratch sandbox (process_runner), reads the feedback block back,
+// and translates it into a TestOutcome: per-function call profiles become
+// black-box "coverage" (one block per profiled libc function), injected-
+// site hits become fault_triggered plus a synthetic injection stack for
+// redundancy clustering, and the exit status / terminating signal /
+// timeout map onto failed / crashed / hung. Everything downstream —
+// fitness, clustering, campaign journaling, resume, --jobs — consumes the
+// result unchanged.
+#ifndef AFEX_EXEC_REAL_TARGET_HARNESS_H_
+#define AFEX_EXEC_REAL_TARGET_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "injection/plan.h"
+#include "sim/coverage.h"
+
+namespace afex {
+namespace exec {
+
+struct RealTargetConfig {
+  // Target command. Every occurrence of "{test}" in any argument is
+  // replaced by the 1-based test id; if no argument contains the
+  // placeholder, the id is appended as a final argument.
+  std::vector<std::string> target_argv;
+  // Cardinality of the test axis.
+  size_t num_tests = 1;
+  // Path to libafex_interpose.so.
+  std::string interposer_path;
+  // Scratch root for per-run sandboxes. Empty = a fresh directory under
+  // the system temp dir, removed when the harness is destroyed.
+  std::string work_root;
+  uint64_t timeout_ms = 5000;
+  size_t max_output_bytes = 1 << 16;
+  // Keep per-run sandboxes and control files on disk (debugging).
+  bool keep_scratch = false;
+  // Function axis for MakeSpace. Empty = InterposableFunctions().
+  std::vector<std::string> functions;
+};
+
+// The libc-profile functions the interposer wraps, in profile (category)
+// order — the function axis the real backend explores by default.
+std::vector<std::string> InterposableFunctions();
+
+class RealTargetHarness : public TargetBackend {
+ public:
+  explicit RealTargetHarness(RealTargetConfig config);
+  ~RealTargetHarness() override;
+
+  RealTargetHarness(const RealTargetHarness&) = delete;
+  RealTargetHarness& operator=(const RealTargetHarness&) = delete;
+
+  // Canonical <test, function, call> space, same conventions as
+  // TargetHarness::MakeSpace.
+  FaultSpace MakeSpace(size_t max_call, bool include_zero_call = false) const;
+
+  TestOutcome RunFault(const FaultSpace& space, const Fault& fault) override;
+  ExplorationSession::Runner MakeRunner(const FaultSpace& space);
+
+  void SeedCoverage(const std::vector<uint32_t>& blocks) override {
+    coverage_.MergeIds(blocks);
+  }
+  uint32_t coverage_total_blocks() const override { return coverage_.total_blocks(); }
+  uint32_t coverage_recovery_base() const override { return 0; }
+  double CoverageFraction() const override { return coverage_.Fraction(); }
+  double RecoveryCoverageFraction() const override { return 0.0; }
+  size_t tests_run() const override { return tests_run_; }
+
+  const RealTargetConfig& config() const { return config_; }
+  const CoverageAccumulator& coverage() const { return coverage_; }
+
+ private:
+  RealTargetConfig config_;
+  std::string work_root_;       // resolved scratch root
+  bool own_work_root_ = false;  // created by us => removed in the dtor
+  std::string target_name_;     // basename of argv[0], for injection stacks
+  CoverageAccumulator coverage_;
+  CachedFaultDecoder decoder_;  // per-space decode tables, built once
+  size_t tests_run_ = 0;
+};
+
+}  // namespace exec
+}  // namespace afex
+
+#endif  // AFEX_EXEC_REAL_TARGET_HARNESS_H_

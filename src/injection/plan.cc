@@ -147,6 +147,32 @@ InjectionPlan FaultDecoder::Decode(const Fault& fault) const {
   return plan;
 }
 
+bool CachedFaultDecoder::Matches(const FaultSpace& space) const {
+  if (space_ != &space || space_name_ != space.name() || axes_.size() != space.dimensions()) {
+    return false;
+  }
+  for (size_t i = 0; i < axes_.size(); ++i) {
+    const Axis& cached = axes_[i];
+    const Axis& axis = space.axis(i);
+    if (cached.name() != axis.name() || cached.kind() != axis.kind() ||
+        cached.lo() != axis.lo() || cached.hi() != axis.hi() ||
+        cached.labels() != axis.labels()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+InjectionPlan CachedFaultDecoder::Decode(const FaultSpace& space, const Fault& fault) {
+  if (!Matches(space)) {
+    decoder_.emplace(space);
+    space_ = &space;
+    space_name_ = space.name();
+    axes_.assign(space.axes().begin(), space.axes().end());
+  }
+  return decoder_->Decode(fault);
+}
+
 std::string FormatPlan(const InjectionPlan& plan) {
   std::string out = "test " + std::to_string(plan.test_id + 1);
   if (!plan.spec.has_value()) {

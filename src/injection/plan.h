@@ -70,6 +70,25 @@ class FaultDecoder {
   std::vector<int64_t> retval_by_value_;
 };
 
+// One-slot FaultDecoder cache for the harness hot path: one campaign
+// drives one space, so Decode builds a FaultDecoder for the space on first
+// use and reuses it until a different space arrives. Address identity
+// alone is not enough (a different space could be reconstructed at the
+// same address), so name, axis geometry, and axis labels — which carry the
+// decode semantics — are all compared before reuse.
+class CachedFaultDecoder {
+ public:
+  InjectionPlan Decode(const FaultSpace& space, const Fault& fault);
+
+ private:
+  bool Matches(const FaultSpace& space) const;
+
+  const FaultSpace* space_ = nullptr;
+  std::string space_name_;
+  std::vector<Axis> axes_;  // full axis copies, labels included
+  std::optional<FaultDecoder> decoder_;
+};
+
 // Renders the plan in the paper's Fig. 5 scenario form, e.g.
 // "function malloc errno ENOMEM retval 0 callNumber 23".
 std::string FormatPlan(const InjectionPlan& plan);

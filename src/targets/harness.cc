@@ -36,23 +36,6 @@ SimEnv& TargetHarness::EnvForRun(uint64_t seed, std::optional<SimEnv>& fresh) {
   return *arena_;
 }
 
-bool TargetHarness::DecoderMatches(const FaultSpace& space) const {
-  if (decoder_space_ != &space || decoder_space_name_ != space.name() ||
-      decoder_axes_.size() != space.dimensions()) {
-    return false;
-  }
-  for (size_t i = 0; i < decoder_axes_.size(); ++i) {
-    const Axis& cached = decoder_axes_[i];
-    const Axis& axis = space.axis(i);
-    if (cached.name() != axis.name() || cached.kind() != axis.kind() ||
-        cached.lo() != axis.lo() || cached.hi() != axis.hi() ||
-        cached.labels() != axis.labels()) {
-      return false;
-    }
-  }
-  return true;
-}
-
 TestOutcome TargetHarness::RunFault(const FaultSpace& space, const Fault& fault) {
   InjectionPlan plan;
   if (reference_sim_) {
@@ -60,13 +43,7 @@ TestOutcome TargetHarness::RunFault(const FaultSpace& space, const Fault& fault)
     // linear profile search); the baseline keeps paying that per test.
     plan = DecodeFault(space, fault);
   } else {
-    if (!DecoderMatches(space)) {
-      decoder_.emplace(space);
-      decoder_space_ = &space;
-      decoder_space_name_ = space.name();
-      decoder_axes_.assign(space.axes().begin(), space.axes().end());
-    }
-    plan = decoder_->Decode(fault);
+    plan = decoder_.Decode(space, fault);
   }
   std::optional<SimEnv> fresh;
   SimEnv& env =

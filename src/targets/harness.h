@@ -21,7 +21,7 @@
 
 namespace afex {
 
-class TargetHarness {
+class TargetHarness : public TargetBackend {
  public:
   // `reference_sim_structures` runs every SimEnv with the retained std::map
   // tables (SimEnvConfig::reference_structures) — the sim-layer equivalence
@@ -36,7 +36,7 @@ class TargetHarness {
 
   // Executes the fault and returns the observation. Deterministic: the
   // SimEnv seed derives from the harness seed and the test id only.
-  TestOutcome RunFault(const FaultSpace& space, const Fault& fault);
+  TestOutcome RunFault(const FaultSpace& space, const Fault& fault) override;
 
   // Session-compatible runner bound to `space` (which must outlive it).
   ExplorationSession::Runner MakeRunner(const FaultSpace& space);
@@ -48,16 +48,18 @@ class TargetHarness {
   // Pre-seeds the session coverage with blocks covered before a campaign
   // was interrupted (journaled TestOutcome::new_block_ids), so resumed runs
   // keep counting "new blocks" relative to the whole campaign.
-  void SeedCoverage(const std::vector<uint32_t>& blocks) { coverage_.MergeIds(blocks); }
+  void SeedCoverage(const std::vector<uint32_t>& blocks) override { coverage_.MergeIds(blocks); }
 
   const TargetSuite& suite() const { return suite_; }
   const CoverageAccumulator& coverage() const { return coverage_; }
-  double CoverageFraction() const { return coverage_.Fraction(); }
-  double RecoveryCoverageFraction() const { return coverage_.RecoveryFraction(); }
-  size_t tests_run() const { return tests_run_; }
+  uint32_t coverage_total_blocks() const override { return suite_.total_blocks; }
+  uint32_t coverage_recovery_base() const override { return suite_.recovery_base; }
+  double CoverageFraction() const override { return coverage_.Fraction(); }
+  double RecoveryCoverageFraction() const override { return coverage_.RecoveryFraction(); }
+  size_t tests_run() const override { return tests_run_; }
   // Watchdog steps consumed across all runs — the "simulated instructions
   // executed" counter the CLI reports as sim steps/sec.
-  size_t total_sim_steps() const { return sim_steps_; }
+  size_t total_sim_steps() const override { return sim_steps_; }
 
  private:
   // The env each test runs in. Flat mode reuses one arena environment
@@ -70,21 +72,13 @@ class TargetHarness {
   uint64_t seed_;
   bool reference_sim_;
   CoverageAccumulator coverage_;
-  // True when `space` is the one the cached decoder was built from.
-  // Address identity alone is not enough (a different space could be
-  // reconstructed at the same address), so name, axis geometry, and axis
-  // labels — which carry the decode semantics — are all compared.
-  bool DecoderMatches(const FaultSpace& space) const;
 
   size_t tests_run_ = 0;
   size_t sim_steps_ = 0;
   std::optional<SimEnv> arena_;
   // Decode cache for the space RunFault was last called with (one campaign
   // drives one space; rebuilt transparently if the space changes).
-  const FaultSpace* decoder_space_ = nullptr;
-  std::string decoder_space_name_;
-  std::vector<Axis> decoder_axes_;  // full axis copies, labels included
-  std::optional<FaultDecoder> decoder_;
+  CachedFaultDecoder decoder_;
 };
 
 }  // namespace afex

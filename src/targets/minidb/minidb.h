@@ -99,10 +99,24 @@ class MiniDb {
   int StoreTable(std::string_view table, const std::vector<Row>& rows);
   void LogError(std::string_view what);
 
+  // Column-cached table images (the buffer-pool role of a real engine):
+  // LoadTable parses a table file once and caches its rows as key/value
+  // columns; later accesses materialize from the cache without re-opening
+  // and re-parsing the file. StoreTable refreshes the entry on success; any
+  // failed store/create/drop invalidates it, so the cache never diverges
+  // from the durable image an injected fault left behind.
+  struct ColumnTable {
+    std::vector<int64_t> keys;
+    std::vector<std::string> values;
+  };
+  void CacheStore(std::string_view table, const std::vector<Row>& rows);
+  void CacheInvalidate(std::string_view table);
+
   SimEnv* env_;
   uint64_t errmsg_handle_ = 0;  // NULL when errmsg.sys could not be read
   int wal_fd_ = -1;
   size_t wal_records_ = 0;
+  std::map<std::string, ColumnTable, std::less<>> table_cache_;
 };
 
 // Writes the /db fixture (directory, config, errmsg.sys, WAL) into a fresh

@@ -74,6 +74,7 @@ int MiniDb::CreateTable(std::string_view name) {
 
   libc.Free(descriptor);
   AFEX_COV(*env_, kCreateBase + 2);
+  CacheStore(name, {});  // fresh table: header only, no rows
   return 0;
 
 err:
@@ -81,6 +82,7 @@ err:
   AFEX_COV(*env_, kCreateRecovery + 4);
   env_->libc().MutexUnlock(kEngineMutex);  // SIGABRT when already unlocked
   env_->libc().Unlink(TablePath(name));
+  CacheInvalidate(name);
   LogError(std::string("mi_create failed for table ").append(name));
   return -1;
 }
@@ -102,6 +104,7 @@ int MiniDb::DropTable(std::string_view name) {
   }
   int rc = libc.Unlink(TablePath(name));
   libc.MutexUnlock(kEngineMutex);
+  CacheInvalidate(name);  // dropped, or in an unknown state after a failure
   if (rc != 0) {
     AFEX_COV(*env_, kAdminRecovery + 0);
     LogError(std::string("cannot drop table ").append(name));
@@ -134,11 +137,45 @@ int MiniDb::AppendWal(std::string_view record) {
   return 0;
 }
 
+void MiniDb::CacheStore(std::string_view table, const std::vector<Row>& rows) {
+  auto it = table_cache_.find(table);
+  ColumnTable& entry =
+      it != table_cache_.end() ? it->second : table_cache_[std::string(table)];
+  entry.keys.clear();
+  entry.values.clear();
+  entry.keys.reserve(rows.size());
+  entry.values.reserve(rows.size());
+  for (const Row& row : rows) {
+    entry.keys.push_back(row.key);
+    entry.values.push_back(row.value);
+  }
+}
+
+void MiniDb::CacheInvalidate(std::string_view table) {
+  auto it = table_cache_.find(table);
+  if (it != table_cache_.end()) {
+    table_cache_.erase(it);
+  }
+}
+
 int MiniDb::LoadTable(std::string_view table, std::vector<Row>& rows) {
   StackFrame frame(*env_, "load_table");
   SimLibc& libc = env_->libc();
   AFEX_COV(*env_, kRowBase + 0);
   rows.clear();
+
+  // Cache hit: materialize from the columns. Same logical blocks as the
+  // parse path, so coverage accounting is representation-independent.
+  if (auto cached = table_cache_.find(table); cached != table_cache_.end()) {
+    const ColumnTable& entry = cached->second;
+    rows.reserve(entry.keys.size());
+    for (size_t i = 0; i < entry.keys.size(); ++i) {
+      rows.push_back(Row{entry.keys[i], entry.values[i]});
+      AFEX_COV(*env_, kRowBase + 1);
+    }
+    AFEX_COV(*env_, kRowBase + 2);
+    return 0;
+  }
 
   uint64_t stream = libc.Fopen(TablePath(table), "r");
   if (stream == 0) {
@@ -186,6 +223,7 @@ int MiniDb::LoadTable(std::string_view table, std::vector<Row>& rows) {
   }
   libc.Fclose(stream);
   AFEX_COV(*env_, kRowBase + 2);
+  CacheStore(table, rows);
   return 0;
 }
 
@@ -220,22 +258,26 @@ int MiniDb::StoreTable(std::string_view table, const std::vector<Row>& rows) {
     AFEX_COV(*env_, kRowRecovery + 5);
     libc.Close(fd);
     libc.Unlink(temp);
+    CacheInvalidate(table);
     LogError(std::string("write failed while storing ").append(table));
     return -1;
   }
   if (libc.Close(fd) != 0) {
     AFEX_COV(*env_, kRowRecovery + 5);
     libc.Unlink(temp);
+    CacheInvalidate(table);
     LogError(std::string("close failed while storing ").append(table));
     return -1;
   }
   if (libc.Rename(temp, TablePath(table)) != 0) {
     AFEX_COV(*env_, kRowRecovery + 4);
     libc.Unlink(temp);
+    CacheInvalidate(table);
     LogError(std::string("rename failed while storing ").append(table));
     return -1;
   }
   AFEX_COV(*env_, kRowBase + 4);
+  CacheStore(table, rows);
   return 0;
 }
 

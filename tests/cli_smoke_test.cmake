@@ -17,6 +17,23 @@ function(run_cli out_var)
   set(${out_var} "${cli_stdout}" PARENT_SCOPE)
 endfunction()
 
+# Asserts the CLI rejects the flags with a non-zero exit and a stderr
+# message matching `expect_pattern`.
+function(expect_cli_error expect_pattern)
+  execute_process(
+    COMMAND ${AFEX_CLI} ${ARGN}
+    OUTPUT_VARIABLE cli_stdout
+    ERROR_VARIABLE cli_stderr
+    RESULT_VARIABLE cli_status)
+  if(cli_status EQUAL 0)
+    message(FATAL_ERROR "afex_cli ${ARGN} was expected to fail but exited 0")
+  endif()
+  if(NOT cli_stderr MATCHES "${expect_pattern}")
+    message(FATAL_ERROR
+      "afex_cli ${ARGN} failed but stderr did not match '${expect_pattern}':\n${cli_stderr}")
+  endif()
+endfunction()
+
 run_cli(cli_stdout --target=minidb --strategy=fitness --budget=50 --seed=1)
 
 string(STRIP "${cli_stdout}" cli_stdout_stripped)
@@ -51,3 +68,42 @@ if(NOT second_leg MATCHES "executed 50 tests")
     "--jobs resume did not reach the combined 50-test budget:\n${second_leg}")
 endif()
 message(STATUS "cluster kill-and-resume: combined budget reached under --jobs=2")
+
+# --- backend flag validation ------------------------------------------------
+expect_cli_error("--backend expects 'sim' or 'real'" --backend=bogus --budget=5)
+expect_cli_error("--backend=real requires --target-cmd"
+  --backend=real --budget=5)
+expect_cli_error("only apply to --backend=real"
+  --target=minidb --budget=5 "--target-cmd=/bin/true")
+expect_cli_error("only apply to --backend=real" --target=minidb --budget=5 --num-tests=9)
+expect_cli_error("the system under test is --target-cmd"
+  --backend=real "--target-cmd=/bin/true" --target=minidb --budget=5)
+expect_cli_error("--timeout-ms expects an integer"
+  --backend=real "--target-cmd=/bin/true" --budget=5 --timeout-ms=abc)
+message(STATUS "backend flag validation: bad flags rejected")
+
+# --- real-process backend end to end ----------------------------------------
+# A real fitness campaign against the sample walutil target: journal a first
+# leg, assert an actually-injected site landed in the journal (trig=1), then
+# kill-and-resume to the full budget.
+set(journal "${CMAKE_CURRENT_BINARY_DIR}/smoke_real.afexj")
+file(REMOVE "${journal}")
+run_cli(real_leg1 --backend=real "--target-cmd=${AFEX_WALUTIL} {test}" --num-tests=6
+  "--interposer=${AFEX_INTERPOSER}" --timeout-ms=10000 --budget=12 --seed=1
+  "--journal=${journal}")
+file(READ "${journal}" journal_text)
+if(NOT journal_text MATCHES "trig=1")
+  message(FATAL_ERROR
+    "real-backend journal has no injected-site hit (trig=1):\n${journal_text}")
+endif()
+run_cli(real_leg2 --backend=real "--target-cmd=${AFEX_WALUTIL} {test}" --num-tests=6
+  "--interposer=${AFEX_INTERPOSER}" --timeout-ms=10000 --budget=25 --seed=1
+  "--journal=${journal}" --resume)
+if(NOT real_leg2 MATCHES "resumed 12 journaled tests")
+  message(FATAL_ERROR "real-backend resume did not replay 12 tests:\n${real_leg2}")
+endif()
+if(NOT real_leg2 MATCHES "executed 25 tests")
+  message(FATAL_ERROR
+    "real-backend resume did not reach the combined 25-test budget:\n${real_leg2}")
+endif()
+message(STATUS "real-backend campaign: injected site journaled, kill-and-resume ok")

@@ -1,0 +1,368 @@
+// Tests for the real-process execution backend (src/exec): fault-plan
+// round trips, the fork/exec process runner (exit codes, timeout → SIGKILL
+// escalation, crash-signal classification), the LD_PRELOAD interposer
+// observed end to end through a real child (counts, injected errno,
+// feedback block), the RealTargetHarness outcome translation, and a
+// campaign journal + resume leg over the real backend.
+//
+// The build injects the artifact locations:
+//   AFEX_INTERPOSER_PATH — libafex_interpose.so
+//   AFEX_WALUTIL_PATH    — the sample real target
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campaign/store.h"
+#include "core/fitness_explorer.h"
+#include "exec/fault_plan.h"
+#include "exec/feedback_block.h"
+#include "exec/process_runner.h"
+#include "exec/real_target_harness.h"
+
+namespace afex {
+namespace exec {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / ("afex_exec_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+// ---------------------------------------------------------------------------
+// Plan serialization
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanTest, RoundTripsSpecs) {
+  std::string path = TempDir("plan") + "/plan.afex";
+  std::vector<FaultSpec> specs = {
+      {.function = "open", .call_lo = 3, .call_hi = 3, .retval = -1, .errno_value = 13},
+      {.function = "malloc", .call_lo = 1, .call_hi = 7, .retval = 0, .errno_value = 12},
+  };
+  ASSERT_TRUE(WriteFaultPlan(path, specs));
+  std::vector<FaultSpec> parsed;
+  ASSERT_TRUE(ParseFaultPlanFile(path, parsed));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].function, "open");
+  EXPECT_EQ(parsed[0].call_lo, 3);
+  EXPECT_EQ(parsed[0].call_hi, 3);
+  EXPECT_EQ(parsed[0].retval, -1);
+  EXPECT_EQ(parsed[0].errno_value, 13);
+  EXPECT_EQ(parsed[1].function, "malloc");
+  EXPECT_EQ(parsed[1].retval, 0);
+}
+
+TEST(FaultPlanTest, EmptyPlanIsValid) {
+  std::string path = TempDir("plan_empty") + "/plan.afex";
+  ASSERT_TRUE(WriteFaultPlan(path, {}));
+  std::vector<FaultSpec> parsed{{.function = "stale"}};
+  ASSERT_TRUE(ParseFaultPlanFile(path, parsed));
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(FaultPlanTest, RejectsUnwrappedFunctionAndGarbage) {
+  std::string dir = TempDir("plan_bad");
+  // strtol is in the libc profile but not interposable: writing it would
+  // arm a fault that can never trigger.
+  EXPECT_FALSE(WriteFaultPlan(dir + "/p1", {{.function = "strtol"}}));
+  std::ofstream(dir + "/p2") << "afexplan 999\n";
+  std::vector<FaultSpec> parsed;
+  EXPECT_FALSE(ParseFaultPlanFile(dir + "/p2", parsed));
+  std::ofstream(dir + "/p3") << "afexplan 1\ninject open nonsense\n";
+  EXPECT_FALSE(ParseFaultPlanFile(dir + "/p3", parsed));
+}
+
+TEST(FeedbackBlockTest, CreateAndReadBackRejectsUnattached) {
+  std::string path = TempDir("fb") + "/fb.bin";
+  ASSERT_TRUE(CreateFeedbackFile(path.c_str()));
+  FeedbackBlock block;
+  // Zero-filled file: no magic — the interposer never attached.
+  EXPECT_FALSE(ReadFeedbackBlock(path.c_str(), block));
+}
+
+// ---------------------------------------------------------------------------
+// Process runner
+// ---------------------------------------------------------------------------
+
+TEST(ProcessRunnerTest, CapturesExitCodeAndOutput) {
+  ProcessRequest request;
+  request.argv = {"/bin/sh", "-c", "echo hello-from-child; exit 7"};
+  ProcessResult result = RunProcess(request);
+  ASSERT_TRUE(result.started);
+  EXPECT_TRUE(result.exited);
+  EXPECT_EQ(result.exit_code, 7);
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_NE(result.output.find("hello-from-child"), std::string::npos);
+}
+
+TEST(ProcessRunnerTest, TimeoutEscalatesToSigkill) {
+  ProcessRequest request;
+  // The child ignores SIGTERM, so only the SIGKILL escalation can end it.
+  request.argv = {"/bin/sh", "-c", "trap '' TERM; sleep 30"};
+  request.timeout_ms = 200;
+  request.kill_grace_ms = 100;
+  ProcessResult result = RunProcess(request);
+  ASSERT_TRUE(result.started);
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_FALSE(result.exited);
+  EXPECT_EQ(result.term_signal, SIGKILL);
+  EXPECT_LT(result.wall_seconds, 10.0);
+}
+
+TEST(ProcessRunnerTest, ClassifiesAbortSignal) {
+  ProcessRequest request;
+  request.argv = {"/bin/sh", "-c", "kill -ABRT $$"};
+  ProcessResult result = RunProcess(request);
+  ASSERT_TRUE(result.started);
+  EXPECT_FALSE(result.exited);
+  EXPECT_EQ(result.term_signal, SIGABRT);
+  EXPECT_TRUE(IsCrashSignal(result.term_signal));
+  EXPECT_FALSE(result.timed_out);
+}
+
+TEST(ProcessRunnerTest, RunsInWorkingDirWithEnv) {
+  std::string dir = TempDir("cwd");
+  ProcessRequest request;
+  request.argv = {"/bin/sh", "-c", "pwd; echo $AFEX_PROBE"};
+  request.working_dir = dir;
+  request.env = {{"AFEX_PROBE", "probe-value"}};
+  ProcessResult result = RunProcess(request);
+  ASSERT_TRUE(result.started);
+  EXPECT_NE(result.output.find("afex_exec_cwd"), std::string::npos);
+  EXPECT_NE(result.output.find("probe-value"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Interposer end to end
+// ---------------------------------------------------------------------------
+
+// Runs walutil scenario `test_id` under the interposer with `specs` armed;
+// returns the process result and fills `block`.
+ProcessResult RunWalutil(const std::string& dir, int test_id,
+                         const std::vector<FaultSpec>& specs, FeedbackBlock& block) {
+  std::string plan_path = dir + "/plan.afex";
+  std::string feedback_path = dir + "/fb.bin";
+  std::string sandbox = dir + "/sandbox";
+  fs::create_directories(sandbox);
+  EXPECT_TRUE(WriteFaultPlan(plan_path, specs));
+  EXPECT_TRUE(CreateFeedbackFile(feedback_path.c_str()));
+
+  ProcessRequest request;
+  request.argv = {AFEX_WALUTIL_PATH, std::to_string(test_id)};
+  request.working_dir = sandbox;
+  request.preload = AFEX_INTERPOSER_PATH;
+  request.env = {{"AFEX_PLAN", plan_path}, {"AFEX_FEEDBACK", feedback_path}};
+  request.timeout_ms = 10000;
+  ProcessResult result = RunProcess(request);
+  EXPECT_TRUE(ReadFeedbackBlock(feedback_path.c_str(), block));
+  return result;
+}
+
+TEST(InterposerTest, CountsCallsWithoutInjection) {
+  FeedbackBlock block;
+  ProcessResult result = RunWalutil(TempDir("count"), /*copy*/ 1, {}, block);
+  EXPECT_TRUE(result.exited);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(block.attached, 1u);
+  EXPECT_EQ(block.plans_loaded, 0u);
+  EXPECT_EQ(block.injected_total, 0u);
+  // Scenario 1 (fd copy): fixture write + source open/read/write/close.
+  int open_slot = InterposedSlot("open");
+  int read_slot = InterposedSlot("read");
+  int write_slot = InterposedSlot("write");
+  ASSERT_GE(open_slot, 0);
+  EXPECT_GE(block.calls[open_slot], 3u);  // fixture + source + dest
+  EXPECT_GE(block.calls[read_slot], 1u);
+  EXPECT_GE(block.calls[write_slot], 2u);
+}
+
+TEST(InterposerTest, InjectedErrnoObservedByChild) {
+  // Fail the second open (the copy's source open; call 1 creates the
+  // fixture) with EACCES and verify the child saw exactly that errno.
+  FeedbackBlock block;
+  ProcessResult result = RunWalutil(
+      TempDir("inject"), /*copy*/ 1,
+      {{.function = "open", .call_lo = 2, .call_hi = 2, .retval = -1, .errno_value = 13}},
+      block);
+  EXPECT_TRUE(result.exited);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("copy open source failed: errno=13"), std::string::npos)
+      << result.output;
+  EXPECT_EQ(block.plans_loaded, 1u);
+  EXPECT_EQ(block.injected_total, 1u);
+  int open_slot = InterposedSlot("open");
+  EXPECT_EQ(block.injected[open_slot], 1u);
+  EXPECT_EQ(block.first_injected_slot, static_cast<uint32_t>(open_slot));
+  EXPECT_EQ(block.first_injected_call, 2u);
+}
+
+TEST(InterposerTest, CatalogReadFaultCrashesChild) {
+  // The walutil catalog scenario carries the MySQL #25097 pattern: the
+  // failed read is detected and logged, then the never-initialized buffer
+  // is parsed anyway — SIGSEGV.
+  FeedbackBlock block;
+  ProcessResult result = RunWalutil(
+      TempDir("crash"), /*catalog*/ 4,
+      {{.function = "read", .call_lo = 1, .call_hi = 1, .retval = -1, .errno_value = 5}},
+      block);
+  EXPECT_FALSE(result.exited);
+  EXPECT_EQ(result.term_signal, SIGSEGV);
+  EXPECT_TRUE(IsCrashSignal(result.term_signal));
+  EXPECT_NE(result.output.find("cannot read errmsg.sys (errno=5)"), std::string::npos)
+      << result.output;
+  EXPECT_EQ(block.injected_total, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// RealTargetHarness
+// ---------------------------------------------------------------------------
+
+RealTargetConfig WalutilConfig(const std::string& work_root) {
+  RealTargetConfig config;
+  config.target_argv = {AFEX_WALUTIL_PATH, "{test}"};
+  config.num_tests = 6;
+  config.interposer_path = AFEX_INTERPOSER_PATH;
+  config.work_root = work_root;
+  config.timeout_ms = 10000;
+  return config;
+}
+
+// Fault <test, function, call> built against `space` by label values.
+Fault MakeFault(const FaultSpace& space, size_t test_1based, const std::string& function,
+                size_t call_1based) {
+  size_t function_index = 0;
+  const Axis& axis = space.axis(1);
+  for (size_t i = 0; i < axis.cardinality(); ++i) {
+    if (axis.Label(i) == function) {
+      function_index = i;
+      break;
+    }
+  }
+  return Fault(std::vector<size_t>{test_1based - 1, function_index, call_1based - 1});
+}
+
+TEST(RealTargetHarnessTest, TranslatesOutcomeAndCoverage) {
+  RealTargetHarness harness(WalutilConfig(TempDir("harness")));
+  FaultSpace space = harness.MakeSpace(/*max_call=*/8);
+
+  // Clean run: no injection possible at call ordinals the run never
+  // reaches — use the stdio copy scenario at an unreachable write ordinal.
+  TestOutcome clean = harness.RunFault(space, MakeFault(space, 6, "send", 8));
+  EXPECT_FALSE(clean.test_failed);
+  EXPECT_FALSE(clean.fault_triggered);
+  EXPECT_GT(clean.new_blocks_covered, 0u);  // first run: every touched fn is new
+
+  // Injected run: second open fails in the fd-copy scenario.
+  TestOutcome injected = harness.RunFault(space, MakeFault(space, 1, "open", 2));
+  EXPECT_TRUE(injected.test_failed);
+  EXPECT_TRUE(injected.fault_triggered);
+  EXPECT_FALSE(injected.crashed);
+  EXPECT_EQ(injected.exit_code, 1);
+  ASSERT_EQ(injected.injection_stack.size(), 4u);
+  EXPECT_EQ(injected.injection_stack[2], "open");
+  EXPECT_EQ(injected.injection_stack[3], "call2");
+
+  // Crash run: catalog read fault → SIGSEGV, classified as a crash.
+  TestOutcome crashed = harness.RunFault(space, MakeFault(space, 4, "read", 1));
+  EXPECT_TRUE(crashed.crashed);
+  EXPECT_TRUE(crashed.test_failed);
+  EXPECT_TRUE(crashed.fault_triggered);
+  EXPECT_EQ(harness.tests_run(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign journal + resume over the real backend
+// ---------------------------------------------------------------------------
+
+TEST(RealCampaignTest, JournalResumeReproducesRecordSequence) {
+  const uint64_t seed = 11;
+  const size_t interrupted_budget = 8;
+  const size_t full_budget = 14;
+  std::string dir = TempDir("campaign");
+  std::string journal = dir + "/run.afexj";
+
+  auto make_harness = [&](const std::string& leg) {
+    return std::make_unique<RealTargetHarness>(WalutilConfig(dir + "/" + leg));
+  };
+  auto make_explorer = [&](const FaultSpace& space) {
+    FitnessExplorerConfig config;
+    config.seed = seed;
+    return std::make_unique<FitnessExplorer>(space, config);
+  };
+
+  CampaignMeta meta;
+  meta.target = "real:walutil";
+  meta.strategy = "fitness";
+  meta.seed = seed;
+
+  // Leg 1: journal an interrupted campaign.
+  auto harness1 = make_harness("leg1");
+  FaultSpace space1 = harness1->MakeSpace(/*max_call=*/6);
+  meta.space_fingerprint = FaultSpaceFingerprint(space1);
+  {
+    CampaignStore store = CampaignStore::Create(journal, meta);
+    auto explorer = make_explorer(space1);
+    SessionConfig config;
+    config.record_observer = store.MakeObserver();
+    ExplorationSession session(*explorer, *harness1, space1, config);
+    session.Run(SearchTarget{.max_tests = interrupted_budget});
+    EXPECT_EQ(session.result().tests_executed, interrupted_budget);
+  }
+
+  // Leg 2: resume and finish.
+  auto harness2 = make_harness("leg2");
+  FaultSpace space2 = harness2->MakeSpace(/*max_call=*/6);
+  SessionResult resumed_result;
+  {
+    CampaignStore store = CampaignStore::Open(journal, meta);
+    ASSERT_EQ(store.records().size(), interrupted_budget);
+    // Acceptance: the journal recorded at least one actually-injected site.
+    bool any_triggered = false;
+    for (const SessionRecord& r : store.records()) {
+      any_triggered = any_triggered || r.outcome.fault_triggered;
+    }
+    EXPECT_TRUE(any_triggered);
+
+    auto explorer = make_explorer(space2);
+    SessionConfig config;
+    config.record_observer = store.MakeObserver();
+    ExplorationSession session(*explorer, *harness2, space2, config);
+    for (const SessionRecord& record : store.records()) {
+      ASSERT_TRUE(session.Replay(record));
+    }
+    store.CommitResume(store.records().size());
+    harness2->SeedCoverage(store.CoverageIdsForNode(0));
+    session.Run(SearchTarget{.max_tests = full_budget});
+    resumed_result = session.result();
+  }
+
+  // Reference: the same campaign uninterrupted.
+  auto harness3 = make_harness("leg3");
+  FaultSpace space3 = harness3->MakeSpace(/*max_call=*/6);
+  auto explorer = make_explorer(space3);
+  ExplorationSession reference(*explorer, *harness3, space3, SessionConfig{});
+  reference.Run(SearchTarget{.max_tests = full_budget});
+
+  ASSERT_EQ(resumed_result.records.size(), reference.result().records.size());
+  for (size_t i = 0; i < resumed_result.records.size(); ++i) {
+    const SessionRecord& a = resumed_result.records[i];
+    const SessionRecord& b = reference.result().records[i];
+    EXPECT_EQ(SerializeRecord(a), SerializeRecord(b)) << "record " << i;
+  }
+
+  // And the rewritten journal holds the full sequence.
+  CampaignStore final_store = CampaignStore::Open(journal);
+  EXPECT_EQ(final_store.records().size(), full_budget);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace afex

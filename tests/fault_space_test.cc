@@ -1,8 +1,30 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "core/fault.h"
 #include "core/fault_space.h"
 #include "util/rng.h"
+
+// Global allocation counter, for asserting that small-buffer Faults stay
+// off the heap (they are copied ~4x per executed test). Counting operator
+// new replaces the binary-wide default; delete stays the default.
+namespace {
+std::atomic<size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 
 namespace afex {
 namespace {
@@ -41,6 +63,36 @@ TEST(FaultTest, EqualityAndHash) {
 }
 
 // ---- Axis ----
+
+TEST(FaultTest, InlineFaultsNeverTouchTheHeap) {
+  // Copy, move, mutate, compare, hash, and append below the spill
+  // threshold: zero allocations.
+  Fault fault({1, 2, 3});
+  size_t before = g_alloc_count.load();
+  Fault copy = fault;
+  Fault moved = std::move(copy);
+  moved[1] = 9;
+  Fault grown;
+  for (size_t i = 0; i < Fault::kInlineDims; ++i) {
+    grown.Append(i);
+  }
+  bool differs = !(moved == fault);
+  size_t hash = FaultHash{}(grown);
+  size_t distance = fault.ManhattanDistanceTo(moved);
+  size_t after = g_alloc_count.load();
+  EXPECT_EQ(after, before);
+  EXPECT_TRUE(differs);
+  EXPECT_NE(hash, 0u);
+  EXPECT_EQ(distance, 7u);
+
+  // Past kInlineDims the fault spills to the heap and still behaves.
+  grown.Append(99);
+  EXPECT_GT(g_alloc_count.load(), before);
+  EXPECT_EQ(grown.dimensions(), Fault::kInlineDims + 1);
+  EXPECT_EQ(grown[Fault::kInlineDims], 99u);
+  Fault grown_copy = grown;
+  EXPECT_EQ(grown_copy, grown);
+}
 
 TEST(AxisTest, SetAxisBasics) {
   Axis a = Axis::MakeSet("fn", {"open", "close", "read"});

@@ -39,9 +39,13 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "campaign/export.h"
 #include "campaign/store.h"
 #include "cluster/node_manager.h"
+#include "exec/feedback_block.h"
+#include "exec/real_target_harness.h"
 #include "cluster/parallel_session.h"
 #include "core/exhaustive_explorer.h"
 #include "core/fitness_explorer.h"
@@ -79,6 +83,19 @@ struct Options {
   std::string warm_start;
   std::string export_format;
   std::string export_file = "-";  // "-" = stdout
+  // Real-process backend (src/exec). "sim" explores the built-in simulated
+  // targets; "real" forks the --target-cmd binary per test under the
+  // LD_PRELOAD interposer.
+  std::string backend = "sim";
+  std::string target_cmd;   // command line, space-separated; {test} = test id
+  std::string interposer;   // libafex_interpose.so ("" = auto-discover)
+  uint64_t timeout_ms = 5000;
+  size_t num_tests = 6;     // test-axis cardinality for the real backend
+  // Explicit-use tracking, so flags belonging to the other backend are
+  // rejected instead of silently ignored.
+  bool target_set = false;
+  bool timeout_ms_set = false;
+  bool num_tests_set = false;
 };
 
 void PrintUsage() {
@@ -89,7 +106,13 @@ void PrintUsage() {
                "                [--jobs=N] [--seed=N] [--max-call=N] [--space=FILE]\n"
                "                [--feedback] [--journal=FILE] [--resume]\n"
                "                [--warm-start=FILE] [--export=csv|json]\n"
-               "                [--export-file=FILE] [--crashes-only] [--top=N] [--verbose]\n");
+               "                [--export-file=FILE] [--crashes-only] [--top=N] [--verbose]\n"
+               "                [--backend=<sim|real>] [--target-cmd='BIN ARGS...']\n"
+               "                [--interposer=SO] [--timeout-ms=N] [--num-tests=N]\n"
+               "\n"
+               "real-process backend: --backend=real --target-cmd='path/to/bin {test}'\n"
+               "runs the command per test under the libafex_interpose.so fault\n"
+               "injector ({test} = 1-based test id; appended when omitted).\n");
 }
 
 bool ParseFlag(const std::string& arg, const std::string& name, std::string& out) {
@@ -121,6 +144,7 @@ bool ParseOptions(int argc, char** argv, Options& options) {
     uint64_t number = 0;
     if (ParseFlag(arg, "target", value)) {
       options.target = value;
+      options.target_set = true;
     } else if (ParseFlag(arg, "strategy", value)) {
       options.strategy = value;
     } else if (ParseFlag(arg, "space", value)) {
@@ -152,6 +176,24 @@ bool ParseOptions(int argc, char** argv, Options& options) {
         return false;
       }
       options.top = static_cast<size_t>(number);
+    } else if (ParseFlag(arg, "backend", value)) {
+      options.backend = value;
+    } else if (ParseFlag(arg, "target-cmd", value)) {
+      options.target_cmd = value;
+    } else if (ParseFlag(arg, "interposer", value)) {
+      options.interposer = value;
+    } else if (ParseFlag(arg, "timeout-ms", value)) {
+      if (!ParseSizeFlag("timeout-ms", value, 1, number)) {
+        return false;
+      }
+      options.timeout_ms = number;
+      options.timeout_ms_set = true;
+    } else if (ParseFlag(arg, "num-tests", value)) {
+      if (!ParseSizeFlag("num-tests", value, 1, number)) {
+        return false;
+      }
+      options.num_tests = static_cast<size_t>(number);
+      options.num_tests_set = true;
     } else if (ParseFlag(arg, "journal", value)) {
       options.journal = value;
     } else if (ParseFlag(arg, "warm-start", value)) {
@@ -174,6 +216,29 @@ bool ParseOptions(int argc, char** argv, Options& options) {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
     }
+  }
+  if (options.backend != "sim" && options.backend != "real") {
+    std::fprintf(stderr, "--backend expects 'sim' or 'real', got '%s'\n",
+                 options.backend.c_str());
+    return false;
+  }
+  if (options.backend == "real" && options.target_cmd.empty()) {
+    std::fprintf(stderr, "--backend=real requires --target-cmd='BIN ARGS...'\n");
+    return false;
+  }
+  if (options.backend != "real" &&
+      (!options.target_cmd.empty() || !options.interposer.empty() ||
+       options.timeout_ms_set || options.num_tests_set)) {
+    std::fprintf(stderr,
+                 "--target-cmd/--interposer/--timeout-ms/--num-tests only apply to "
+                 "--backend=real\n");
+    return false;
+  }
+  if (options.backend == "real" && options.target_set) {
+    std::fprintf(stderr,
+                 "--target names a built-in simulated target; with --backend=real the "
+                 "system under test is --target-cmd\n");
+    return false;
   }
   if (options.resume && options.journal.empty()) {
     std::fprintf(stderr, "--resume requires --journal=FILE\n");
@@ -232,6 +297,59 @@ bool MakeTarget(const std::string& name, TargetSuite& suite, size_t& default_max
   return false;
 }
 
+// Splits --target-cmd on spaces (no quoting: target commands are simple
+// "binary arg..." lines; anything richer belongs in a wrapper script).
+std::vector<std::string> SplitCommand(const std::string& cmd) {
+  std::vector<std::string> argv;
+  std::istringstream in(cmd);
+  std::string word;
+  while (in >> word) {
+    argv.push_back(word);
+  }
+  return argv;
+}
+
+// Resolves the interposer .so: the explicit flag, else $AFEX_INTERPOSE,
+// else the build-tree location relative to this executable.
+std::string ResolveInterposer(const Options& options, const char* argv0) {
+  namespace fs = std::filesystem;
+  if (!options.interposer.empty()) {
+    return options.interposer;
+  }
+  if (const char* env = std::getenv("AFEX_INTERPOSE"); env != nullptr && *env != '\0') {
+    return env;
+  }
+  std::error_code ec;
+  fs::path exe = fs::weakly_canonical(fs::path(argv0), ec);
+  if (!ec) {
+    fs::path candidate =
+        exe.parent_path().parent_path() / "src" / "exec" / "libafex_interpose.so";
+    if (fs::exists(candidate, ec)) {
+      return candidate.string();
+    }
+  }
+  return "";
+}
+
+bool MakeRealConfig(const Options& options, const char* argv0,
+                    exec::RealTargetConfig& config) {
+  config.target_argv = SplitCommand(options.target_cmd);
+  if (config.target_argv.empty()) {
+    std::fprintf(stderr, "--target-cmd is empty after splitting\n");
+    return false;
+  }
+  config.num_tests = options.num_tests;
+  config.timeout_ms = options.timeout_ms;
+  config.interposer_path = ResolveInterposer(options, argv0);
+  if (config.interposer_path.empty()) {
+    std::fprintf(stderr,
+                 "cannot locate libafex_interpose.so; pass --interposer=PATH "
+                 "(without it no fault is ever injected)\n");
+    return false;
+  }
+  return true;
+}
+
 std::unique_ptr<Explorer> MakeExplorer(const Options& options, const FaultSpace& space) {
   if (options.strategy == "fitness") {
     FitnessExplorerConfig config;
@@ -258,14 +376,32 @@ int main(int argc, char** argv) {
   }
   SetLogLevel(options.verbose ? LogLevel::kInfo : LogLevel::kWarn);
 
+  // Execution backend: the simulated harness for the built-in targets, or
+  // the real-process harness forking --target-cmd under the interposer.
+  // Everything downstream sees only the TargetBackend interface.
   TargetSuite suite;
   size_t default_max_call = 2;
   bool zero_call = false;
-  if (!MakeTarget(options.target, suite, default_max_call, zero_call)) {
-    return 2;
-  }
   const uint64_t harness_seed = options.seed ^ 0x5eed;
-  TargetHarness harness(suite, harness_seed);
+  const bool real_backend = options.backend == "real";
+  std::unique_ptr<TargetHarness> sim_harness;
+  std::unique_ptr<exec::RealTargetHarness> real_harness;
+  exec::RealTargetConfig real_config;
+  TargetBackend* backend = nullptr;
+  if (real_backend) {
+    if (!MakeRealConfig(options, argv[0], real_config)) {
+      return 2;
+    }
+    real_harness = std::make_unique<exec::RealTargetHarness>(real_config);
+    backend = real_harness.get();
+    default_max_call = 8;
+  } else {
+    if (!MakeTarget(options.target, suite, default_max_call, zero_call)) {
+      return 2;
+    }
+    sim_harness = std::make_unique<TargetHarness>(suite, harness_seed);
+    backend = sim_harness.get();
+  }
 
   // Fault space: from the description file if given, else the canonical
   // <test, function, call> space of the target.
@@ -286,18 +422,42 @@ int main(int argc, char** argv) {
                      spec.spaces.size());
         return 2;
       }
-      space = BuildFaultSpace(spec.spaces[0], options.target);
+      space = BuildFaultSpace(spec.spaces[0], real_backend ? "real" : options.target);
     } catch (const SpaceLangError& e) {
       std::fprintf(stderr, "%s\n", e.what());
       return 2;
     }
   } else {
-    space = harness.MakeSpace(options.max_call > 0 ? options.max_call : default_max_call,
-                              zero_call);
+    size_t max_call = options.max_call > 0 ? options.max_call : default_max_call;
+    space = real_backend ? real_harness->MakeSpace(max_call, zero_call)
+                         : sim_harness->MakeSpace(max_call, zero_call);
   }
+  // Fail fast on a custom space whose function axis names functions the
+  // interposer cannot wrap: every such point would report as a test
+  // failure, and the fitness loop would steer the whole campaign toward
+  // permanently-uninjectable faults.
+  if (real_backend) {
+    for (size_t i = 0; i < space.dimensions(); ++i) {
+      const Axis& axis = space.axis(i);
+      if (axis.name() != "function") {
+        continue;
+      }
+      for (const std::string& label : axis.labels()) {
+        if (exec::InterposedSlot(label.c_str()) < 0) {
+          std::fprintf(stderr,
+                       "space function axis names '%s', which the real-process "
+                       "interposer does not wrap (see src/exec/feedback_block.h)\n",
+                       label.c_str());
+          return 2;
+        }
+      }
+    }
+  }
+  const std::string target_label =
+      real_backend ? "real:" + options.target_cmd : options.target;
   std::printf("target %s, space '%s' with %zu points, strategy %s, budget %zu, seed %llu"
               ", jobs %zu\n",
-              options.target.c_str(), space.name().c_str(), space.TotalPoints(),
+              target_label.c_str(), space.name().c_str(), space.TotalPoints(),
               options.strategy.c_str(), options.budget,
               static_cast<unsigned long long>(options.seed), options.jobs);
 
@@ -307,7 +467,7 @@ int main(int argc, char** argv) {
   }
 
   CampaignMeta meta;
-  meta.target = options.target;
+  meta.target = target_label;
   meta.strategy = options.strategy;
   meta.seed = options.seed;
   meta.space_fingerprint = FaultSpaceFingerprint(space);
@@ -326,7 +486,7 @@ int main(int argc, char** argv) {
   std::optional<CampaignStore> store;
   std::optional<ExplorationSession> serial_session;
   std::optional<ParallelSession> parallel_session;
-  std::vector<std::unique_ptr<TargetHarness>> node_harnesses;
+  std::vector<std::unique_ptr<TargetBackend>> node_backends;
 
   try {
     // Warm start (paper §7 knowledge reuse): seed the fitness search with a
@@ -374,7 +534,7 @@ int main(int argc, char** argv) {
     if (options.jobs == 1) {
       // Serial campaign.
       auto& session = serial_session;
-      session.emplace(*explorer, harness.MakeRunner(space), session_config);
+      session.emplace(*explorer, *backend, space, session_config);
       if (options.resume) {
         for (const SessionRecord& record : store->records()) {
           if (!session->Replay(record)) {
@@ -383,7 +543,7 @@ int main(int argc, char** argv) {
           }
         }
         store->CommitResume(store->records().size());
-        harness.SeedCoverage(store->CoverageIdsForNode(0));
+        backend->SeedCoverage(store->CoverageIdsForNode(0));
         replayed_tests = store->records().size();
         std::printf("resumed %zu journaled tests from %s\n", store->records().size(),
                     options.journal.c_str());
@@ -394,17 +554,21 @@ int main(int argc, char** argv) {
           std::chrono::steady_clock::now() - started).count();
       clusterer = &session->clusterer();
     } else {
-      // Cluster campaign: one sim-backed node manager (with its own
-      // harness, i.e. its own coverage accumulator) per job, as on a real
+      // Cluster campaign: one backend (with its own coverage accumulator,
+      // and for real targets its own scratch root) per job, as on a real
       // cluster where every machine observes coverage locally.
       std::vector<std::unique_ptr<NodeManager>> managers;
       for (size_t i = 0; i < options.jobs; ++i) {
-        node_harnesses.push_back(std::make_unique<TargetHarness>(suite, harness_seed));
-        TargetHarness* h = node_harnesses[i].get();
+        if (real_backend) {
+          node_backends.push_back(std::make_unique<exec::RealTargetHarness>(real_config));
+        } else {
+          node_backends.push_back(std::make_unique<TargetHarness>(suite, harness_seed));
+        }
+        TargetBackend* b = node_backends[i].get();
         managers.push_back(std::make_unique<NodeManager>(
             "node" + std::to_string(i),
-            NodeManager::Hooks{.test = [h, &space](const Fault& f) {
-              return h->RunFault(space, f);
+            NodeManager::Hooks{.test = [b, &space](const Fault& f) {
+              return b->RunFault(space, f);
             }}));
       }
       auto& session = parallel_session;
@@ -418,7 +582,7 @@ int main(int argc, char** argv) {
         size_t dropped = store->records().size() - *consumed;
         store->CommitResume(*consumed);
         for (size_t i = 0; i < options.jobs; ++i) {
-          node_harnesses[i]->SeedCoverage(store->CoverageIdsForNode(i));
+          node_backends[i]->SeedCoverage(store->CoverageIdsForNode(i));
         }
         replayed_tests = *consumed;
         std::printf("resumed %zu journaled tests from %s", *consumed, options.journal.c_str());
@@ -442,8 +606,8 @@ int main(int argc, char** argv) {
     // binaries. Replayed (resumed) records are bookkeeping, not executions,
     // and are excluded from the rate.
     size_t live_tests = result->tests_executed - replayed_tests;
-    size_t sim_steps = harness.total_sim_steps();
-    for (const auto& node : node_harnesses) {
+    size_t sim_steps = backend->total_sim_steps();
+    for (const auto& node : node_backends) {
       sim_steps += node->total_sim_steps();
     }
     std::printf("campaign wall time %.3f s", campaign_seconds);
@@ -459,13 +623,14 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
     if (options.jobs == 1) {
-      std::printf("coverage %.1f%% (recovery %.1f%%)\n", 100 * harness.CoverageFraction(),
-                  100 * harness.RecoveryCoverageFraction());
+      std::printf("coverage %.1f%% (recovery %.1f%%)\n", 100 * backend->CoverageFraction(),
+                  100 * backend->RecoveryCoverageFraction());
     } else {
       // Aggregate coverage across nodes: every covered block was new to its
       // node exactly once, so the union of per-record new-block ids is the
       // union of all blocks covered anywhere on the cluster.
-      CoverageAccumulator aggregate(suite.total_blocks, suite.recovery_base);
+      CoverageAccumulator aggregate(node_backends[0]->coverage_total_blocks(),
+                                    node_backends[0]->coverage_recovery_base());
       for (const SessionRecord& r : result->records) {
         aggregate.MergeIds(r.outcome.new_block_ids);
       }
