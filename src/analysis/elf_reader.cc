@@ -1,0 +1,250 @@
+#include "analysis/elf_reader.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace afex {
+namespace analysis {
+
+namespace {
+
+// ELF64 fixed layout offsets (little-endian byte reads; no host structs).
+constexpr size_t kIdentSize = 16;
+constexpr size_t kEhdrSize = 64;
+constexpr size_t kShdrSize = 64;
+constexpr size_t kSymSize = 24;
+constexpr size_t kRelaSize = 24;
+constexpr size_t kDynSize = 16;
+
+constexpr uint8_t kElfClass64 = 2;  // e_ident[EI_CLASS]
+constexpr uint8_t kElfData2Lsb = 1; // e_ident[EI_DATA]
+
+uint16_t ReadU16(const std::vector<uint8_t>& b, size_t off) {
+  return static_cast<uint16_t>(b[off] | (static_cast<uint16_t>(b[off + 1]) << 8));
+}
+
+uint32_t ReadU32(const std::vector<uint8_t>& b, size_t off) {
+  return b[off] | (static_cast<uint32_t>(b[off + 1]) << 8) |
+         (static_cast<uint32_t>(b[off + 2]) << 16) |
+         (static_cast<uint32_t>(b[off + 3]) << 24);
+}
+
+uint64_t ReadU64(const std::vector<uint8_t>& b, size_t off) {
+  return ReadU32(b, off) | (static_cast<uint64_t>(ReadU32(b, off + 4)) << 32);
+}
+
+// True when [off, off+len) lies inside the buffer (overflow-safe).
+bool InRange(const std::vector<uint8_t>& b, uint64_t off, uint64_t len) {
+  return off <= b.size() && len <= b.size() - off;
+}
+
+}  // namespace
+
+std::optional<ElfReader> ElfReader::Parse(std::vector<uint8_t> bytes, std::string& error) {
+  ElfReader reader;
+  reader.bytes_ = std::move(bytes);
+  if (!reader.ParseInternal(error)) {
+    return std::nullopt;
+  }
+  return reader;
+}
+
+std::optional<ElfReader> ElfReader::Load(const std::string& path, std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    error = "error reading '" + path + "'";
+    return std::nullopt;
+  }
+  return Parse(std::move(bytes), error);
+}
+
+bool ElfReader::ParseInternal(std::string& error) {
+  if (bytes_.size() < kIdentSize) {
+    error = "file too small to be an ELF object (" + std::to_string(bytes_.size()) +
+            " bytes)";
+    return false;
+  }
+  static constexpr uint8_t kMagic[4] = {0x7f, 'E', 'L', 'F'};
+  if (std::memcmp(bytes_.data(), kMagic, sizeof(kMagic)) != 0) {
+    error = "not an ELF object (bad magic)";
+    return false;
+  }
+  if (bytes_[4] != kElfClass64) {
+    error = "not a 64-bit ELF object (ELFCLASS " + std::to_string(bytes_[4]) +
+            "); only ELF64 targets are analyzable";
+    return false;
+  }
+  if (bytes_[5] != kElfData2Lsb) {
+    error = "not a little-endian ELF object (ELFDATA " + std::to_string(bytes_[5]) + ")";
+    return false;
+  }
+  if (bytes_.size() < kEhdrSize) {
+    error = "truncated ELF header (" + std::to_string(bytes_.size()) + " bytes)";
+    return false;
+  }
+  etype_ = ReadU16(bytes_, 16);
+  machine_ = ReadU16(bytes_, 18);
+
+  uint64_t shoff = ReadU64(bytes_, 40);
+  uint16_t shentsize = ReadU16(bytes_, 58);
+  uint16_t shnum = ReadU16(bytes_, 60);
+  uint16_t shstrndx = ReadU16(bytes_, 62);
+  if (shnum == 0 || shoff == 0) {
+    // Sectionless object (or section headers stripped): nothing to mine,
+    // but a legitimate ELF — callers see zero imports.
+    return true;
+  }
+  if (shentsize < kShdrSize) {
+    error = "section header entries too small (" + std::to_string(shentsize) + " bytes)";
+    return false;
+  }
+  if (!InRange(bytes_, shoff, static_cast<uint64_t>(shnum) * shentsize)) {
+    error = "section header table extends past end of file";
+    return false;
+  }
+
+  sections_.reserve(shnum);
+  std::vector<uint32_t> name_offsets;
+  name_offsets.reserve(shnum);
+  for (uint16_t i = 0; i < shnum; ++i) {
+    size_t off = static_cast<size_t>(shoff) + static_cast<size_t>(i) * shentsize;
+    ElfSection section;
+    name_offsets.push_back(ReadU32(bytes_, off));
+    section.type = ReadU32(bytes_, off + 4);
+    section.addr = ReadU64(bytes_, off + 16);
+    section.offset = ReadU64(bytes_, off + 24);
+    section.size = ReadU64(bytes_, off + 32);
+    section.link = ReadU32(bytes_, off + 40);
+    section.entsize = ReadU64(bytes_, off + 56);
+    sections_.push_back(std::move(section));
+  }
+  // Names resolve through the section-header string table, which is itself
+  // one of the sections just read — hence the second pass.
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    sections_[i].name = StringAt(shstrndx, name_offsets[i]);
+  }
+
+  for (const ElfSection& section : sections_) {
+    if (section.type == kShtDynsym && dynamic_symbols_.empty()) {
+      if (!ParseSymbols(section, error)) {
+        return false;
+      }
+    } else if (section.type == kShtDynamic && needed_.empty()) {
+      ParseDynamic(section);
+    }
+  }
+  if (const ElfSection* rela_plt = FindSection(".rela.plt")) {
+    ParseRelocations(*rela_plt, plt_relocations_);
+  }
+  if (const ElfSection* rela_dyn = FindSection(".rela.dyn")) {
+    ParseRelocations(*rela_dyn, dyn_relocations_);
+  }
+  return true;
+}
+
+bool ElfReader::ParseSymbols(const ElfSection& symtab, std::string& error) {
+  if (!InRange(bytes_, symtab.offset, symtab.size)) {
+    error = "dynamic symbol table extends past end of file";
+    return false;
+  }
+  uint64_t entsize = symtab.entsize >= kSymSize ? symtab.entsize : kSymSize;
+  uint64_t count = symtab.size / entsize;
+  dynamic_symbols_.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    size_t off = static_cast<size_t>(symtab.offset + i * entsize);
+    ElfSymbol symbol;
+    uint32_t name_off = ReadU32(bytes_, off);
+    uint8_t info = bytes_[off + 4];
+    symbol.type = info & 0x0f;
+    symbol.bind = info >> 4;
+    symbol.shndx = ReadU16(bytes_, off + 6);
+    symbol.value = ReadU64(bytes_, off + 8);
+    symbol.name = StringAt(symtab.link, name_off);
+    dynamic_symbols_.push_back(std::move(symbol));
+  }
+  return true;
+}
+
+void ElfReader::ParseRelocations(const ElfSection& rela,
+                                 std::vector<ElfRelocation>& out) const {
+  if (rela.type != kShtRela || !InRange(bytes_, rela.offset, rela.size)) {
+    return;
+  }
+  uint64_t entsize = rela.entsize >= kRelaSize ? rela.entsize : kRelaSize;
+  uint64_t count = rela.size / entsize;
+  out.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    size_t off = static_cast<size_t>(rela.offset + i * entsize);
+    ElfRelocation reloc;
+    reloc.offset = ReadU64(bytes_, off);
+    uint64_t info = ReadU64(bytes_, off + 8);
+    reloc.type = static_cast<uint32_t>(info & 0xffffffffu);
+    reloc.symbol = static_cast<uint32_t>(info >> 32);
+    out.push_back(reloc);
+  }
+}
+
+void ElfReader::ParseDynamic(const ElfSection& dynamic) {
+  if (!InRange(bytes_, dynamic.offset, dynamic.size)) {
+    return;
+  }
+  uint64_t entsize = dynamic.entsize >= kDynSize ? dynamic.entsize : kDynSize;
+  uint64_t count = dynamic.size / entsize;
+  for (uint64_t i = 0; i < count; ++i) {
+    size_t off = static_cast<size_t>(dynamic.offset + i * entsize);
+    int64_t tag = static_cast<int64_t>(ReadU64(bytes_, off));
+    if (tag == 0) {  // DT_NULL terminates the table
+      break;
+    }
+    if (tag == kDtNeeded) {
+      std::string name = StringAt(dynamic.link, ReadU64(bytes_, off + 8));
+      if (!name.empty()) {
+        needed_.push_back(std::move(name));
+      }
+    }
+  }
+}
+
+const ElfSection* ElfReader::FindSection(std::string_view name) const {
+  for (const ElfSection& section : sections_) {
+    if (section.name == name) {
+      return &section;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<uint8_t> ElfReader::SectionBytes(const ElfSection& section) const {
+  if (!InRange(bytes_, section.offset, section.size)) {
+    return {};
+  }
+  auto begin = bytes_.begin() + static_cast<ptrdiff_t>(section.offset);
+  return std::vector<uint8_t>(begin, begin + static_cast<ptrdiff_t>(section.size));
+}
+
+std::string ElfReader::StringAt(size_t strndx, uint64_t offset) const {
+  if (strndx >= sections_.size()) {
+    return "";
+  }
+  const ElfSection& strtab = sections_[strndx];
+  if (!InRange(bytes_, strtab.offset, strtab.size) || offset >= strtab.size) {
+    return "";
+  }
+  size_t begin = static_cast<size_t>(strtab.offset + offset);
+  size_t end = static_cast<size_t>(strtab.offset + strtab.size);
+  size_t nul = begin;
+  while (nul < end && bytes_[nul] != 0) {
+    ++nul;
+  }
+  return std::string(bytes_.begin() + static_cast<ptrdiff_t>(begin),
+                     bytes_.begin() + static_cast<ptrdiff_t>(nul));
+}
+
+}  // namespace analysis
+}  // namespace afex

@@ -1,0 +1,122 @@
+// A dependency-free ELF64 little-endian reader — just enough of the format
+// to statically profile a real-backend target before a campaign runs
+// (paper §7, fault space definition methodology, applied LFI-style to the
+// target/libc boundary): the dynamic symbol table (which functions the
+// binary imports), the .rela.plt / .rela.dyn relocations (which GOT slot
+// each import is bound through, so PLT stubs can be attributed to names),
+// and the DT_NEEDED entries (which libraries it links).
+//
+// The reader parses an in-memory byte buffer with explicit little-endian
+// field reads — no <elf.h>, no mmap, no host-struct aliasing — and bounds-
+// checks every offset it follows, so truncated, hostile, or plain corrupt
+// inputs produce an error string instead of undefined behaviour. Only
+// ELFCLASS64 + ELFDATA2LSB objects are accepted; everything AFEX's real
+// backend can LD_PRELOAD into is in that class.
+#ifndef AFEX_ANALYSIS_ELF_READER_H_
+#define AFEX_ANALYSIS_ELF_READER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace afex {
+namespace analysis {
+
+// The ELF constants the analyzer consumes, named as in the spec.
+inline constexpr uint16_t kEmX8664 = 62;        // e_machine EM_X86_64
+inline constexpr uint32_t kShtProgbits = 1;     // sh_type SHT_PROGBITS
+inline constexpr uint32_t kShtRela = 4;         // sh_type SHT_RELA
+inline constexpr uint32_t kShtDynamic = 6;      // sh_type SHT_DYNAMIC
+inline constexpr uint32_t kShtDynsym = 11;      // sh_type SHT_DYNSYM
+inline constexpr uint16_t kShnUndef = 0;        // st_shndx SHN_UNDEF
+inline constexpr uint8_t kSttFunc = 2;          // symbol type STT_FUNC
+inline constexpr uint8_t kSttGnuIfunc = 10;     // symbol type STT_GNU_IFUNC
+inline constexpr uint32_t kRX8664GlobDat = 6;   // R_X86_64_GLOB_DAT
+inline constexpr uint32_t kRX8664JumpSlot = 7;  // R_X86_64_JUMP_SLOT
+inline constexpr int64_t kDtNeeded = 1;         // d_tag DT_NEEDED
+
+struct ElfSection {
+  std::string name;
+  uint32_t type = 0;
+  uint64_t addr = 0;    // virtual address when mapped
+  uint64_t offset = 0;  // file offset
+  uint64_t size = 0;
+  uint32_t link = 0;    // companion section index (e.g. symtab -> strtab)
+  uint64_t entsize = 0;
+};
+
+struct ElfSymbol {
+  std::string name;
+  uint8_t type = 0;   // STT_*
+  uint8_t bind = 0;   // STB_*
+  uint16_t shndx = 0; // kShnUndef = imported / undefined
+  uint64_t value = 0;
+
+  bool IsUndefined() const { return shndx == kShnUndef; }
+  bool IsFunction() const { return type == kSttFunc || type == kSttGnuIfunc; }
+};
+
+struct ElfRelocation {
+  uint64_t offset = 0;  // r_offset: the GOT slot patched by the relocation
+  uint32_t type = 0;    // R_X86_64_*
+  uint32_t symbol = 0;  // index into the dynamic symbol table
+};
+
+class ElfReader {
+ public:
+  // Parses `bytes` (which the reader takes ownership of). Returns nullopt
+  // and a human-readable reason in `error` on anything that is not a
+  // well-formed little-endian ELF64 object.
+  static std::optional<ElfReader> Parse(std::vector<uint8_t> bytes, std::string& error);
+  // Reads the file at `path` and parses it.
+  static std::optional<ElfReader> Load(const std::string& path, std::string& error);
+
+  uint16_t machine() const { return machine_; }
+  uint16_t etype() const { return etype_; }
+
+  const std::vector<ElfSection>& sections() const { return sections_; }
+  // First section with the given name, or nullptr.
+  const ElfSection* FindSection(std::string_view name) const;
+  // The section's raw bytes; empty when the section lies outside the file
+  // (possible in hostile inputs — every caller must handle it).
+  std::vector<uint8_t> SectionBytes(const ElfSection& section) const;
+
+  // Symbols of the first SHT_DYNSYM section (empty for static or stripped
+  // binaries — not an error; a binary without dynamic imports is simply a
+  // target no libc fault can reach through LD_PRELOAD).
+  const std::vector<ElfSymbol>& dynamic_symbols() const { return dynamic_symbols_; }
+
+  // Relocation entries of ".rela.plt" and ".rela.dyn" respectively.
+  const std::vector<ElfRelocation>& plt_relocations() const { return plt_relocations_; }
+  const std::vector<ElfRelocation>& dyn_relocations() const { return dyn_relocations_; }
+
+  // DT_NEEDED entries of the dynamic section, in table order.
+  const std::vector<std::string>& needed_libraries() const { return needed_; }
+
+ private:
+  ElfReader() = default;
+
+  bool ParseInternal(std::string& error);
+  bool ParseSymbols(const ElfSection& symtab, std::string& error);
+  void ParseRelocations(const ElfSection& rela, std::vector<ElfRelocation>& out) const;
+  void ParseDynamic(const ElfSection& dynamic);
+  // NUL-terminated string at `offset` in the string table section `strndx`;
+  // empty string when anything is out of range.
+  std::string StringAt(size_t strndx, uint64_t offset) const;
+
+  std::vector<uint8_t> bytes_;
+  uint16_t machine_ = 0;
+  uint16_t etype_ = 0;
+  std::vector<ElfSection> sections_;
+  std::vector<ElfSymbol> dynamic_symbols_;
+  std::vector<ElfRelocation> plt_relocations_;
+  std::vector<ElfRelocation> dyn_relocations_;
+  std::vector<std::string> needed_;
+};
+
+}  // namespace analysis
+}  // namespace afex
+
+#endif  // AFEX_ANALYSIS_ELF_READER_H_

@@ -440,6 +440,9 @@ std::string SerializeMeta(const CampaignMeta& meta) {
   out += " jobs=" + std::to_string(meta.jobs);
   out += " feedback=" + std::string(meta.feedback ? "1" : "0");
   out += " warm=" + FingerprintHex(meta.warm_fingerprint);
+  if (meta.version >= 2) {
+    out += " analysis=" + FingerprintHex(meta.analysis_fingerprint);
+  }
   return out;
 }
 
@@ -495,11 +498,20 @@ bool ParseMeta(std::string_view s, CampaignMeta& out) {
         return false;
       }
       seen |= 1u << 7;
+    } else if (key == "analysis") {
+      if (!ParseHex16(value, out.analysis_fingerprint)) {
+        return false;
+      }
+      seen |= 1u << 8;
     } else {
       return false;
     }
   }
-  return seen == (1u << 8) - 1;
+  // `analysis=` exists exactly from v2 on: a v1 line carrying it, or a v2
+  // line missing it, is malformed — strictness keeps hand-edited journals
+  // detectable.
+  uint32_t required = out.version >= 2 ? (1u << 9) - 1 : (1u << 8) - 1;
+  return seen == required;
 }
 
 uint64_t FaultSpaceFingerprint(const FaultSpace& space) {

@@ -26,7 +26,10 @@ class CampaignError : public std::runtime_error {
 };
 
 // Bumped on any incompatible change to the serialized forms below.
-inline constexpr int kCampaignFormatVersion = 1;
+// History: v1 — initial format; v2 — adds the `analysis=` meta field
+// (static target-profile fingerprint). v1 journals still parse (the field
+// defaults to 0 = "no analysis recorded").
+inline constexpr int kCampaignFormatVersion = 2;
 
 // Identity of a campaign: everything that must match for a journal to be
 // resumable — the same target, strategy, seed, fault space, execution
@@ -49,6 +52,13 @@ struct CampaignMeta {
   // issues a different candidate sequence, so resuming must re-apply the
   // exact same seeds — see WarmStartFingerprint in store.h.
   uint64_t warm_fingerprint = 0;
+  // Fingerprint of the static target profile (analysis layer) the campaign
+  // was set up against; 0 = no analysis ran. A real-backend journal is
+  // only resumable against a binary whose import/callsite profile is
+  // unchanged — a rebuilt target with a different libc boundary would
+  // replay faults it can no longer (or differently) experience. Serialized
+  // from format v2 on; absent (and 0) in v1 journals.
+  uint64_t analysis_fingerprint = 0;
 };
 
 // Percent-escaping: bytes outside printable ASCII plus the format's

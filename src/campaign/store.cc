@@ -92,6 +92,14 @@ CampaignStore CampaignStore::Open(const std::string& path, const CampaignMeta& e
   check(meta.warm_fingerprint == expected.warm_fingerprint, "warm-start",
         meta.warm_fingerprint == 0 ? "none" : FingerprintHex(meta.warm_fingerprint),
         expected.warm_fingerprint == 0 ? "none" : FingerprintHex(expected.warm_fingerprint));
+  // A differing target-profile fingerprint means the target binary was
+  // rebuilt with a different libc boundary since the journal was written —
+  // replaying its faults against the new binary is not a resume.
+  check(meta.analysis_fingerprint == expected.analysis_fingerprint,
+        "target binary profile (static analysis)",
+        meta.analysis_fingerprint == 0 ? "none" : FingerprintHex(meta.analysis_fingerprint),
+        expected.analysis_fingerprint == 0 ? "none"
+                                           : FingerprintHex(expected.analysis_fingerprint));
   if (!mismatches.empty()) {
     throw CampaignError("refusing to resume from '" + path +
                         "': campaign configuration mismatch" + mismatches);

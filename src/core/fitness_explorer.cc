@@ -223,6 +223,14 @@ void FitnessExplorer::WarmStart(const Fault& fault, double fitness) {
   InsertIntoPriority(Entry{fault, fitness, fitness});
 }
 
+void FitnessExplorer::SeedPriorityHint(const Fault& fault, double fitness) {
+  // impact = 0 keeps the hint out of the retirement queue (its stored
+  // fitness would violate the queue's insertion-order invariant otherwise)
+  // and means it ages but never retires — it just loses the eviction
+  // lottery once real results arrive.
+  InsertIntoPriority(Entry{fault, fitness, 0.0});
+}
+
 // ---- optimized-path pool maintenance ----
 
 void FitnessExplorer::AppendSlot(Entry entry) {

@@ -103,6 +103,15 @@ class FitnessExplorer : public Explorer {
   // mutating the known high-fitness vicinities immediately.
   void WarmStart(const Fault& fault, double fitness);
 
+  // Pre-seeds a *prior* rather than a result (static analysis, paper §7):
+  // the fault enters Qpriority with the given fitness so parent selection
+  // is biased toward its vicinity, but is NOT marked issued — the search
+  // may still execute it. Hints age like any pool entry and are displaced
+  // by real results through the ordinary eviction lottery; they never
+  // retire (retirement is relative to reported impact, which a hint does
+  // not have). Call before the first NextCandidate().
+  void SeedPriorityHint(const Fault& fault, double fitness);
+
   // Normalized per-axis sensitivity (sums to 1); exposed for the structure
   // experiments (paper §7.3 inspects its convergence).
   std::vector<double> NormalizedSensitivity() const;

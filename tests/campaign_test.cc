@@ -164,6 +164,7 @@ TEST(SerdeTest, MetaRoundTrip) {
   meta.jobs = 16;
   meta.feedback = true;
   meta.warm_fingerprint = 0xfeed5eed0000ffffULL;
+  meta.analysis_fingerprint = 0x24dfe2f30004db42ULL;
   CampaignMeta parsed;
   ASSERT_TRUE(ParseMeta(SerializeMeta(meta), parsed));
   EXPECT_EQ(parsed.version, meta.version);
@@ -174,6 +175,34 @@ TEST(SerdeTest, MetaRoundTrip) {
   EXPECT_EQ(parsed.jobs, meta.jobs);
   EXPECT_EQ(parsed.feedback, meta.feedback);
   EXPECT_EQ(parsed.warm_fingerprint, meta.warm_fingerprint);
+  EXPECT_EQ(parsed.analysis_fingerprint, meta.analysis_fingerprint);
+}
+
+TEST(SerdeTest, MetaVersioningGatesTheAnalysisField) {
+  // A v1 line (no analysis field) still parses: the fingerprint defaults
+  // to 0 = "no analysis recorded".
+  CampaignMeta v1;
+  v1.version = 1;
+  v1.target = "minidb";
+  v1.strategy = "fitness";
+  std::string v1_line = SerializeMeta(v1);
+  EXPECT_EQ(v1_line.find("analysis="), std::string::npos);
+  CampaignMeta parsed;
+  ASSERT_TRUE(ParseMeta(v1_line, parsed));
+  EXPECT_EQ(parsed.version, 1);
+  EXPECT_EQ(parsed.analysis_fingerprint, 0u);
+
+  // Strictness both ways: v1 must not carry the field, v2 must.
+  EXPECT_FALSE(ParseMeta(v1_line + " analysis=0000000000000001", parsed));
+  CampaignMeta v2;
+  v2.version = 2;
+  v2.target = "minidb";
+  v2.strategy = "fitness";
+  std::string v2_line = SerializeMeta(v2);
+  ASSERT_NE(v2_line.find("analysis="), std::string::npos);
+  ASSERT_TRUE(ParseMeta(v2_line, parsed));
+  size_t field = v2_line.find(" analysis=");
+  EXPECT_FALSE(ParseMeta(v2_line.substr(0, field), parsed));
 }
 
 TEST(SerdeTest, ParseRejectsMalformedRecords) {
@@ -326,6 +355,11 @@ TEST(StoreTest, RefusesResumeOnConfigMismatch) {
   EXPECT_THROW(CampaignStore::Open(path, wrong), CampaignError);
   wrong = meta;
   wrong.warm_fingerprint = 0x1234;
+  EXPECT_THROW(CampaignStore::Open(path, wrong), CampaignError);
+  // Rebuilt target binary: the static-analysis fingerprint changed, so the
+  // journaled faults may no longer be reachable — refuse the resume.
+  wrong = meta;
+  wrong.analysis_fingerprint = 0xabcdef;
   EXPECT_THROW(CampaignStore::Open(path, wrong), CampaignError);
 }
 

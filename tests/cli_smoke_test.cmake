@@ -80,7 +80,46 @@ expect_cli_error("the system under test is --target-cmd"
   --backend=real "--target-cmd=/bin/true" --target=minidb --budget=5)
 expect_cli_error("--timeout-ms expects an integer"
   --backend=real "--target-cmd=/bin/true" --budget=5 --timeout-ms=abc)
+expect_cli_error("does not exist"
+  --backend=real "--target-cmd=/nonexistent/afex/binary {test}" --budget=5)
+expect_cli_error("does not exist in .PATH"
+  --backend=real "--target-cmd=afex-no-such-command-xyz" --budget=5)
+expect_cli_error("--interposer '.*' does not exist"
+  --backend=real "--target-cmd=${AFEX_WALUTIL}" --budget=5
+  "--interposer=${CMAKE_CURRENT_BINARY_DIR}/no_such_interposer.so")
+expect_cli_error("--auto-space only applies to --backend=real"
+  --target=minidb --budget=5 --auto-space)
+set(space_file "${CMAKE_CURRENT_BINARY_DIR}/smoke_space.afex")
+file(WRITE "${space_file}" "real\ntest : [1,2]\nfunction : { read, write }\ncall : [1,2]\n;\n")
+expect_cli_error("conflicts with --space"
+  --backend=real "--target-cmd=${AFEX_WALUTIL}" "--interposer=${AFEX_INTERPOSER}"
+  --budget=5 --auto-space "--space=${space_file}")
 message(STATUS "backend flag validation: bad flags rejected")
+
+# --- static analysis: --space import check + --auto-space -------------------
+# A hand-written space naming a function walutil never imports must be
+# rejected before any test runs.
+set(bad_space "${CMAKE_CURRENT_BINARY_DIR}/smoke_unimported.afex")
+file(WRITE "${bad_space}" "real\ntest : [1,2]\nfunction : { accept, read }\ncall : [1,2]\n;\n")
+expect_cli_error("never imports: accept"
+  --backend=real "--target-cmd=${AFEX_WALUTIL} {test}" "--interposer=${AFEX_INTERPOSER}"
+  --budget=5 "--space=${bad_space}")
+
+# --auto-space prunes the function axis to walutil's 15 imports and prints
+# both space sizes (the acceptance assertion for the pruning).
+run_cli(auto_leg --backend=real "--target-cmd=${AFEX_WALUTIL} {test}" --num-tests=2
+  "--interposer=${AFEX_INTERPOSER}" --timeout-ms=10000 --max-call=2 --budget=15 --seed=1
+  --auto-space)
+if(NOT auto_leg MATCHES "pruned function axis to 15 of 24 interposable functions; 60 of 96 points")
+  message(FATAL_ERROR "--auto-space did not report the pruned space sizes:\n${auto_leg}")
+endif()
+if(NOT auto_leg MATCHES "seeded 15 priority hints from callsite weights")
+  message(FATAL_ERROR "--auto-space did not seed callsite-weight priors:\n${auto_leg}")
+endif()
+if(NOT auto_leg MATCHES "space 'real:afex_walutil' with 60 points")
+  message(FATAL_ERROR "--auto-space campaign did not run over the pruned space:\n${auto_leg}")
+endif()
+message(STATUS "static analysis: unimported space rejected, auto-space pruned 96 -> 60")
 
 # --- real-process backend end to end ----------------------------------------
 # A real fitness campaign against the sample walutil target: journal a first

@@ -14,9 +14,11 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "analysis/target_profile.h"
 #include "campaign/store.h"
 #include "core/fitness_explorer.h"
 #include "exec/fault_plan.h"
@@ -361,6 +363,60 @@ TEST(RealCampaignTest, JournalResumeReproducesRecordSequence) {
   // And the rewritten journal holds the full sequence.
   CampaignStore final_store = CampaignStore::Open(journal);
   EXPECT_EQ(final_store.records().size(), full_budget);
+}
+
+// ---------------------------------------------------------------------------
+// Static target analysis feeding the real backend (acceptance criterion):
+// the auto-derived space is strictly smaller than the hand-written full
+// interposable space, yet an exhaustive campaign over it finds the same
+// planted crashes.
+// ---------------------------------------------------------------------------
+
+TEST(StaticAnalysisTest, AutoSpaceFindsTheSameCrashesInAStrictlySmallerSpace) {
+  std::string error;
+  auto profile = analysis::AnalyzeTargetBinary(AFEX_WALUTIL_PATH, error);
+  ASSERT_TRUE(profile.has_value()) << error;
+
+  // Restrict the exhaustive sweep to the two crash-planted scenarios
+  // (3: replay divergence SIGABRT, 4: catalog NULL-deref SIGSEGV) at low
+  // call ordinals, to keep the fork count test-sized.
+  auto make_space = [](std::vector<std::string> functions, const std::string& name) {
+    std::vector<Axis> axes;
+    axes.push_back(Axis::MakeInterval("test", 3, 4));
+    axes.push_back(Axis::MakeSet("function", std::move(functions)));
+    axes.push_back(Axis::MakeInterval("call", 1, 2));
+    return FaultSpace(std::move(axes), name);
+  };
+  FaultSpace full_space = make_space(InterposableFunctions(), "hand");
+  FaultSpace auto_space = make_space(profile->InterposableImports(), "auto");
+
+  // Strictly smaller: the pruning must be real for this target.
+  ASSERT_LT(auto_space.TotalPoints(), full_space.TotalPoints());
+  EXPECT_EQ(auto_space.TotalPoints(), 2u * profile->InterposableImports().size() * 2u);
+
+  // Exhaustive sweep of each space; a crash signature is the injected
+  // coordinate that produced it, by label (comparable across spaces).
+  auto sweep = [](const FaultSpace& space, RealTargetHarness& harness) {
+    std::set<std::string> crashes;
+    for (std::optional<Fault> f = space.FirstValid(); f.has_value();
+         f = space.NextValid(*f)) {
+      TestOutcome outcome = harness.RunFault(space, *f);
+      if (outcome.crashed) {
+        crashes.insert(space.Describe(*f));
+      }
+    }
+    return crashes;
+  };
+  RealTargetHarness full_harness(WalutilConfig(TempDir("analysis_full")));
+  RealTargetHarness auto_harness(WalutilConfig(TempDir("analysis_auto")));
+  std::set<std::string> full_crashes = sweep(full_space, full_harness);
+  std::set<std::string> auto_crashes = sweep(auto_space, auto_harness);
+
+  // The full space cannot find crashes outside the imported set (faults on
+  // never-imported functions never fire), so the pruned space must find
+  // exactly the same planted crashes.
+  EXPECT_FALSE(auto_crashes.empty());
+  EXPECT_EQ(auto_crashes, full_crashes);
 }
 
 }  // namespace

@@ -1,0 +1,233 @@
+// afex_analyze: standalone static target analysis (paper §7, fault-space
+// definition methodology) — reports which interposable libc functions an
+// ELF64 binary imports, how many call sites reference each, and the pruned
+// fault space a real-backend campaign would explore with --auto-space.
+//
+// Usage:
+//   afex_analyze BINARY [--format=<human|json|space>]
+//                [--num-tests=N] [--max-call=N] [--all-imports]
+//
+//   --format=human  per-function table + summary (default)
+//   --format=json   machine-readable report
+//   --format=space  the derived space as space-DSL text; feed the output
+//                   file straight back to afex_cli --space=FILE
+//   --all-imports   human/json list every dynamic import, not only the
+//                   interposable ones
+//
+// Exit status: 0 on success, 1 when analysis fails (not an ELF64 binary,
+// unreadable file), 2 on usage errors.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/target_profile.h"
+#include "core/space_lang.h"
+#include "exec/real_target_harness.h"
+#include "util/strings.h"
+
+using namespace afex;
+
+namespace {
+
+struct Options {
+  std::string binary;
+  std::string format = "human";
+  size_t num_tests = 6;
+  size_t max_call = 8;
+  bool all_imports = false;
+};
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: afex_analyze BINARY [--format=<human|json|space>]\n"
+               "                    [--num-tests=N] [--max-call=N] [--all-imports]\n");
+}
+
+bool ParseFlag(const std::string& arg, const std::string& name, std::string& out) {
+  std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  out = arg.substr(prefix.size());
+  return true;
+}
+
+bool ParseOptions(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    uint64_t number = 0;
+    if (ParseFlag(arg, "format", value)) {
+      options.format = value;
+    } else if (ParseFlag(arg, "num-tests", value) || ParseFlag(arg, "max-call", value)) {
+      if (!ParseUint(value, number) || number == 0) {
+        std::fprintf(stderr, "%s expects a positive integer, got '%s'\n",
+                     arg.substr(0, arg.find('=')).c_str(), value.c_str());
+        return false;
+      }
+      (arg.rfind("--num-tests", 0) == 0 ? options.num_tests : options.max_call) =
+          static_cast<size_t>(number);
+    } else if (arg == "--all-imports") {
+      options.all_imports = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    } else if (options.binary.empty()) {
+      options.binary = arg;
+    } else {
+      std::fprintf(stderr, "afex_analyze takes one binary, got '%s' and '%s'\n",
+                   options.binary.c_str(), arg.c_str());
+      return false;
+    }
+  }
+  if (options.binary.empty()) {
+    std::fprintf(stderr, "afex_analyze needs a binary to analyze\n");
+    return false;
+  }
+  if (options.format != "human" && options.format != "json" && options.format != "space") {
+    std::fprintf(stderr, "--format expects 'human', 'json' or 'space', got '%s'\n",
+                 options.format.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Minimal JSON string escaping: the emitted names are symbol/file names, so
+// quotes, backslashes, and control bytes are all that can realistically
+// appear.
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (unsigned char c : raw) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += static_cast<char>(c);
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
+void PrintHuman(const analysis::TargetProfile& profile, const Options& options) {
+  std::printf("target: %s\n", profile.path.c_str());
+  std::printf("needed:");
+  for (const std::string& lib : profile.needed) {
+    std::printf(" %s", lib.c_str());
+  }
+  std::printf("\nfingerprint: %016llx\n",
+              static_cast<unsigned long long>(analysis::TargetProfileFingerprint(profile)));
+  std::printf("\n%-20s %9s %10s %12s\n", "function", "callsites", "profiled",
+              "interposable");
+  // Interposable imports print in libc-profile (category) order — the same
+  // order they take on the pruned function axis; --all-imports appends the
+  // rest in symbol-table order.
+  std::vector<const analysis::ImportedFunction*> rows;
+  for (const std::string& name : profile.InterposableImports()) {
+    rows.push_back(profile.Find(name));
+  }
+  if (options.all_imports) {
+    for (const analysis::ImportedFunction& fn : profile.imports) {
+      if (!fn.interposable) {
+        rows.push_back(&fn);
+      }
+    }
+  }
+  size_t shown = 0;
+  for (const analysis::ImportedFunction* fn : rows) {
+    std::printf("%-20s %9llu %10s %12s\n", fn->name.c_str(),
+                static_cast<unsigned long long>(fn->callsites), fn->profiled ? "yes" : "no",
+                fn->interposable ? "yes" : "no");
+    ++shown;
+  }
+  if (shown == 0) {
+    std::printf("  (no %s imports)\n", options.all_imports ? "dynamic" : "interposable");
+  }
+  std::vector<std::string> interposable = profile.InterposableImports();
+  size_t full = exec::InterposableFunctions().size();
+  std::printf("\n%zu dynamic imports, %zu interposable (of %zu the interposer wraps), "
+              "%llu interposable callsites%s\n",
+              profile.imports.size(), interposable.size(), full,
+              static_cast<unsigned long long>(profile.InterposableCallsites()),
+              profile.callsites_scanned ? "" : " (callsite scan skipped: not x86-64)");
+  size_t pruned_points = options.num_tests * interposable.size() * options.max_call;
+  size_t full_points = options.num_tests * full * options.max_call;
+  std::printf("auto space: %zu points (full interposable space: %zu)\n", pruned_points,
+              full_points);
+}
+
+void PrintJson(const analysis::TargetProfile& profile, const Options& options) {
+  std::printf("{\n  \"target\": \"%s\",\n", JsonEscape(profile.path).c_str());
+  std::printf("  \"fingerprint\": \"%016llx\",\n",
+              static_cast<unsigned long long>(analysis::TargetProfileFingerprint(profile)));
+  std::printf("  \"callsites_scanned\": %s,\n",
+              profile.callsites_scanned ? "true" : "false");
+  std::printf("  \"needed\": [");
+  for (size_t i = 0; i < profile.needed.size(); ++i) {
+    std::printf("%s\"%s\"", i > 0 ? ", " : "", JsonEscape(profile.needed[i]).c_str());
+  }
+  std::printf("],\n  \"imports\": [\n");
+  bool first = true;
+  for (const analysis::ImportedFunction& fn : profile.imports) {
+    if (!options.all_imports && !fn.interposable) {
+      continue;
+    }
+    std::printf("%s    {\"function\": \"%s\", \"callsites\": %llu, \"profiled\": %s, "
+                "\"interposable\": %s}",
+                first ? "" : ",\n", JsonEscape(fn.name).c_str(),
+                static_cast<unsigned long long>(fn.callsites), fn.profiled ? "true" : "false",
+                fn.interposable ? "true" : "false");
+    first = false;
+  }
+  std::printf("\n  ],\n");
+  size_t pruned = profile.InterposableImports().size();
+  std::printf("  \"interposable_imports\": %zu,\n", pruned);
+  std::printf("  \"interposable_callsites\": %llu,\n",
+              static_cast<unsigned long long>(profile.InterposableCallsites()));
+  std::printf("  \"auto_space_points\": %zu,\n",
+              options.num_tests * pruned * options.max_call);
+  std::printf("  \"full_space_points\": %zu\n",
+              options.num_tests * exec::InterposableFunctions().size() * options.max_call);
+  std::printf("}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseOptions(argc, argv, options)) {
+    PrintUsage();
+    return 2;
+  }
+  std::string error;
+  std::optional<analysis::TargetProfile> profile =
+      analysis::AnalyzeTargetBinary(options.binary, error);
+  if (!profile.has_value()) {
+    std::fprintf(stderr, "afex_analyze: %s\n", error.c_str());
+    return 1;
+  }
+  if (options.format == "space") {
+    if (profile->InterposableImports().empty()) {
+      std::fprintf(stderr,
+                   "afex_analyze: '%s' imports no interposable libc functions; "
+                   "there is no space to emit\n",
+                   options.binary.c_str());
+      return 1;
+    }
+    SpaceSpec spec =
+        analysis::AutoSpaceSpec(*profile, options.num_tests, options.max_call);
+    std::printf("# derived by afex_analyze from %s\n%s", profile->path.c_str(),
+                FormatSpaceSpec(spec).c_str());
+  } else if (options.format == "json") {
+    PrintJson(*profile, options);
+  } else {
+    PrintHuman(*profile, options);
+  }
+  return 0;
+}

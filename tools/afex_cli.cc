@@ -28,6 +28,8 @@
 //   afex_cli --target=minidb --budget=5000 --journal=run.afexj --resume
 //   afex_cli --target=minidb --budget=500 --warm-start=run.afexj
 //   afex_cli --target=minidb --budget=500 --export=csv --export-file=run.csv
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +43,7 @@
 
 #include <filesystem>
 
+#include "analysis/target_profile.h"
 #include "campaign/export.h"
 #include "campaign/store.h"
 #include "cluster/node_manager.h"
@@ -91,6 +94,11 @@ struct Options {
   std::string interposer;   // libafex_interpose.so ("" = auto-discover)
   uint64_t timeout_ms = 5000;
   size_t num_tests = 6;     // test-axis cardinality for the real backend
+  // Derive the fault space from static analysis of the target binary: the
+  // function axis is pruned to the interposable libc functions the binary
+  // actually imports, and fitness priorities are seeded from callsite
+  // weights (paper §7 fault-space definition methodology).
+  bool auto_space = false;
   // Explicit-use tracking, so flags belonging to the other backend are
   // rejected instead of silently ignored.
   bool target_set = false;
@@ -109,10 +117,14 @@ void PrintUsage() {
                "                [--export-file=FILE] [--crashes-only] [--top=N] [--verbose]\n"
                "                [--backend=<sim|real>] [--target-cmd='BIN ARGS...']\n"
                "                [--interposer=SO] [--timeout-ms=N] [--num-tests=N]\n"
+               "                [--auto-space]\n"
                "\n"
                "real-process backend: --backend=real --target-cmd='path/to/bin {test}'\n"
                "runs the command per test under the libafex_interpose.so fault\n"
-               "injector ({test} = 1-based test id; appended when omitted).\n");
+               "injector ({test} = 1-based test id; appended when omitted).\n"
+               "--auto-space statically analyzes the target ELF binary and prunes\n"
+               "the function axis to the interposable libc functions it imports,\n"
+               "seeding fitness priorities from per-function callsite counts.\n");
 }
 
 bool ParseFlag(const std::string& arg, const std::string& name, std::string& out) {
@@ -202,6 +214,8 @@ bool ParseOptions(int argc, char** argv, Options& options) {
       options.export_format = value;
     } else if (ParseFlag(arg, "export-file", value)) {
       options.export_file = value;
+    } else if (arg == "--auto-space") {
+      options.auto_space = true;
     } else if (arg == "--resume") {
       options.resume = true;
     } else if (arg == "--feedback") {
@@ -232,6 +246,16 @@ bool ParseOptions(int argc, char** argv, Options& options) {
     std::fprintf(stderr,
                  "--target-cmd/--interposer/--timeout-ms/--num-tests only apply to "
                  "--backend=real\n");
+    return false;
+  }
+  if (options.auto_space && options.backend != "real") {
+    std::fprintf(stderr, "--auto-space only applies to --backend=real\n");
+    return false;
+  }
+  if (options.auto_space && !options.space_file.empty()) {
+    std::fprintf(stderr,
+                 "--auto-space derives the fault space from the binary; it conflicts "
+                 "with --space\n");
     return false;
   }
   if (options.backend == "real" && options.target_set) {
@@ -331,11 +355,48 @@ std::string ResolveInterposer(const Options& options, const char* argv0) {
   return "";
 }
 
+// Resolves the target command's binary to an existing executable file:
+// paths (anything with a '/') must exist as given; bare names get the same
+// $PATH search execvp would do. Rejecting a missing binary here — before
+// the campaign starts — beats the old behaviour of every single test
+// failing with "exec: failed to start".
+bool ResolveTargetBinary(const std::string& name, std::string& resolved) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (name.find('/') != std::string::npos) {
+    if (!fs::is_regular_file(name, ec)) {
+      return false;
+    }
+    resolved = fs::absolute(name, ec).string();
+    return true;
+  }
+  const char* path = std::getenv("PATH");
+  std::istringstream dirs(path != nullptr ? path : "");
+  std::string dir;
+  while (std::getline(dirs, dir, ':')) {
+    if (dir.empty()) {
+      continue;
+    }
+    fs::path candidate = fs::path(dir) / name;
+    if (fs::is_regular_file(candidate, ec) && ::access(candidate.c_str(), X_OK) == 0) {
+      resolved = candidate.string();
+      return true;
+    }
+  }
+  return false;
+}
+
 bool MakeRealConfig(const Options& options, const char* argv0,
-                    exec::RealTargetConfig& config) {
+                    exec::RealTargetConfig& config, std::string& target_binary) {
   config.target_argv = SplitCommand(options.target_cmd);
   if (config.target_argv.empty()) {
     std::fprintf(stderr, "--target-cmd is empty after splitting\n");
+    return false;
+  }
+  if (!ResolveTargetBinary(config.target_argv[0], target_binary)) {
+    std::fprintf(stderr, "--target-cmd binary '%s' does not exist%s\n",
+                 config.target_argv[0].c_str(),
+                 config.target_argv[0].find('/') == std::string::npos ? " in $PATH" : "");
     return false;
   }
   config.num_tests = options.num_tests;
@@ -345,6 +406,11 @@ bool MakeRealConfig(const Options& options, const char* argv0,
     std::fprintf(stderr,
                  "cannot locate libafex_interpose.so; pass --interposer=PATH "
                  "(without it no fault is ever injected)\n");
+    return false;
+  }
+  if (!std::filesystem::is_regular_file(config.interposer_path)) {
+    std::fprintf(stderr, "--interposer '%s' does not exist\n",
+                 config.interposer_path.c_str());
     return false;
   }
   return true;
@@ -388,9 +454,40 @@ int main(int argc, char** argv) {
   std::unique_ptr<exec::RealTargetHarness> real_harness;
   exec::RealTargetConfig real_config;
   TargetBackend* backend = nullptr;
+  std::optional<analysis::TargetProfile> profile;
   if (real_backend) {
-    if (!MakeRealConfig(options, argv[0], real_config)) {
+    std::string target_binary;
+    if (!MakeRealConfig(options, argv[0], real_config, target_binary)) {
       return 2;
+    }
+    // Static target analysis (paper §7): profile the binary's libc boundary
+    // up front. --auto-space depends on it; for hand-written spaces it backs
+    // the unimported-function fail-fast and the CampaignMeta fingerprint
+    // that lets resume detect a rebuilt target. A non-ELF64 target command
+    // (a script, say) is only fatal when --auto-space asked for analysis.
+    std::string analysis_error;
+    profile = analysis::AnalyzeTargetBinary(target_binary, analysis_error);
+    if (!profile.has_value() && options.auto_space) {
+      std::fprintf(stderr, "--auto-space: cannot analyze '%s': %s\n",
+                   target_binary.c_str(), analysis_error.c_str());
+      return 2;
+    }
+    if (!profile.has_value()) {
+      std::fprintf(stderr,
+                   "warning: static analysis of '%s' unavailable (%s); space/import "
+                   "checks skipped\n",
+                   target_binary.c_str(), analysis_error.c_str());
+    }
+    if (options.auto_space) {
+      std::vector<std::string> imported = profile->InterposableImports();
+      if (imported.empty()) {
+        std::fprintf(stderr,
+                     "--auto-space: '%s' imports none of the %zu interposable libc "
+                     "functions; there is no fault space to explore\n",
+                     target_binary.c_str(), exec::InterposableFunctions().size());
+        return 2;
+      }
+      real_config.functions = std::move(imported);
     }
     real_harness = std::make_unique<exec::RealTargetHarness>(real_config);
     backend = real_harness.get();
@@ -452,6 +549,38 @@ int main(int argc, char** argv) {
         }
       }
     }
+    // Second fail-fast, against the binary rather than the interposer: a
+    // user-written space naming functions the target never imports would
+    // spend its whole budget on faults the target cannot experience (the
+    // call never happens, so the injection never fires). Only user spaces
+    // are checked — the default full axis deliberately explores blind.
+    if (profile.has_value() && !options.space_file.empty()) {
+      std::vector<std::string> unimported =
+          analysis::UnimportedSpaceFunctions(*profile, space);
+      if (!unimported.empty()) {
+        std::string joined;
+        for (const std::string& name : unimported) {
+          joined += (joined.empty() ? "" : ", ") + name;
+        }
+        std::fprintf(stderr,
+                     "space function axis names %zu function(s) the target binary "
+                     "never imports: %s\n(re-run with --auto-space, or check "
+                     "afex_analyze output for the importable set)\n",
+                     unimported.size(), joined.c_str());
+        return 2;
+      }
+    }
+  }
+  if (options.auto_space) {
+    // Print both sizes so the pruning is visible (and assertable): the
+    // derived space vs. the full interposable space the same flags would
+    // have explored without analysis.
+    size_t full_functions = exec::InterposableFunctions().size();
+    size_t pruned_functions = real_config.functions.size();
+    size_t full_points = (space.TotalPoints() / pruned_functions) * full_functions;
+    std::printf("auto-space: pruned function axis to %zu of %zu interposable "
+                "functions; %zu of %zu points\n",
+                pruned_functions, full_functions, space.TotalPoints(), full_points);
   }
   const std::string target_label =
       real_backend ? "real:" + options.target_cmd : options.target;
@@ -465,6 +594,16 @@ int main(int argc, char** argv) {
   if (explorer == nullptr) {
     return 2;
   }
+  if (options.auto_space && options.strategy == "fitness" && profile.has_value()) {
+    // Callsite-weight priors: bias the first parent selections toward the
+    // functions the target calls from the most places. Hints are not
+    // results — they age out as real fitness arrives.
+    size_t seeded = analysis::SeedExplorerFromProfile(
+        static_cast<FitnessExplorer&>(*explorer), space, *profile);
+    if (seeded > 0) {
+      std::printf("auto-space: seeded %zu priority hints from callsite weights\n", seeded);
+    }
+  }
 
   CampaignMeta meta;
   meta.target = target_label;
@@ -473,6 +612,9 @@ int main(int argc, char** argv) {
   meta.space_fingerprint = FaultSpaceFingerprint(space);
   meta.jobs = options.jobs;
   meta.feedback = options.feedback;
+  if (profile.has_value()) {
+    meta.analysis_fingerprint = analysis::TargetProfileFingerprint(*profile);
+  }
 
   const SessionResult* result = nullptr;  // owned by whichever session ran
   const RedundancyClusterer* clusterer = nullptr;
