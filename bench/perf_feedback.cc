@@ -45,6 +45,7 @@
 #include "cluster/parallel_session.h"
 #include "core/fitness_explorer.h"
 #include "core/session.h"
+#include "obs/telemetry.h"
 #include "targets/coreutils/suite.h"
 #include "targets/docstore/suite.h"
 #include "targets/harness.h"
@@ -97,10 +98,11 @@ uint64_t DigestRecords(const SessionResult& result) {
 }
 
 ModeResult RunCampaign(const TargetSpec& spec, size_t budget, size_t jobs, size_t pool,
-                       bool reference, uint64_t seed) {
+                       bool reference, uint64_t seed, obs::MetricsSink* metrics = nullptr) {
   TargetSuite suite = spec.make();
   const uint64_t harness_seed = seed ^ 0x5eed;
   TargetHarness harness(suite, harness_seed);
+  harness.set_metrics_sink(metrics);
   FaultSpace space = harness.MakeSpace(spec.max_call, spec.zero_call);
 
   FitnessExplorerConfig explorer_config;
@@ -112,6 +114,7 @@ ModeResult RunCampaign(const TargetSpec& spec, size_t budget, size_t jobs, size_
   SessionConfig session_config;
   session_config.redundancy_feedback = true;
   session_config.cluster_config.naive_reference = reference;
+  session_config.metrics = metrics;
 
   const SearchTarget target{.max_tests = budget};
   ModeResult mode;
@@ -278,6 +281,29 @@ int main(int argc, char** argv) {
     }
   }
   out << "\n  ],\n";
+
+  // Telemetry A/B guard + embedded snapshot: the headline campaign re-run
+  // with a CampaignTelemetry sink must reproduce the identical record
+  // digest (telemetry may cost time but never change results).
+  std::printf("docstore-v2.0  jobs=1 pool=%-6zu telemetry-attached... ", pool);
+  std::fflush(stdout);
+  obs::CampaignTelemetry telemetry;
+  const TargetSpec& headline_spec = targets[3];
+  ModeResult instrumented =
+      RunCampaign(headline_spec, budget, 1, pool, /*reference=*/false, seed, &telemetry);
+  bool telemetry_equivalent = instrumented.record_digest == headline_opt.record_digest &&
+                              instrumented.tests == headline_opt.tests;
+  all_equivalent = all_equivalent && telemetry_equivalent;
+  std::printf("%8.0f t/s  digest %s\n", instrumented.tests_per_sec,
+              telemetry_equivalent ? "unchanged" : "DIVERGED");
+  if (!telemetry_equivalent) {
+    std::fprintf(stderr,
+                 "FATAL: attaching telemetry changed the docstore-v2.0 campaign's records\n");
+  }
+  out << "  \"telemetry_equivalent\": " << (telemetry_equivalent ? "true" : "false") << ",\n";
+  out << "  \"telemetry\": ";
+  telemetry.Snapshot().WriteJson(out, 2);
+  out << ",\n";
   {
     char buf[320];
     std::snprintf(buf, sizeof(buf),

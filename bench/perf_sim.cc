@@ -38,6 +38,7 @@
 #include "cluster/parallel_session.h"
 #include "core/fitness_explorer.h"
 #include "core/session.h"
+#include "obs/telemetry.h"
 #include "targets/coreutils/suite.h"
 #include "targets/docstore/suite.h"
 #include "targets/harness.h"
@@ -107,10 +108,11 @@ uint64_t DigestRecords(const SessionResult& result) {
 }
 
 ModeResult RunCampaign(const TargetSpec& spec, size_t budget, size_t jobs, bool reference,
-                       uint64_t seed) {
+                       uint64_t seed, obs::MetricsSink* metrics = nullptr) {
   TargetSuite suite = spec.make();
   const uint64_t harness_seed = seed ^ 0x5eed;
   TargetHarness harness(suite, harness_seed, reference);
+  harness.set_metrics_sink(metrics);
   FaultSpace space = harness.MakeSpace(spec.max_call, spec.zero_call);
   // Keep every cell in the non-saturated regime this benchmark measures: a
   // budget near the space size degenerates into the exhaustion/fallback-scan
@@ -125,6 +127,7 @@ ModeResult RunCampaign(const TargetSpec& spec, size_t budget, size_t jobs, bool 
 
   SessionConfig session_config;
   session_config.redundancy_feedback = true;
+  session_config.metrics = metrics;
 
   const SearchTarget target{.max_tests = budget};
   ModeResult mode;
@@ -231,6 +234,7 @@ int main(int argc, char** argv) {
 
   double headline_speedup = 0.0;
   const char* headline_target = "";
+  const TargetSpec* headline_spec = &targets[0];
   ModeResult headline_base, headline_opt;
   bool all_equivalent = true;
   bool first = true;
@@ -262,6 +266,7 @@ int main(int argc, char** argv) {
       if (jobs == 1 && speedup > headline_speedup) {
         headline_speedup = speedup;
         headline_target = spec.name;
+        headline_spec = &spec;
         headline_base = base;
         headline_opt = opt;
       }
@@ -280,6 +285,30 @@ int main(int argc, char** argv) {
     }
   }
   out << "\n  ],\n";
+
+  // Telemetry A/B guard: re-run the headline target's optimized serial
+  // campaign with a full CampaignTelemetry sink attached and require the
+  // identical record digest — "off means off" has a converse: "on must not
+  // change results". The snapshot is embedded so CI artifacts carry the
+  // phase-latency breakdown alongside the throughput numbers.
+  std::printf("%-14s jobs=1 telemetry-attached... ", headline_target);
+  std::fflush(stdout);
+  obs::CampaignTelemetry telemetry;
+  ModeResult instrumented = RunCampaign(*headline_spec, budget, 1, /*reference=*/false, seed,
+                                        &telemetry);
+  bool telemetry_equivalent = instrumented.record_digest == headline_opt.record_digest &&
+                              instrumented.tests == headline_opt.tests;
+  all_equivalent = all_equivalent && telemetry_equivalent;
+  std::printf("%8.0f t/s  digest %s\n", instrumented.tests_per_sec,
+              telemetry_equivalent ? "unchanged" : "DIVERGED");
+  if (!telemetry_equivalent) {
+    std::fprintf(stderr, "FATAL: attaching telemetry changed the %s campaign's records\n",
+                 headline_target);
+  }
+  out << "  \"telemetry_equivalent\": " << (telemetry_equivalent ? "true" : "false") << ",\n";
+  out << "  \"telemetry\": ";
+  telemetry.Snapshot().WriteJson(out, 2);
+  out << ",\n";
   {
     char buf[384];
     std::snprintf(buf, sizeof(buf),

@@ -87,7 +87,7 @@ void ExportCsv(const FaultSpace& space, const SessionResult& result, std::ostrea
 }
 
 void ExportJson(const CampaignMeta& meta, const FaultSpace& space, const SessionResult& result,
-                std::ostream& out) {
+                std::ostream& out, const obs::MetricsSnapshot* metrics) {
   out << "{\n";
   out << "  \"format\": " << meta.version << ",\n";
   out << "  \"target\": " << JsonString(meta.target) << ",\n";
@@ -109,6 +109,11 @@ void ExportJson(const CampaignMeta& meta, const FaultSpace& space, const Session
   out << "    \"total_impact\": " << FormatDouble(result.total_impact) << ",\n";
   out << "    \"space_exhausted\": " << JsonBool(result.space_exhausted) << "\n";
   out << "  },\n";
+  if (metrics != nullptr) {
+    out << "  \"metrics\": ";
+    metrics->WriteJson(out, 2);
+    out << ",\n";
+  }
   out << "  \"records\": [";
   for (size_t i = 0; i < result.records.size(); ++i) {
     const SessionRecord& r = result.records[i];

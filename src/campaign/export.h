@@ -11,6 +11,7 @@
 #include "campaign/serde.h"
 #include "core/fault_space.h"
 #include "core/session.h"
+#include "obs/metrics.h"
 
 namespace afex {
 
@@ -20,8 +21,10 @@ void ExportCsv(const FaultSpace& space, const SessionResult& result, std::ostrea
 
 // One JSON document: campaign meta, summary counters, and the full record
 // array. Strings are escaped per RFC 8259; doubles keep their exact value.
+// When `metrics` is non-null, the campaign's final telemetry snapshot is
+// embedded as a top-level "metrics" object between summary and records.
 void ExportJson(const CampaignMeta& meta, const FaultSpace& space, const SessionResult& result,
-                std::ostream& out);
+                std::ostream& out, const obs::MetricsSnapshot* metrics = nullptr);
 
 }  // namespace afex
 

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace afex {
 
 class Journal {
@@ -49,12 +51,19 @@ class Journal {
   // a campaign must not keep burning tests it cannot record.
   void Append(const std::string& line);
 
+  // Telemetry: times the serialize+write (journal.append) and the flush
+  // (journal.flush) separately, keeps a journal.flush_last_ns gauge, and
+  // counts journal.records. Null detaches. Survives move-assignment of the
+  // Journal itself only if re-applied — CampaignStore handles that.
+  void set_metrics_sink(obs::MetricsSink* sink) { metrics_ = sink; }
+
  private:
   Journal(std::string path, std::ofstream out)
       : path_(std::move(path)), out_(std::move(out)) {}
 
   std::string path_;
   std::ofstream out_;
+  obs::MetricsSink* metrics_ = nullptr;
 };
 
 }  // namespace afex

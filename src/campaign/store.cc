@@ -119,6 +119,7 @@ void CampaignStore::CommitResume(size_t n) {
     lines.push_back(RecordLine(record));
   }
   journal_ = Journal::Rewrite(path_, HeaderLine(meta_), lines);
+  journal_.set_metrics_sink(metrics_);
 }
 
 void CampaignStore::Append(const SessionRecord& record) {

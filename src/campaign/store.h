@@ -69,6 +69,13 @@ class CampaignStore {
   // SessionConfig::record_observer. The store must outlive the session.
   std::function<void(const SessionRecord&)> MakeObserver();
 
+  // Attaches a telemetry sink to the journal (append/flush timing, flush
+  // gauge). Sticky across CommitResume's journal reopen. Null detaches.
+  void SetMetricsSink(obs::MetricsSink* sink) {
+    metrics_ = sink;
+    journal_.set_metrics_sink(sink);
+  }
+
   // Sorted, deduplicated union of new_block_ids over the loaded records
   // executed by node `node` (under round-batched parallel execution,
   // record i ran on node i % meta().jobs). Used to re-seed that node's
@@ -84,6 +91,7 @@ class CampaignStore {
   CampaignMeta meta_;
   std::vector<SessionRecord> records_;
   Journal journal_;
+  obs::MetricsSink* metrics_ = nullptr;
 };
 
 // Seeds `explorer` with a prior campaign's results: every record with

@@ -80,7 +80,9 @@ const SessionResult& ParallelSession::Run(const SearchTarget& target) {
     }
     std::vector<Fault> batch;
     for (size_t i = 0; i < round; ++i) {
+      obs::PhaseTimer next_timer(config_.metrics, obs::Phase::kExplorerNext);
       auto candidate = explorer_->NextCandidate();
+      next_timer.Finish();
       if (!candidate.has_value()) {
         result_.space_exhausted = true;
         break;
@@ -95,6 +97,9 @@ const SessionResult& ParallelSession::Run(const SearchTarget& target) {
     std::vector<TestOutcome> outcomes(batch.size());
     for (size_t i = 0; i < batch.size(); ++i) {
       pool_.Submit([this, i, &batch, &outcomes] {
+        // Timed on the worker thread: each worker's events land on its own
+        // registry shard and trace track.
+        obs::PhaseTimer run_timer(config_.metrics, obs::Phase::kBackendRun);
         outcomes[i] = managers_[i]->Execute(batch[i]);
       });
     }

@@ -45,6 +45,9 @@ Report ReportBuilder::Build(const SessionResult& result, const RedundancyCluster
            << " crashes=" << result.crashes << " hangs=" << result.hangs
            << " clusters=" << result.clusters << " unique_failures=" << result.unique_failures
            << " unique_crashes=" << result.unique_crashes;
+  if (!telemetry_note_.empty()) {
+    synopsis << "\n" << telemetry_note_;
+  }
   report.synopsis = synopsis.str();
   return report;
 }

@@ -40,6 +40,10 @@ class ReportBuilder {
   ReportBuilder(const FaultSpace& space, std::string algorithm_name)
       : space_(&space), algorithm_name_(std::move(algorithm_name)) {}
 
+  // Optional telemetry phase-share summary (CampaignTelemetry::SynopsisLine)
+  // appended to the synopsis on its own line.
+  void set_telemetry_note(std::string note) { telemetry_note_ = std::move(note); }
+
   // Builds the ranked report from a finished session. `min_impact` filters
   // out zero-interest tests; cluster sizes come from the session's
   // clusterer.
@@ -63,6 +67,7 @@ class ReportBuilder {
  private:
   const FaultSpace* space_;
   std::string algorithm_name_;
+  std::string telemetry_note_;
 };
 
 }  // namespace afex

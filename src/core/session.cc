@@ -21,12 +21,16 @@ ExplorationSession::ExplorationSession(Explorer& explorer, TargetBackend& backen
           std::move(config)) {}
 
 bool ExplorationSession::Step() {
+  obs::PhaseTimer next_timer(config_.metrics, obs::Phase::kExplorerNext);
   auto candidate = explorer_->NextCandidate();
+  next_timer.Finish();
   if (!candidate.has_value()) {
     result_.space_exhausted = true;
     return false;
   }
+  obs::PhaseTimer run_timer(config_.metrics, obs::Phase::kBackendRun);
   TestOutcome outcome = runner_(*candidate);
+  run_timer.Finish();
   Process(*candidate, std::move(outcome), /*notify_observer=*/true);
   return true;
 }
@@ -57,9 +61,11 @@ void ProcessSessionRecord(const SessionConfig& config, Explorer& explorer,
   // the representatives as they stood before this stack was assigned).
   static const std::vector<std::string> kNoStack;
   const bool want_similarity = config.redundancy_feedback && record.outcome.fault_triggered;
+  obs::PhaseTimer observe_timer(config.metrics, obs::Phase::kClusterObserve);
   ClusterObservation observation = clusterer.Observe(
       record.outcome.fault_triggered ? record.outcome.injection_stack : kNoStack,
       want_similarity);
+  observe_timer.Finish();
   if (want_similarity) {
     // Paper §7.4: 100% stack similarity zeroes the fitness, 0% leaves it as
     // is; linear in between.
@@ -83,6 +89,17 @@ void ProcessSessionRecord(const SessionConfig& config, Explorer& explorer,
   result.records.push_back(std::move(record));
   if (notify_observer && config.record_observer) {
     config.record_observer(result.records.back());
+  }
+  // Progress fires only for live executions — replayed records already
+  // counted in the original run and would skew the rate.
+  if (notify_observer && config.metrics != nullptr) {
+    obs::ProgressUpdate update;
+    update.tests_executed = result.tests_executed;
+    update.failed_tests = result.failed_tests;
+    update.crashes = result.crashes;
+    update.hangs = result.hangs;
+    update.clusters = clusterer.cluster_count();
+    config.metrics->OnTestExecuted(update);
   }
 }
 

@@ -20,6 +20,7 @@
 #include "core/explorer.h"
 #include "core/impact.h"
 #include "core/relevance.h"
+#include "obs/metrics.h"
 
 namespace afex {
 
@@ -60,6 +61,9 @@ struct SessionConfig {
   // it. The campaign journal hooks in here; both the serial and the
   // parallel session invoke it identically.
   std::function<void(const SessionRecord&)> record_observer;
+  // Optional telemetry sink (obs/telemetry.h). Null disables every
+  // instrumentation site at the cost of one predicted branch per phase.
+  obs::MetricsSink* metrics = nullptr;
 };
 
 // TargetBackend: the execution side of a campaign — "run this fault against
@@ -90,6 +94,11 @@ class TargetBackend {
   virtual size_t tests_run() const = 0;
   // Simulated instruction counter; real-process backends have none.
   virtual size_t total_sim_steps() const { return 0; }
+
+  // Attaches a telemetry sink for backend-internal sub-phase timing
+  // (sim decode/run/merge, real plan-write/fork-exec/...). Backends that
+  // don't instrument themselves ignore it. Null detaches.
+  virtual void set_metrics_sink(obs::MetricsSink* /*sink*/) {}
 };
 
 struct SessionResult {

@@ -15,14 +15,24 @@ bool CreateFeedbackFile(const char* path) {
   return std::fclose(f) == 0 && written == 1;
 }
 
-bool ReadFeedbackBlock(const char* path, FeedbackBlock& out) {
+FeedbackReadStatus ReadFeedbackBlockStatus(const char* path, FeedbackBlock& out) {
   FILE* f = std::fopen(path, "rb");
   if (f == nullptr) {
-    return false;
+    return FeedbackReadStatus::kMissing;
   }
   size_t read = std::fread(&out, sizeof(out), 1, f);
   std::fclose(f);
-  return read == 1 && out.magic == kFeedbackMagic && out.version == kFeedbackVersion;
+  if (read != 1) {
+    return FeedbackReadStatus::kShort;
+  }
+  if (out.magic != kFeedbackMagic || out.version != kFeedbackVersion) {
+    return FeedbackReadStatus::kBadMagic;
+  }
+  return FeedbackReadStatus::kOk;
+}
+
+bool ReadFeedbackBlock(const char* path, FeedbackBlock& out) {
+  return ReadFeedbackBlockStatus(path, out) == FeedbackReadStatus::kOk;
 }
 
 }  // namespace exec

@@ -88,8 +88,22 @@ struct FeedbackBlock {
 //
 // Creates (truncating) a zero-filled feedback file sized for one block.
 bool CreateFeedbackFile(const char* path);
-// Reads the block back after the child exited. Returns false on I/O error
-// or magic/version mismatch (interposer never attached / incompatible .so).
+
+// Why a feedback read failed — the real backend counts these separately
+// (real.feedback_missing vs real.feedback_short vs real.feedback_bad_magic)
+// because each points at a different misconfiguration: a missing file means
+// the sandbox vanished, a short read means the file was truncated mid-write,
+// a bad magic means the interposer never attached (or is incompatible).
+enum class FeedbackReadStatus {
+  kOk = 0,
+  kMissing,   // open failed
+  kShort,     // fewer than sizeof(FeedbackBlock) bytes
+  kBadMagic,  // magic or version mismatch
+};
+
+// Reads the block back after the child exited, reporting what went wrong.
+FeedbackReadStatus ReadFeedbackBlockStatus(const char* path, FeedbackBlock& out);
+// Convenience form: true iff the status is kOk.
 bool ReadFeedbackBlock(const char* path, FeedbackBlock& out);
 
 }  // namespace exec

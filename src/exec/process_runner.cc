@@ -12,6 +12,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.h"
+
 namespace afex {
 namespace exec {
 
@@ -62,6 +64,7 @@ bool IsCrashSignal(int signal) {
 
 ProcessResult RunProcess(const ProcessRequest& request) {
   ProcessResult result;
+  result.spawn_start_ns = obs::NowNs();
   if (request.argv.empty()) {
     return result;
   }
@@ -132,6 +135,7 @@ ProcessResult RunProcess(const ProcessRequest& request) {
   ::close(pipe_fds[1]);
   ::fcntl(pipe_fds[0], F_SETFL, O_NONBLOCK);
   result.started = true;
+  result.spawn_ns = obs::NowNs() - result.spawn_start_ns;
 
   const Clock::time_point start = Clock::now();
   bool term_sent = false;
@@ -170,6 +174,8 @@ ProcessResult RunProcess(const ProcessRequest& request) {
   }
   ::close(pipe_fds[0]);
 
+  result.wait_ns = obs::NowNs() - (result.spawn_start_ns + result.spawn_ns);
+  result.kill_escalated = kill_sent;
   result.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
   if (WIFEXITED(status)) {
     result.exited = true;

@@ -40,8 +40,16 @@ struct ProcessResult {
   int exit_code = -1;
   int term_signal = 0;    // non-zero when terminated by a signal
   bool timed_out = false; // the runner had to kill it
+  bool kill_escalated = false;  // SIGTERM grace expired; SIGKILL was sent
   std::string output;     // combined stdout+stderr, possibly truncated
   double wall_seconds = 0.0;
+  // Timing breakdown on the obs::NowNs timebase, filled unconditionally
+  // (three clock reads are noise next to a fork): spawn covers env
+  // materialization through fork-return, wait covers the child's lifetime
+  // until it is reaped.
+  uint64_t spawn_start_ns = 0;
+  uint64_t spawn_ns = 0;
+  uint64_t wait_ns = 0;
 };
 
 ProcessResult RunProcess(const ProcessRequest& request);

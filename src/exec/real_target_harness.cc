@@ -100,11 +100,17 @@ FaultSpace RealTargetHarness::MakeSpace(size_t max_call, bool include_zero_call)
 }
 
 TestOutcome RealTargetHarness::RunFault(const FaultSpace& space, const Fault& fault) {
+  auto count = [this](const char* name) {
+    if (metrics_ != nullptr) {
+      metrics_->AddCounter(name, 1);
+    }
+  };
   InjectionPlan plan = decoder_.Decode(space, fault);
   TestOutcome outcome;
   ++tests_run_;
 
   // ---- per-run sandbox + control files ----
+  obs::PhaseTimer plan_timer(metrics_, obs::Phase::kRealPlanWrite);
   fs::path run_dir = fs::path(work_root_) / ("run_" + std::to_string(tests_run_));
   fs::path sandbox = run_dir / "sandbox";
   std::error_code ec;
@@ -133,6 +139,7 @@ TestOutcome RealTargetHarness::RunFault(const FaultSpace& space, const Fault& fa
     outcome.detail = "exec: cannot write control files under " + run_dir.string();
     return outcome;
   }
+  plan_timer.Finish();
 
   // ---- build the command ----
   ProcessRequest request;
@@ -157,6 +164,15 @@ TestOutcome RealTargetHarness::RunFault(const FaultSpace& space, const Fault& fa
   request.max_output_bytes = config_.max_output_bytes;
 
   ProcessResult run = RunProcess(request);
+  if (metrics_ != nullptr) {
+    // The runner stamps spawn/wait on the obs::NowNs timebase so the two
+    // sub-phases line up with everything else in the trace.
+    metrics_->RecordPhase(obs::Phase::kRealForkExec, run.spawn_start_ns, run.spawn_ns);
+    if (run.started) {
+      metrics_->RecordPhase(obs::Phase::kRealChildWait,
+                            run.spawn_start_ns + run.spawn_ns, run.wait_ns);
+    }
+  }
 
   // ---- translate the observation ----
   outcome.hung = run.timed_out;
@@ -165,8 +181,43 @@ TestOutcome RealTargetHarness::RunFault(const FaultSpace& space, const Fault& fa
   outcome.test_failed =
       !run.started || outcome.exit_code != 0 || outcome.crashed || outcome.hung;
 
+  // Outcome breakdown: every run lands in exactly one of the first six
+  // counters; escalation and feedback health are tracked on top.
+  if (!run.started) {
+    count("real.start_failed");
+  } else if (outcome.hung) {
+    count("real.hang");
+  } else if (outcome.crashed) {
+    count("real.crash_signal");
+  } else if (run.term_signal != 0) {
+    count("real.signal_exit");
+  } else if (run.exit_code != 0) {
+    count("real.exit_nonzero");
+  } else {
+    count("real.exit_clean");
+  }
+  if (run.kill_escalated) {
+    count("real.kill_escalated");
+  }
+
+  obs::PhaseTimer feedback_timer(metrics_, obs::Phase::kRealFeedbackRead);
   FeedbackBlock block;
-  if (ReadFeedbackBlock(feedback_path.c_str(), block)) {
+  FeedbackReadStatus feedback_status = ReadFeedbackBlockStatus(feedback_path.c_str(), block);
+  switch (feedback_status) {
+    case FeedbackReadStatus::kOk:
+      count("real.feedback_ok");
+      break;
+    case FeedbackReadStatus::kMissing:
+      count("real.feedback_missing");
+      break;
+    case FeedbackReadStatus::kShort:
+      count("real.feedback_short");
+      break;
+    case FeedbackReadStatus::kBadMagic:
+      count("real.feedback_bad_magic");
+      break;
+  }
+  if (feedback_status == FeedbackReadStatus::kOk) {
     // Each profiled libc function the run touched is one black-box
     // "coverage block": the call profile is the only structural signal a
     // black-box run emits, and it feeds the impact metric's coverage term
@@ -193,12 +244,16 @@ TestOutcome RealTargetHarness::RunFault(const FaultSpace& space, const Fault& fa
     AFEX_LOG(kWarn) << "no feedback block from " << feedback_path
                     << " (interposer did not attach?)";
   }
+  feedback_timer.Finish();
 
   if (!run.started) {
     outcome.detail = "exec: failed to start " +
                      (request.argv.empty() ? std::string("<empty>") : request.argv[0]);
   } else if (outcome.hung) {
     outcome.detail = "timeout after " + std::to_string(config_.timeout_ms) + "ms";
+    if (run.kill_escalated) {
+      outcome.detail += " (SIGKILL escalation)";
+    }
   } else if (run.term_signal != 0) {
     outcome.detail = std::string("signal ") + strsignal(run.term_signal);
   } else if (outcome.test_failed) {
@@ -206,6 +261,7 @@ TestOutcome RealTargetHarness::RunFault(const FaultSpace& space, const Fault& fa
   }
 
   if (!config_.keep_scratch) {
+    obs::PhaseTimer cleanup_timer(metrics_, obs::Phase::kRealScratchCleanup);
     fs::remove_all(run_dir, ec);
   }
   return outcome;

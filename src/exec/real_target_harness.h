@@ -75,6 +75,9 @@ class RealTargetHarness : public TargetBackend {
   double CoverageFraction() const override { return coverage_.Fraction(); }
   double RecoveryCoverageFraction() const override { return 0.0; }
   size_t tests_run() const override { return tests_run_; }
+  // Sub-phase timing (real.plan_write / fork_exec / child_wait /
+  // feedback_read / scratch_cleanup) plus outcome-breakdown counters.
+  void set_metrics_sink(obs::MetricsSink* sink) override { metrics_ = sink; }
 
   const RealTargetConfig& config() const { return config_; }
   const CoverageAccumulator& coverage() const { return coverage_; }
@@ -87,6 +90,7 @@ class RealTargetHarness : public TargetBackend {
   CoverageAccumulator coverage_;
   CachedFaultDecoder decoder_;  // per-space decode tables, built once
   size_t tests_run_ = 0;
+  obs::MetricsSink* metrics_ = nullptr;
 };
 
 }  // namespace exec

@@ -1,0 +1,144 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace afex {
+namespace obs {
+
+namespace {
+
+std::string FormatNs(double ns) {
+  char buf[32];
+  if (ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  }
+  return buf;
+}
+
+}  // namespace
+
+CampaignTelemetry::CampaignTelemetry(TelemetryConfig config)
+    : config_(std::move(config)),
+      trace_(config_.trace_capacity_per_track),
+      progress_(config_.progress) {
+  for (size_t p = 0; p < kPhaseCount; ++p) {
+    phase_histograms_[p] = registry_.RegisterHistogram(PhaseName(static_cast<Phase>(p)));
+  }
+}
+
+void CampaignTelemetry::RecordPhase(Phase phase, uint64_t start_ns, uint64_t duration_ns) {
+  registry_.RecordLatencyNs(phase_histograms_[static_cast<size_t>(phase)], duration_ns);
+  if (config_.trace) {
+    trace_.Append(phase, start_ns, duration_ns);
+  }
+}
+
+void CampaignTelemetry::AddCounter(std::string_view name, uint64_t delta) {
+  uint32_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(names_mutex_);
+    auto it = counter_ids_.find(std::string(name));
+    if (it == counter_ids_.end()) {
+      id = registry_.RegisterCounter(name);
+      counter_ids_.emplace(std::string(name), id);
+    } else {
+      id = it->second;
+    }
+  }
+  registry_.AddCounter(id, delta);
+}
+
+void CampaignTelemetry::SetGauge(std::string_view name, double value) {
+  uint32_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(names_mutex_);
+    auto it = gauge_ids_.find(std::string(name));
+    if (it == gauge_ids_.end()) {
+      id = registry_.RegisterGauge(name);
+      gauge_ids_.emplace(std::string(name), id);
+    } else {
+      id = it->second;
+    }
+  }
+  registry_.SetGauge(id, value);
+}
+
+void CampaignTelemetry::OnTestExecuted(const ProgressUpdate& update) {
+  progress_.OnTestExecuted(update);
+}
+
+bool CampaignTelemetry::WriteMetricsFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  Snapshot().WriteJson(out);
+  out << "\n";
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+bool CampaignTelemetry::WriteTraceFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  trace_.WriteJson(out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+std::string CampaignTelemetry::SynopsisLine() const {
+  MetricsSnapshot snapshot = Snapshot();
+  // Top-level pipeline phases are disjoint spans of the per-test loop, so
+  // their shares of the summed time are meaningful; sub-phases (real.*,
+  // sim.*) nest inside backend.run and are reported in the metrics file.
+  const Phase kPipeline[] = {Phase::kExplorerNext, Phase::kBackendRun, Phase::kClusterObserve,
+                             Phase::kJournalAppend, Phase::kJournalFlush};
+  auto find = [&snapshot](Phase phase) -> const HistogramSummary* {
+    for (const HistogramSummary& h : snapshot.histograms) {
+      if (h.name == PhaseName(phase)) {
+        return h.count > 0 ? &h : nullptr;
+      }
+    }
+    return nullptr;
+  };
+  uint64_t total_ns = 0;
+  for (Phase phase : kPipeline) {
+    if (const HistogramSummary* h = find(phase)) {
+      total_ns += h->sum_ns;
+    }
+  }
+  if (total_ns == 0) {
+    return "telemetry: no timed phases recorded";
+  }
+  std::string line = "telemetry: pipeline";
+  const HistogramSummary* dominant = nullptr;
+  for (Phase phase : kPipeline) {
+    const HistogramSummary* h = find(phase);
+    if (h == nullptr) {
+      continue;
+    }
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), " %s %.1f%%", h->name.c_str(),
+                  100.0 * static_cast<double>(h->sum_ns) / static_cast<double>(total_ns));
+    line += buf;
+    if (dominant == nullptr || h->sum_ns > dominant->sum_ns) {
+      dominant = h;
+    }
+  }
+  line += "; " + dominant->name + " p50=" + FormatNs(dominant->p50_ns) +
+          " p99=" + FormatNs(dominant->p99_ns);
+  return line;
+}
+
+}  // namespace obs
+}  // namespace afex

@@ -1,0 +1,64 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace afex {
+namespace obs {
+
+TraceWriter::TraceWriter(size_t capacity_per_track)
+    : capacity_(std::max<size_t>(capacity_per_track, 16)) {}
+
+void TraceWriter::Append(Phase phase, uint64_t start_ns, uint64_t duration_ns) {
+  Track& track = tracks_[ThreadSlot() % kMaxTracks];
+  std::lock_guard<std::mutex> lock(track.mutex);
+  if (track.events == nullptr) {
+    track.events = std::make_unique<Event[]>(capacity_);
+  }
+  track.events[track.head % capacity_] = Event{phase, start_ns, duration_ns};
+  ++track.head;
+  total_events_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t TraceWriter::dropped_events() const {
+  uint64_t dropped = 0;
+  for (const Track& track : tracks_) {
+    std::lock_guard<std::mutex> lock(track.mutex);
+    if (track.head > capacity_) {
+      dropped += track.head - capacity_;
+    }
+  }
+  return dropped;
+}
+
+void TraceWriter::WriteJson(std::ostream& out) const {
+  out << "{\"traceEvents\":[";
+  char buf[160];
+  bool first = true;
+  for (size_t tid = 0; tid < kMaxTracks; ++tid) {
+    const Track& track = tracks_[tid];
+    std::lock_guard<std::mutex> lock(track.mutex);
+    if (track.events == nullptr) {
+      continue;
+    }
+    uint64_t kept = std::min<uint64_t>(track.head, capacity_);
+    uint64_t oldest = track.head - kept;
+    for (uint64_t i = 0; i < kept; ++i) {
+      const Event& e = track.events[(oldest + i) % capacity_];
+      // Timestamps are microseconds (double) in the trace format; three
+      // decimals keep nanosecond resolution.
+      std::snprintf(buf, sizeof(buf),
+                    "%s\n{\"name\":\"%s\",\"cat\":\"afex\",\"ph\":\"X\",\"ts\":%.3f,"
+                    "\"dur\":%.3f,\"pid\":1,\"tid\":%zu}",
+                    first ? "" : ",", PhaseName(e.phase),
+                    static_cast<double>(e.start_ns) / 1000.0,
+                    static_cast<double>(e.duration_ns) / 1000.0, tid);
+      out << buf;
+      first = false;
+    }
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace obs
+}  // namespace afex

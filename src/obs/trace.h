@@ -1,0 +1,65 @@
+// Chrome-trace event recorder: every timed phase becomes one complete ("X")
+// event on the recording thread's track, buffered in a fixed-size per-thread
+// ring (oldest events overwritten), and serialized on demand as the Trace
+// Event Format JSON that chrome://tracing and Perfetto load directly.
+//
+// Appends take a per-ring mutex. Rings are keyed by ThreadSlot(), so under
+// --jobs each worker owns its ring and the lock is uncontended; the mutex
+// exists for the (slot >= kMaxTracks) overflow case where two threads share
+// a track. Tracing is an opt-in diagnostic (--trace-file), so this path is
+// never on the telemetry-off fast path at all.
+#ifndef AFEX_OBS_TRACE_H_
+#define AFEX_OBS_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace afex {
+namespace obs {
+
+class TraceWriter {
+ public:
+  static constexpr size_t kMaxTracks = 64;
+  static constexpr size_t kDefaultCapacityPerTrack = 1 << 15;
+
+  explicit TraceWriter(size_t capacity_per_track = kDefaultCapacityPerTrack);
+
+  // Records one complete event on the calling thread's track. Thread-safe.
+  void Append(Phase phase, uint64_t start_ns, uint64_t duration_ns);
+
+  // Serializes all tracks as one Trace Event Format document. Events may
+  // appear out of timestamp order across tracks; viewers sort on load.
+  void WriteJson(std::ostream& out) const;
+
+  // Events recorded / events overwritten by ring wrap-around.
+  uint64_t total_events() const { return total_events_.load(std::memory_order_relaxed); }
+  uint64_t dropped_events() const;
+
+ private:
+  struct Event {
+    Phase phase;
+    uint64_t start_ns;
+    uint64_t duration_ns;
+  };
+  struct Track {
+    mutable std::mutex mutex;
+    std::unique_ptr<Event[]> events;
+    uint64_t head = 0;  // total appended; ring index = head % capacity
+  };
+
+  size_t capacity_;
+  std::array<Track, kMaxTracks> tracks_;
+  std::atomic<uint64_t> total_events_{0};
+};
+
+}  // namespace obs
+}  // namespace afex
+
+#endif  // AFEX_OBS_TRACE_H_

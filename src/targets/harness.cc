@@ -37,6 +37,7 @@ SimEnv& TargetHarness::EnvForRun(uint64_t seed, std::optional<SimEnv>& fresh) {
 }
 
 TestOutcome TargetHarness::RunFault(const FaultSpace& space, const Fault& fault) {
+  obs::PhaseTimer decode_timer(metrics_, obs::Phase::kSimDecode);
   InjectionPlan plan;
   if (reference_sim_) {
     // The seed decoded every fault from scratch (axis scans, label parsing,
@@ -45,6 +46,8 @@ TestOutcome TargetHarness::RunFault(const FaultSpace& space, const Fault& fault)
   } else {
     plan = decoder_.Decode(space, fault);
   }
+  decode_timer.Finish();
+  obs::PhaseTimer run_timer(metrics_, obs::Phase::kSimRun);
   std::optional<SimEnv> fresh;
   SimEnv& env =
       EnvForRun(seed_ ^ (0x9e3779b97f4a7c15ULL * (plan.test_id + 1)), fresh);
@@ -53,7 +56,9 @@ TestOutcome TargetHarness::RunFault(const FaultSpace& space, const Fault& fault)
   }
   RunOutcome run =
       RunProgram(env, [&](SimEnv& e) { return suite_.run_test(e, plan.test_id); });
+  run_timer.Finish();
 
+  obs::PhaseTimer merge_timer(metrics_, obs::Phase::kSimFeedbackMerge);
   TestOutcome outcome;
   outcome.exit_code = run.exit_code;
   outcome.crashed = run.crashed;
@@ -69,6 +74,7 @@ TestOutcome TargetHarness::RunFault(const FaultSpace& space, const Fault& fault)
   outcome.detail = run.termination_detail;
   ++tests_run_;
   sim_steps_ += env.steps_used();
+  merge_timer.Finish();
   return outcome;
 }
 

@@ -60,6 +60,8 @@ class TargetHarness : public TargetBackend {
   // Watchdog steps consumed across all runs — the "simulated instructions
   // executed" counter the CLI reports as sim steps/sec.
   size_t total_sim_steps() const override { return sim_steps_; }
+  // Sub-phase timing (sim.decode / sim.run / sim.feedback_merge).
+  void set_metrics_sink(obs::MetricsSink* sink) override { metrics_ = sink; }
 
  private:
   // The env each test runs in. Flat mode reuses one arena environment
@@ -72,6 +74,7 @@ class TargetHarness : public TargetBackend {
   uint64_t seed_;
   bool reference_sim_;
   CoverageAccumulator coverage_;
+  obs::MetricsSink* metrics_ = nullptr;
 
   size_t tests_run_ = 0;
   size_t sim_steps_ = 0;

@@ -32,6 +32,23 @@ void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 
+bool ParseLogLevel(const std::string& text, LogLevel& out) {
+  if (text == "debug") {
+    out = LogLevel::kDebug;
+  } else if (text == "info") {
+    out = LogLevel::kInfo;
+  } else if (text == "warn") {
+    out = LogLevel::kWarn;
+  } else if (text == "error") {
+    out = LogLevel::kError;
+  } else if (text == "off") {
+    out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 void LogMessage(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < g_level.load()) {
     return;

@@ -15,6 +15,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+// Parses "debug" | "info" | "warn" | "error" | "off" (case-sensitive) into
+// `out`. Returns false (out untouched) on anything else.
+bool ParseLogLevel(const std::string& text, LogLevel& out);
+
 // Emits one line to stderr with a level prefix. Thread-safe (single write).
 void LogMessage(LogLevel level, const std::string& msg);
 

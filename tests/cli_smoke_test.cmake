@@ -15,6 +15,7 @@ function(run_cli out_var)
       "afex_cli ${ARGN} exited with status ${cli_status}\nstderr:\n${cli_stderr}")
   endif()
   set(${out_var} "${cli_stdout}" PARENT_SCOPE)
+  set(${out_var}_stderr "${cli_stderr}" PARENT_SCOPE)
 endfunction()
 
 # Asserts the CLI rejects the flags with a non-zero exit and a stderr
@@ -146,3 +147,87 @@ if(NOT real_leg2 MATCHES "executed 25 tests")
     "real-backend resume did not reach the combined 25-test budget:\n${real_leg2}")
 endif()
 message(STATUS "real-backend campaign: injected site journaled, kill-and-resume ok")
+
+# --- telemetry flag validation ----------------------------------------------
+expect_cli_error("--log-level expects debug.info.warn.error.off"
+  --target=minidb --budget=5 --log-level=loud)
+expect_cli_error("--verbose is an alias for --log-level=info"
+  --target=minidb --budget=5 --verbose --log-level=warn)
+expect_cli_error("--status-interval expects seconds > 0"
+  --target=minidb --budget=5 --status-interval=0)
+message(STATUS "telemetry flag validation: bad flags rejected")
+
+# --- telemetry: sim campaign ------------------------------------------------
+# A sim campaign with every telemetry output on: the metrics snapshot must
+# record every pipeline phase, the trace must be loadable JSON with events,
+# progress lines must land on stderr, and the --export JSON must embed the
+# same snapshot.
+set(metrics_file "${CMAKE_CURRENT_BINARY_DIR}/smoke_metrics.json")
+set(trace_file "${CMAKE_CURRENT_BINARY_DIR}/smoke_trace.json")
+set(export_file "${CMAKE_CURRENT_BINARY_DIR}/smoke_export.json")
+file(REMOVE "${metrics_file}" "${trace_file}" "${export_file}")
+run_cli(telemetry_leg --target=minidb --strategy=fitness --budget=5000 --seed=1
+  "--metrics-file=${metrics_file}" "--trace-file=${trace_file}" --status-interval=0.001
+  --export=json "--export-file=${export_file}")
+file(READ "${metrics_file}" metrics_json)
+foreach(phase explorer.next backend.run cluster.observe sim.decode sim.run sim.feedback_merge)
+  string(JSON phase_count GET "${metrics_json}" histograms ${phase} count)
+  if(NOT phase_count EQUAL 5000)
+    message(FATAL_ERROR
+      "sim metrics snapshot: ${phase} count = ${phase_count}, expected 5000")
+  endif()
+  string(JSON phase_sum GET "${metrics_json}" histograms ${phase} sum_ns)
+  if(phase_sum EQUAL 0)
+    message(FATAL_ERROR "sim metrics snapshot: ${phase} recorded zero total time")
+  endif()
+endforeach()
+file(READ "${trace_file}" trace_json)
+string(JSON trace_events LENGTH "${trace_json}" traceEvents)
+if(trace_events EQUAL 0)
+  message(FATAL_ERROR "trace file has no events:\n${trace_json}")
+endif()
+if(NOT telemetry_leg_stderr MATCHES "progress: [0-9]+/5000 tests")
+  message(FATAL_ERROR
+    "--status-interval produced no progress line on stderr:\n${telemetry_leg_stderr}")
+endif()
+if(NOT telemetry_leg MATCHES "telemetry: pipeline")
+  message(FATAL_ERROR "report synopsis has no telemetry line:\n${telemetry_leg}")
+endif()
+file(READ "${export_file}" export_json)
+string(JSON export_backend_count GET "${export_json}" metrics histograms backend.run count)
+if(NOT export_backend_count EQUAL 5000)
+  message(FATAL_ERROR
+    "--export JSON metrics block: backend.run count = ${export_backend_count}, expected 5000")
+endif()
+message(STATUS
+  "sim telemetry: metrics/trace/export written, ${trace_events} trace events, progress on stderr")
+
+# --- telemetry: real-process campaign ---------------------------------------
+# The same three flags against the real backend: the real.* sub-phases and
+# outcome-breakdown counters must be populated.
+set(metrics_file "${CMAKE_CURRENT_BINARY_DIR}/smoke_real_metrics.json")
+set(trace_file "${CMAKE_CURRENT_BINARY_DIR}/smoke_real_trace.json")
+file(REMOVE "${metrics_file}" "${trace_file}")
+run_cli(real_telemetry_leg --backend=real "--target-cmd=${AFEX_WALUTIL} {test}" --num-tests=6
+  "--interposer=${AFEX_INTERPOSER}" --timeout-ms=10000 --budget=10 --seed=1
+  "--metrics-file=${metrics_file}" "--trace-file=${trace_file}")
+file(READ "${metrics_file}" metrics_json)
+foreach(phase backend.run real.plan_write real.fork_exec real.child_wait real.feedback_read
+        real.scratch_cleanup)
+  string(JSON phase_count GET "${metrics_json}" histograms ${phase} count)
+  if(NOT phase_count EQUAL 10)
+    message(FATAL_ERROR
+      "real metrics snapshot: ${phase} count = ${phase_count}, expected 10")
+  endif()
+endforeach()
+string(JSON feedback_ok GET "${metrics_json}" counters real.feedback_ok)
+if(NOT feedback_ok EQUAL 10)
+  message(FATAL_ERROR
+    "real metrics snapshot: real.feedback_ok = ${feedback_ok}, expected 10")
+endif()
+file(READ "${trace_file}" trace_json)
+string(JSON trace_events LENGTH "${trace_json}" traceEvents)
+if(trace_events EQUAL 0)
+  message(FATAL_ERROR "real-backend trace file has no events:\n${trace_json}")
+endif()
+message(STATUS "real telemetry: sub-phase timers and outcome counters populated")

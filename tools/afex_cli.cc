@@ -18,7 +18,8 @@
 //            [--seed=N] [--max-call=N] [--space=FILE] [--feedback]
 //            [--journal=FILE] [--resume] [--warm-start=FILE]
 //            [--export=csv|json] [--export-file=FILE]
-//            [--crashes-only] [--top=N]
+//            [--crashes-only] [--top=N] [--log-level=debug|info|warn|error|off]
+//            [--metrics-file=FILE] [--trace-file=FILE] [--status-interval=SEC]
 //
 // Examples:
 //   afex_cli --target=webserver --budget=1000 --feedback
@@ -56,6 +57,7 @@
 #include "core/report.h"
 #include "core/session.h"
 #include "core/space_lang.h"
+#include "obs/telemetry.h"
 #include "sim/coverage.h"
 #include "targets/coreutils/suite.h"
 #include "targets/docstore/suite.h"
@@ -80,7 +82,11 @@ struct Options {
   bool feedback = false;
   bool crashes_only = false;
   size_t top = 10;
-  bool verbose = false;
+  bool verbose = false;          // legacy alias for --log-level=info
+  std::string log_level;         // "" = default (warn, or info with --verbose)
+  std::string metrics_file;      // final MetricsSnapshot JSON ("" = off)
+  std::string trace_file;        // Chrome-trace JSON ("" = off)
+  double status_interval = 0.0;  // seconds between progress lines (0 = off)
   std::string journal;
   bool resume = false;
   std::string warm_start;
@@ -117,7 +123,16 @@ void PrintUsage() {
                "                [--export-file=FILE] [--crashes-only] [--top=N] [--verbose]\n"
                "                [--backend=<sim|real>] [--target-cmd='BIN ARGS...']\n"
                "                [--interposer=SO] [--timeout-ms=N] [--num-tests=N]\n"
-               "                [--auto-space]\n"
+               "                [--auto-space] [--log-level=debug|info|warn|error|off]\n"
+               "                [--metrics-file=FILE] [--trace-file=FILE]\n"
+               "                [--status-interval=SEC]\n"
+               "\n"
+               "observability: --metrics-file dumps the campaign's final telemetry\n"
+               "snapshot (counters, gauges, phase latency histograms) as JSON,\n"
+               "--trace-file writes a Chrome-trace (Perfetto-loadable) timeline of\n"
+               "every pipeline phase, and --status-interval logs a progress line\n"
+               "(tests/sec EWMA, ETA, crashes, clusters, coverage) every SEC\n"
+               "seconds. --verbose is an alias for --log-level=info.\n"
                "\n"
                "real-process backend: --backend=real --target-cmd='path/to/bin {test}'\n"
                "runs the command per test under the libafex_interpose.so fault\n"
@@ -206,6 +221,21 @@ bool ParseOptions(int argc, char** argv, Options& options) {
       }
       options.num_tests = static_cast<size_t>(number);
       options.num_tests_set = true;
+    } else if (ParseFlag(arg, "log-level", value)) {
+      options.log_level = value;
+    } else if (ParseFlag(arg, "metrics-file", value)) {
+      options.metrics_file = value;
+    } else if (ParseFlag(arg, "trace-file", value)) {
+      options.trace_file = value;
+    } else if (ParseFlag(arg, "status-interval", value)) {
+      char* end = nullptr;
+      double seconds = std::strtod(value.c_str(), &end);
+      if (value.empty() || end == nullptr || *end != '\0' || !(seconds > 0.0)) {
+        std::fprintf(stderr, "--status-interval expects seconds > 0, got '%s'\n",
+                     value.c_str());
+        return false;
+      }
+      options.status_interval = seconds;
     } else if (ParseFlag(arg, "journal", value)) {
       options.journal = value;
     } else if (ParseFlag(arg, "warm-start", value)) {
@@ -281,6 +311,20 @@ bool ParseOptions(int argc, char** argv, Options& options) {
   if (options.export_file != "-" && options.export_format.empty()) {
     std::fprintf(stderr, "--export-file requires --export=csv|json\n");
     return false;
+  }
+  if (!options.log_level.empty()) {
+    LogLevel parsed;
+    if (!ParseLogLevel(options.log_level, parsed)) {
+      std::fprintf(stderr, "--log-level expects debug|info|warn|error|off, got '%s'\n",
+                   options.log_level.c_str());
+      return false;
+    }
+    if (options.verbose && options.log_level != "info") {
+      std::fprintf(stderr, "--verbose is an alias for --log-level=info; it conflicts "
+                           "with --log-level=%s\n",
+                   options.log_level.c_str());
+      return false;
+    }
   }
   return true;
 }
@@ -440,7 +484,15 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 2;
   }
-  SetLogLevel(options.verbose ? LogLevel::kInfo : LogLevel::kWarn);
+  LogLevel log_level = LogLevel::kWarn;
+  if (!options.log_level.empty()) {
+    ParseLogLevel(options.log_level, log_level);  // validated in ParseOptions
+  } else if (options.verbose || options.status_interval > 0.0) {
+    // --status-interval without an explicit level would emit into the void;
+    // raise the default so the progress lines are visible.
+    log_level = LogLevel::kInfo;
+  }
+  SetLogLevel(log_level);
 
   // Execution backend: the simulated harness for the built-in targets, or
   // the real-process harness forking --target-cmd under the interposer.
@@ -630,6 +682,33 @@ int main(int argc, char** argv) {
   std::optional<ParallelSession> parallel_session;
   std::vector<std::unique_ptr<TargetBackend>> node_backends;
 
+  // Campaign telemetry (src/obs): constructed only when one of the three
+  // observability flags asked for it — otherwise every instrumentation site
+  // keeps its null sink and the campaign runs exactly as before.
+  std::optional<obs::CampaignTelemetry> telemetry;
+  if (!options.metrics_file.empty() || !options.trace_file.empty() ||
+      options.status_interval > 0.0) {
+    obs::TelemetryConfig telemetry_config;
+    telemetry_config.trace = !options.trace_file.empty();
+    telemetry_config.progress.interval_seconds = options.status_interval;
+    telemetry_config.progress.budget = options.budget;
+    // Under --jobs the progress line samples node 0's local coverage view
+    // (the cross-node union is only aggregated at campaign end).
+    telemetry_config.progress.coverage_fraction = [backend, &node_backends]() -> double {
+      return node_backends.empty() ? backend->CoverageFraction()
+                                   : node_backends[0]->CoverageFraction();
+    };
+    if (options.strategy == "fitness") {
+      auto* fitness = static_cast<FitnessExplorer*>(explorer.get());
+      telemetry_config.progress.pool_size = [fitness] {
+        return fitness->priority_queue_size();
+      };
+    }
+    telemetry.emplace(std::move(telemetry_config));
+  }
+  obs::MetricsSink* metrics_sink = telemetry.has_value() ? &*telemetry : nullptr;
+  backend->set_metrics_sink(metrics_sink);
+
   try {
     // Warm start (paper §7 knowledge reuse): seed the fitness search with a
     // prior campaign's measured fitness before the first candidate. The
@@ -662,8 +741,10 @@ int main(int argc, char** argv) {
 
     SessionConfig session_config;
     session_config.redundancy_feedback = options.feedback;
+    session_config.metrics = metrics_sink;
     if (store.has_value()) {
       session_config.record_observer = store->MakeObserver();
+      store->SetMetricsSink(metrics_sink);
     }
 
     auto print_replay_mismatch = [&options] {
@@ -707,6 +788,7 @@ int main(int argc, char** argv) {
           node_backends.push_back(std::make_unique<TargetHarness>(suite, harness_seed));
         }
         TargetBackend* b = node_backends[i].get();
+        b->set_metrics_sink(metrics_sink);
         managers.push_back(std::make_unique<NodeManager>(
             "node" + std::to_string(i),
             NodeManager::Hooks{.test = [b, &space](const Fault& f) {
@@ -784,7 +866,35 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Telemetry outputs: snapshot file, trace file, and the phase-share note
+  // folded into the report synopsis (and the JSON export below).
+  std::optional<obs::MetricsSnapshot> metrics_snapshot;
+  if (telemetry.has_value()) {
+    metrics_snapshot = telemetry->Snapshot();
+    if (!options.metrics_file.empty()) {
+      if (!telemetry->WriteMetricsFile(options.metrics_file)) {
+        std::fprintf(stderr, "cannot write metrics file '%s'\n",
+                     options.metrics_file.c_str());
+        return 2;
+      }
+      std::printf("wrote metrics snapshot to %s\n", options.metrics_file.c_str());
+    }
+    if (!options.trace_file.empty()) {
+      if (!telemetry->WriteTraceFile(options.trace_file)) {
+        std::fprintf(stderr, "cannot write trace file '%s'\n", options.trace_file.c_str());
+        return 2;
+      }
+      std::printf("wrote %llu trace events to %s (load in Perfetto or "
+                  "chrome://tracing)\n",
+                  static_cast<unsigned long long>(telemetry->trace().total_events()),
+                  options.trace_file.c_str());
+    }
+  }
+
   ReportBuilder builder(space, options.strategy);
+  if (telemetry.has_value()) {
+    builder.set_telemetry_note(telemetry->SynopsisLine());
+  }
   Report report = builder.Build(*result, *clusterer,
                                 /*min_impact=*/options.crashes_only ? 20.0 : 10.0);
   std::printf("\n%s", builder.Render(report).c_str());
@@ -817,7 +927,8 @@ int main(int argc, char** argv) {
     if (options.export_format == "csv") {
       ExportCsv(space, *result, out);
     } else {
-      ExportJson(meta, space, *result, out);
+      ExportJson(meta, space, *result, out,
+                 metrics_snapshot.has_value() ? &*metrics_snapshot : nullptr);
     }
     out.flush();
     if (!out) {
