@@ -1,0 +1,253 @@
+// Real-backend execution-mode benchmark: times identical seeded fitness
+// campaigns against the sample walutil target in all three exec modes —
+//
+//   spawn      — fork+exec per test (the PR-5 baseline, where telemetry
+//                showed real.child_wait at ~86% of backend.run),
+//   forkserver — one target process stopped pre-main, one bare fork per
+//                test, plan and feedback armed over a pipe, and
+//   persistent — the same server re-running walutil's entry function
+//                in-process via the afex_persistent_run hook.
+//
+// Every mode must produce the identical record sequence (checked with the
+// same FNV-1a record digest perf_sim uses) — the run exits non-zero on
+// divergence, so each benchmark run doubles as the determinism acceptance
+// check for the forkserver work. Each mode runs with a CampaignTelemetry
+// sink attached and its phase snapshot is embedded in the JSON, so the
+// artifact shows the real.child_wait share collapsing into the pipe
+// round-trip, not just the end-to-end speedup.
+//
+// Usage: perf_real [--out=FILE] [--budget=N] [--quick]
+//   --quick shrinks the budget so CI can smoke-run it in a few seconds;
+//   published numbers come from the default Release configuration.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/fitness_explorer.h"
+#include "core/session.h"
+#include "exec/forkserver.h"
+#include "exec/real_target_harness.h"
+#include "obs/telemetry.h"
+
+namespace afex {
+namespace {
+
+struct ModeResult {
+  double seconds = 0.0;
+  size_t tests = 0;
+  double tests_per_sec = 0.0;
+  size_t failed = 0;
+  size_t crashes = 0;
+  size_t clusters = 0;
+  uint64_t record_digest = 0;
+  uint64_t server_restarts = 0;
+};
+
+// FNV-1a over every record's fault indices, fitness bits, cluster id, and
+// full outcome — the same digest perf_sim uses for its reference-vs-
+// optimized equivalence check.
+uint64_t DigestRecords(const SessionResult& result) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      h = (h ^ ((v >> shift) & 0xff)) * 0x100000001b3ULL;
+    }
+  };
+  auto mix_string = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h = (h ^ c) * 0x100000001b3ULL;
+    }
+    h = (h ^ 0xff) * 0x100000001b3ULL;  // terminator: "ab","c" != "a","bc"
+  };
+  for (const SessionRecord& r : result.records) {
+    for (size_t i = 0; i < r.fault.dimensions(); ++i) {
+      mix(r.fault[i]);
+    }
+    uint64_t fitness_bits;
+    static_assert(sizeof(fitness_bits) == sizeof(r.fitness));
+    std::memcpy(&fitness_bits, &r.fitness, sizeof(fitness_bits));
+    mix(fitness_bits);
+    mix(r.cluster_id);
+    const TestOutcome& o = r.outcome;
+    mix(static_cast<uint64_t>(o.exit_code) ^ (o.test_failed ? 0x100 : 0) ^
+        (o.crashed ? 0x200 : 0) ^ (o.hung ? 0x400 : 0) ^ (o.fault_triggered ? 0x800 : 0));
+    mix(o.new_blocks_covered);
+    for (uint32_t block : o.new_block_ids) {
+      mix(block);
+    }
+    for (const std::string& frame : o.injection_stack) {
+      mix_string(frame);
+    }
+    mix_string(o.detail);
+  }
+  return h;
+}
+
+const char* ModeName(exec::ExecMode mode) {
+  switch (mode) {
+    case exec::ExecMode::kSpawn:
+      return "spawn";
+    case exec::ExecMode::kForkserver:
+      return "forkserver";
+    case exec::ExecMode::kPersistent:
+      return "persistent";
+  }
+  return "?";
+}
+
+ModeResult RunCampaign(exec::ExecMode mode, size_t budget, uint64_t seed,
+                       obs::CampaignTelemetry& telemetry) {
+  exec::RealTargetConfig config;
+  config.target_argv = {AFEX_WALUTIL_PATH, "{test}"};
+  config.num_tests = 6;
+  config.interposer_path = AFEX_INTERPOSER_PATH;
+  config.timeout_ms = 10000;
+  config.exec_mode = mode;
+  exec::RealTargetHarness harness(config);
+  harness.set_metrics_sink(&telemetry);
+  FaultSpace space = harness.MakeSpace(/*max_call=*/6);
+  // Stay in the non-exhausted regime (perf_sim's convention): a budget near
+  // the space size degenerates into the fallback-scan path.
+  budget = std::min(budget, space.TotalPoints() / 2);
+
+  FitnessExplorerConfig explorer_config;
+  explorer_config.seed = seed;
+  FitnessExplorer explorer(space, explorer_config);
+
+  SessionConfig session_config;
+  session_config.redundancy_feedback = true;
+  session_config.metrics = &telemetry;
+
+  ModeResult result;
+  auto started = std::chrono::steady_clock::now();
+  ExplorationSession session(explorer, harness, space, session_config);
+  const SessionResult& outcome = session.Run(SearchTarget{.max_tests = budget});
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+  result.tests = outcome.tests_executed;
+  result.tests_per_sec = result.seconds > 0.0 ? result.tests / result.seconds : 0.0;
+  result.failed = outcome.failed_tests;
+  result.crashes = outcome.crashes;
+  result.clusters = outcome.clusters;
+  result.record_digest = DigestRecords(outcome);
+  if (harness.forkserver() != nullptr) {
+    result.server_restarts = harness.forkserver()->restarts();
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace afex
+
+int main(int argc, char** argv) {
+  using namespace afex;
+
+  std::string out_path = "BENCH_real.json";
+  size_t budget = 2000;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--budget=", 0) == 0) {
+      budget = static_cast<size_t>(std::strtoull(arg.c_str() + 9, nullptr, 10));
+    } else if (arg == "--quick") {
+      budget = 300;
+    } else {
+      std::fprintf(stderr, "usage: perf_real [--out=FILE] [--budget=N] [--quick]\n");
+      return 2;
+    }
+  }
+  if (budget == 0) {
+    std::fprintf(stderr, "--budget must be positive\n");
+    return 2;
+  }
+  const uint64_t seed = 7;
+  const exec::ExecMode modes[] = {exec::ExecMode::kSpawn, exec::ExecMode::kForkserver,
+                                  exec::ExecMode::kPersistent};
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 2;
+  }
+  out << "{\n  \"benchmark\": \"real_exec_modes\",\n";
+  out << "  \"config\": {\"target\": \"walutil\", \"strategy\": \"fitness\", "
+         "\"feedback\": true, \"budget\": "
+      << budget << ", \"num_tests\": 6, \"max_call\": 6, \"seed\": " << seed << "},\n";
+  out << "  \"results\": {\n";
+
+  ModeResult spawn_result;
+  bool all_equivalent = true;
+  bool first = true;
+  double fs_speedup = 0.0;
+  double persistent_speedup = 0.0;
+  for (exec::ExecMode mode : modes) {
+    std::printf("%-11s ", ModeName(mode));
+    std::fflush(stdout);
+    obs::CampaignTelemetry telemetry;
+    ModeResult result = RunCampaign(mode, budget, seed, telemetry);
+    double speedup =
+        result.seconds > 0.0 && mode != exec::ExecMode::kSpawn
+            ? spawn_result.seconds / result.seconds
+            : 1.0;
+    bool equivalent = true;
+    if (mode == exec::ExecMode::kSpawn) {
+      spawn_result = result;
+    } else {
+      equivalent = result.record_digest == spawn_result.record_digest &&
+                   result.tests == spawn_result.tests &&
+                   result.crashes == spawn_result.crashes &&
+                   result.clusters == spawn_result.clusters;
+      all_equivalent = all_equivalent && equivalent;
+      if (mode == exec::ExecMode::kForkserver) {
+        fs_speedup = speedup;
+      } else {
+        persistent_speedup = speedup;
+      }
+    }
+    std::printf("%8.0f tests/s  (%.3fs, %zu crashes, %zu clusters)  speedup %5.2fx%s\n",
+                result.tests_per_sec, result.seconds, result.crashes, result.clusters,
+                speedup, equivalent ? "" : "  [RECORDS DIVERGED]");
+    if (!equivalent) {
+      std::fprintf(stderr, "FATAL: %s mode diverged from spawn-mode records\n",
+                   ModeName(mode));
+    }
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    \"%s\": {\"seconds\": %.6f, \"tests\": %zu, "
+                  "\"tests_per_sec\": %.1f, \"failed\": %zu, \"crashes\": %zu, "
+                  "\"clusters\": %zu, \"speedup_vs_spawn\": %.2f, "
+                  "\"server_restarts\": %llu, \"record_digest\": \"%016llx\", "
+                  "\"equivalent_to_spawn\": %s,\n      \"telemetry\": ",
+                  ModeName(mode), result.seconds, result.tests, result.tests_per_sec,
+                  result.failed, result.crashes, result.clusters, speedup,
+                  static_cast<unsigned long long>(result.server_restarts),
+                  static_cast<unsigned long long>(result.record_digest),
+                  equivalent ? "true" : "false");
+    out << buf;
+    telemetry.Snapshot().WriteJson(out, 3);
+    out << "\n    }";
+  }
+  out << "\n  },\n";
+  {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"headline\": {\"forkserver_speedup\": %.2f, "
+                  "\"persistent_speedup\": %.2f, \"budget\": %zu},\n",
+                  fs_speedup, persistent_speedup, budget);
+    out << buf;
+  }
+  out << "  \"all_modes_equivalent\": " << (all_equivalent ? "true" : "false") << "\n}\n";
+  out.close();
+  std::printf("\nheadline: forkserver %.2fx, persistent %.2fx over spawn -> %s\n",
+              fs_speedup, persistent_speedup, out_path.c_str());
+  return all_equivalent ? 0 : 1;
+}

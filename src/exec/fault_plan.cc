@@ -78,5 +78,52 @@ bool ParseFaultPlanFile(const std::string& path, std::vector<FaultSpec>& out) {
   return true;
 }
 
+bool EncodePlanEntries(const std::vector<FaultSpec>& specs,
+                       std::vector<FsPlanEntry>& out) {
+  if (specs.size() > kFsMaxPlans) {
+    return false;
+  }
+  out.clear();
+  out.reserve(specs.size());
+  for (const FaultSpec& spec : specs) {
+    int slot = InterposedSlot(spec.function.c_str());
+    if (slot < 0 || spec.call_lo < 1 || spec.call_hi < spec.call_lo) {
+      return false;
+    }
+    FsPlanEntry entry;
+    entry.slot = slot;
+    entry.errno_value = spec.errno_value;
+    entry.call_lo = static_cast<uint64_t>(spec.call_lo);
+    entry.call_hi = static_cast<uint64_t>(spec.call_hi);
+    entry.retval = spec.retval;
+    out.push_back(entry);
+  }
+  return true;
+}
+
+bool DecodePlanEntries(const std::vector<FsPlanEntry>& entries,
+                       std::vector<FaultSpec>& out) {
+  if (entries.size() > kFsMaxPlans) {
+    return false;
+  }
+  out.clear();
+  out.reserve(entries.size());
+  for (const FsPlanEntry& entry : entries) {
+    if (entry.slot < 0 ||
+        entry.slot >= static_cast<int32_t>(kInterposedFunctionCount) ||
+        entry.call_lo < 1 || entry.call_hi < entry.call_lo) {
+      return false;
+    }
+    FaultSpec spec;
+    spec.function = kInterposedFunctions[entry.slot];
+    spec.call_lo = static_cast<int>(entry.call_lo);
+    spec.call_hi = static_cast<int>(entry.call_hi);
+    spec.retval = entry.retval;
+    spec.errno_value = entry.errno_value;
+    out.push_back(spec);
+  }
+  return true;
+}
+
 }  // namespace exec
 }  // namespace afex

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/forkserver_protocol.h"
 #include "injection/fault_bus.h"
 
 namespace afex {
@@ -32,6 +33,18 @@ bool WriteFaultPlan(const std::string& path, const std::vector<FaultSpec>& specs
 // Parses a control file back into specs. Strict: unknown directives,
 // malformed numbers, unwrapped functions, and a bad header all fail.
 bool ParseFaultPlanFile(const std::string& path, std::vector<FaultSpec>& out);
+
+// Binary form of the same plan, as it travels over the forkserver control
+// pipe (one FsPlanEntry per `inject` line). Rejects exactly what
+// WriteFaultPlan rejects — unwrapped functions, bad ordinal windows — plus
+// plans wider than the interposer's fixed table (kFsMaxPlans).
+bool EncodePlanEntries(const std::vector<FaultSpec>& specs,
+                       std::vector<FsPlanEntry>& out);
+
+// Inverse, for tests and tooling round-trips; accepts exactly what the
+// interposer's ArmPlans accepts.
+bool DecodePlanEntries(const std::vector<FsPlanEntry>& entries,
+                       std::vector<FaultSpec>& out);
 
 }  // namespace exec
 }  // namespace afex

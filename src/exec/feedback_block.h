@@ -80,7 +80,13 @@ struct FeedbackBlock {
   uint64_t first_injected_call = 0;
   // Slot of the first injected call (valid when first_injected_call > 0).
   uint32_t first_injected_slot = 0;
-  uint32_t reserved = 0;
+  // Forkserver/persistent modes: stamp of the test this block was armed
+  // for, written by the server when it resets the block before each child
+  // or iteration. The client checks it after the test so a crashed child's
+  // stale counts can never be attributed to the next test. Spawn mode
+  // creates a fresh zero file per test and leaves this 0. (Was `reserved`;
+  // same layout, so no version bump.)
+  uint32_t test_seq = 0;
 };
 
 // Parent-side helpers (implemented in feedback_block.cc; not used by the

@@ -1,0 +1,102 @@
+// Wire contract between the forkserver client (exec/forkserver.h, parent
+// side) and the server loop inside libafex_interpose.so (interpose.cc, child
+// side). The client spawns the target once with two inherited pipes dup'd to
+// fixed descriptors (AFL convention: control on 198, status on 199) and sets
+// AFEX_FORKSERVER; the interposer's constructor sees the variable, announces
+// itself with a Hello message, and then serves test requests forever —
+// fork-per-test in forkserver mode, iterate-in-place in persistent mode.
+//
+// Requests replace the per-test AFEX_PLAN control file: the fault plan
+// travels as a fixed-size binary header plus plan entries over the control
+// pipe, so arming a test costs one pipe write instead of a file create +
+// parse. All messages are fixed-size PODs written/read whole; a short read
+// or a bad magic on either side means the peer is gone or corrupted, and the
+// correct response is always the same — server: _exit; client: kill the
+// server and respawn it.
+//
+// This header is included by the interposer, which is built free-standing
+// (no gtest, no afex libraries, no sanitizers): keep it to constants and
+// POD types only.
+#ifndef AFEX_EXEC_FORKSERVER_PROTOCOL_H_
+#define AFEX_EXEC_FORKSERVER_PROTOCOL_H_
+
+#include <cstdint>
+
+namespace afex {
+namespace exec {
+
+// Fixed descriptors the server ends of the pipes are dup2'd to before exec.
+// High enough to clear stdio and anything a CLI inherits; the AFL numbers,
+// so targets already tooled for AFL forkservers raise no surprises.
+inline constexpr int kForkserverCtlFd = 198;     // server reads requests
+inline constexpr int kForkserverStatusFd = 199;  // server writes messages
+
+// AFEX_FORKSERVER=1 → forkserver; =2 → persistent. Unset/other → plain run.
+inline constexpr const char* kForkserverEnvVar = "AFEX_FORKSERVER";
+inline constexpr const char* kForkserverEnvFork = "1";
+inline constexpr const char* kForkserverEnvPersistent = "2";
+
+inline constexpr uint32_t kForkserverProtocolVersion = 1;
+
+inline constexpr uint32_t kFsMsgMagic = 0x4146534DU;      // "AFSM"
+inline constexpr uint32_t kFsRequestMagic = 0x41465351U;  // "AFSQ"
+
+// Server → client messages. One fixed shape for every kind keeps the
+// server's writer trivially async-signal-safe.
+enum class FsMsgKind : uint32_t {
+  // Constructor reached the serve loop. value = protocol version,
+  // seq = flag bits (kFsHelloFlagPersistent).
+  kHello = 1,
+  // Forkserver: a child was forked for the request. value = child pid,
+  // seq = the request's test_seq. The client needs the pid to deliver
+  // timeout signals — the server itself is blocked in waitpid.
+  kChildPid = 2,
+  // Forkserver: the child was reaped. value = raw waitpid status
+  // (decode with WIFEXITED/WIFSIGNALED), or -1 if fork itself failed.
+  kChildStatus = 3,
+  // Persistent: the target's main called afex_persistent_run and the
+  // iteration loop is live. Sent once per server process, before the
+  // first iteration runs. A server that dies without ever sending this
+  // never adopted the hook — the client falls back to forkserver mode.
+  kPersistentAck = 4,
+  // Persistent: one iteration finished in-process. value = entry
+  // function's return value (or exit() status) masked to 0..255.
+  kIterStatus = 5,
+};
+
+struct FsMsg {
+  uint32_t magic = 0;  // kFsMsgMagic
+  uint32_t kind = 0;   // FsMsgKind
+  int32_t value = 0;
+  uint32_t seq = 0;
+};
+
+// Client → server request header, followed by plan_count FsPlanEntry
+// records on the same pipe.
+struct FsRequest {
+  uint32_t magic = 0;  // kFsRequestMagic
+  uint32_t test_seq = 0;
+  uint32_t test_id = 0;  // 1-based; substituted into "{test}" argv slots
+  uint32_t plan_count = 0;
+};
+
+// One armed fault, the binary form of a fault_plan.h `inject` line. Slot
+// indexes kInterposedFunctions (feedback_block.h).
+struct FsPlanEntry {
+  int32_t slot = -1;
+  int32_t errno_value = 0;
+  uint64_t call_lo = 0;
+  uint64_t call_hi = 0;
+  int64_t retval = -1;
+};
+
+// Matches the interposer's plan table capacity; a request claiming more is
+// a protocol violation and the server exits.
+inline constexpr uint32_t kFsMaxPlans = 8;
+
+inline constexpr uint32_t kFsHelloFlagPersistent = 1u;
+
+}  // namespace exec
+}  // namespace afex
+
+#endif  // AFEX_EXEC_FORKSERVER_PROTOCOL_H_

@@ -31,7 +31,18 @@
 //    inherited by every process the target spawns: the whole tree shares
 //    one ordinal space. Deterministic for sequential trees; concurrent
 //    children interleave ordinals nondeterministically (per-process
-//    counting is future work, alongside the forkserver).
+//    counting is future work).
+//
+// Execution modes (exec/forkserver_protocol.h): when AFEX_FORKSERVER is set
+// the constructor does not fall through into the target. It announces itself
+// on the status pipe and serves tests — forkserver mode forks one pristine
+// child per request (plan armed and feedback reset *before* the fork, so the
+// child starts counting from zero exactly like a spawned process), while
+// persistent mode waits for the target's main to hand its entry function to
+// afex_persistent_run() and then re-runs it in-process, one iteration per
+// request. The serve loop uses only async-signal-safe primitives (raw
+// g_real_read/g_real_write on fixed fds, fork, waitpid, _exit): it runs
+// before main in an arbitrary target and forks while holding no locks.
 #ifndef _LARGEFILE64_SOURCE
 #define _LARGEFILE64_SOURCE 1  // off64_t / lseek64 for the LP64 alias wrappers
 #endif
@@ -39,6 +50,7 @@
 #include <dlfcn.h>
 #include <errno.h>
 #include <fcntl.h>
+#include <setjmp.h>
 #include <stdarg.h>
 #include <stdlib.h>
 #include <stdio.h>
@@ -47,17 +59,32 @@
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "exec/feedback_block.h"
+#include "exec/forkserver_protocol.h"
 
 namespace {
 
 using afex::exec::FeedbackBlock;
+using afex::exec::FsMsg;
+using afex::exec::FsMsgKind;
+using afex::exec::FsPlanEntry;
+using afex::exec::FsRequest;
 using afex::exec::InterposedSlot;
 using afex::exec::kFeedbackMagic;
 using afex::exec::kFeedbackVersion;
+using afex::exec::kForkserverCtlFd;
+using afex::exec::kForkserverEnvVar;
+using afex::exec::kForkserverProtocolVersion;
+using afex::exec::kForkserverStatusFd;
+using afex::exec::kFsHelloFlagPersistent;
+using afex::exec::kFsMaxPlans;
+using afex::exec::kFsMsgMagic;
+using afex::exec::kFsRequestMagic;
 using afex::exec::kInterposedFunctionCount;
+using afex::exec::kMaxInterposedFunctions;
 
 // ---------------------------------------------------------------------------
 // Bootstrap allocator: serves allocations made while dlsym resolves the real
@@ -116,6 +143,7 @@ using ListenFn = int (*)(int, int);
 using AcceptFn = int (*)(int, struct sockaddr*, socklen_t*);
 using SendFn = ssize_t (*)(int, const void*, size_t, int);
 using RecvFn = ssize_t (*)(int, void*, size_t, int);
+using ExitFn = void (*)(int);
 
 MallocFn g_real_malloc;
 CallocFn g_real_calloc;
@@ -145,6 +173,7 @@ ListenFn g_real_listen;
 AcceptFn g_real_accept;
 SendFn g_real_send;
 RecvFn g_real_recv;
+ExitFn g_real_exit;
 
 // Set while this thread resolves a symbol: its allocator calls route to the
 // bootstrap arena. Thread-local so one thread's resolution never misroutes
@@ -339,6 +368,209 @@ void MapFeedback() {
   g_block = static_cast<FeedbackBlock*>(mem);
 }
 
+// ---------------------------------------------------------------------------
+// Forkserver / persistent serve loop (exec/forkserver_protocol.h).
+// ---------------------------------------------------------------------------
+int g_fs_mode = 0;  // 0 = plain run, 1 = forkserver, 2 = persistent
+int g_argc = 0;     // captured by the constructor (glibc passes main's args
+char** g_argv = nullptr;  // to ELF constructors) for per-child rewriting
+
+// Persistent-iteration state. The pid guard keeps an exit() in a process the
+// iteration forked from longjmp'ing into its parent's stack.
+pid_t g_persistent_pid = 0;
+jmp_buf g_persistent_jmp;
+volatile int g_exit_armed = 0;
+volatile int g_exit_status = 0;
+int g_persistent_entered = 0;
+
+// Whole-buffer pipe I/O on the raw fds, EINTR-proof. False means the peer is
+// gone (EOF / hard error): the server's only correct move is to exit, the
+// client's to respawn.
+bool ReadFull(int fd, void* buf, size_t len) {
+  char* p = static_cast<char*>(buf);
+  size_t got = 0;
+  while (got < len) {
+    ssize_t n = g_real_read(fd, p + got, len - got);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool WriteFull(int fd, const void* buf, size_t len) {
+  const char* p = static_cast<const char*>(buf);
+  size_t put = 0;
+  while (put < len) {
+    ssize_t n = g_real_write(fd, p + put, len - put);
+    if (n > 0) {
+      put += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool SendMsg(FsMsgKind kind, int32_t value, uint32_t seq) {
+  FsMsg msg;
+  msg.magic = kFsMsgMagic;
+  msg.kind = static_cast<uint32_t>(kind);
+  msg.value = value;
+  msg.seq = seq;
+  return WriteFull(kForkserverStatusFd, &msg, sizeof(msg));
+}
+
+// Reads one request (header + plan entries). Any violation — short read,
+// wrong magic, impossible plan count — is indistinguishable from a torn
+// client write, and the server exits rather than resynchronize.
+bool ReadRequest(FsRequest& req, FsPlanEntry* entries) {
+  if (!ReadFull(kForkserverCtlFd, &req, sizeof(req))) {
+    return false;
+  }
+  if (req.magic != kFsRequestMagic || req.plan_count > kFsMaxPlans) {
+    return false;
+  }
+  return req.plan_count == 0 ||
+         ReadFull(kForkserverCtlFd, entries, req.plan_count * sizeof(FsPlanEntry));
+}
+
+// Re-arms the shared block for one test: every counter back to zero, the
+// request's sequence number stamped in. A crashed child's stale counts can
+// never leak into the next test because the reset happens on the server
+// side, before the child that would read them exists.
+void ResetFeedbackForTest(uint32_t seq) {
+  FeedbackBlock* b = g_block;
+  for (uint32_t i = 0; i < kMaxInterposedFunctions; ++i) {
+    b->calls[i] = 0;
+    b->injected[i] = 0;
+  }
+  b->injected_total = 0;
+  b->first_injected_call = 0;
+  b->first_injected_slot = 0;
+  b->plans_loaded = 0;
+  b->test_seq = seq;
+}
+
+void ArmPlans(const FsPlanEntry* entries, uint32_t count) {
+  g_plan_count = 0;
+  uint64_t loaded = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    const FsPlanEntry& e = entries[i];
+    if (e.slot < 0 || e.slot >= static_cast<int32_t>(kInterposedFunctionCount) ||
+        e.call_lo < 1 || e.call_hi < e.call_lo) {
+      continue;
+    }
+    Plan& p = g_plans[g_plan_count++];
+    p.slot = e.slot;
+    p.call_lo = static_cast<unsigned long>(e.call_lo);
+    p.call_hi = static_cast<unsigned long>(e.call_hi);
+    p.retval = static_cast<long>(e.retval);
+    p.errno_value = e.errno_value;
+    ++loaded;
+  }
+  g_block->plans_loaded = loaded;
+}
+
+// Splices the request's test id over every "{test}" placeholder in the
+// captured argv, in place (the id renders in at most as many bytes as the
+// placeholder, so the strings only shrink). Runs in the forked child; the
+// server's own argv keeps the literal placeholder for the next fork.
+void RewriteArgvForTest(uint32_t test_id) {
+  char digits[12];
+  int nd = 0;
+  uint32_t v = test_id;
+  do {
+    digits[nd++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  if (nd > 6) {
+    return;  // wider than "{test}": cannot rewrite in place (ids > 999999)
+  }
+  for (int i = 0; i < nd / 2; ++i) {
+    char t = digits[i];
+    digits[i] = digits[nd - 1 - i];
+    digits[nd - 1 - i] = t;
+  }
+  for (int a = 0; a < g_argc; ++a) {
+    char* p = g_argv[a];
+    if (p == nullptr) {
+      continue;
+    }
+    while ((p = strstr(p, "{test}")) != nullptr) {
+      memcpy(p, digits, static_cast<size_t>(nd));
+      memmove(p + nd, p + 6, strlen(p + 6) + 1);
+      p += nd;
+    }
+  }
+}
+
+// The serve loop. Persistent mode returns immediately after the handshake
+// (requests are consumed by afex_persistent_run once main reaches it);
+// forkserver mode loops here forever and only ever returns in a forked
+// child, which falls back into the constructor and on into the program.
+void ServeForkserver() {
+  FsMsg hello;
+  hello.magic = kFsMsgMagic;
+  hello.kind = static_cast<uint32_t>(FsMsgKind::kHello);
+  hello.value = static_cast<int32_t>(kForkserverProtocolVersion);
+  hello.seq = g_fs_mode == 2 ? kFsHelloFlagPersistent : 0;
+  if (!WriteFull(kForkserverStatusFd, &hello, sizeof(hello))) {
+    _exit(0);
+  }
+  if (g_fs_mode == 2) {
+    return;
+  }
+  for (;;) {
+    FsRequest req;
+    FsPlanEntry entries[kFsMaxPlans];
+    if (!ReadRequest(req, entries)) {
+      _exit(0);  // client gone or protocol torn: clean shutdown
+    }
+    ResetFeedbackForTest(req.test_seq);
+    ArmPlans(entries, req.plan_count);
+    pid_t pid = fork();
+    if (pid == 0) {
+      g_real_close(kForkserverCtlFd);
+      g_real_close(kForkserverStatusFd);
+      RewriteArgvForTest(req.test_id);
+      return;  // child: finish the constructor, then run the program
+    }
+    if (pid < 0) {
+      if (!SendMsg(FsMsgKind::kChildStatus, -1, req.test_seq)) {
+        _exit(0);
+      }
+      continue;
+    }
+    if (!SendMsg(FsMsgKind::kChildPid, static_cast<int32_t>(pid), req.test_seq)) {
+      _exit(0);
+    }
+    int status = 0;
+    for (;;) {
+      pid_t r = waitpid(pid, &status, 0);
+      if (r == pid) {
+        break;
+      }
+      if (r < 0 && errno == EINTR) {
+        continue;
+      }
+      status = -1;
+      break;
+    }
+    if (!SendMsg(FsMsgKind::kChildStatus, status, req.test_seq)) {
+      _exit(0);
+    }
+  }
+}
+
 // Resolves every wrapped symbol up front. The constructor runs while the
 // process is still single-threaded (program threads cannot exist before
 // preload constructors finish), so after this no wrapper ever writes a
@@ -372,17 +604,45 @@ void ResolveAll() {
   Resolve(g_real_accept, "accept");
   Resolve(g_real_send, "send");
   Resolve(g_real_recv, "recv");
+  Resolve(g_real_exit, "exit");
 }
 
-__attribute__((constructor)) void AfexInterposeInit() {
+// glibc passes main's (argc, argv, envp) to ELF constructors; argv is what
+// lets forked children substitute their test id without the server ever
+// re-exec'ing.
+__attribute__((constructor)) void AfexInterposeInit(int argc, char** argv,
+                                                   char** /*envp*/) {
   g_internal = 1;
+  g_argc = argc;
+  g_argv = argv;
   ResolveAll();
   MapFeedback();
   g_block->magic = kFeedbackMagic;
   g_block->version = kFeedbackVersion;
   g_block->function_count = kInterposedFunctionCount;
   g_block->attached = 1;
-  LoadPlan();
+  const char* fs = getenv(kForkserverEnvVar);
+  if (fs != nullptr && (fs[0] == '1' || fs[0] == '2') && fs[1] == '\0') {
+    g_fs_mode = fs[0] - '0';
+    // Consume the variable before any child exists: a test child that
+    // exec()s (sh -c, wrappers) re-runs this constructor in the new image,
+    // and a leaked AFEX_FORKSERVER would make it serve the protocol on fds
+    // that no longer exist instead of running the real program.
+    unsetenv(kForkserverEnvVar);
+    ServeForkserver();
+    if (g_fs_mode == 2) {
+      // Persistent server: stay inactive through the target's own pre-loop
+      // initialization; counting switches on per iteration inside
+      // afex_persistent_run. (Equivalent to spawn mode for targets that make
+      // no interposed calls before handing over their entry function.)
+      g_internal = 0;
+      return;
+    }
+    // Forkserver child: plan and feedback were armed by the server before
+    // the fork; fall through and activate exactly like a spawned process.
+  } else {
+    LoadPlan();
+  }
   g_internal = 0;
   __atomic_store_n(&g_active, 1, __ATOMIC_RELEASE);
 }
@@ -716,6 +976,81 @@ ssize_t recv(int sockfd, void* buf, size_t len, int flags) {
     return Inject<long>(plan);
   }
   return g_real_recv(sockfd, buf, len, flags);
+}
+
+// exit() interposition exists for persistent mode: a target whose error
+// paths call exit() (walutil's Fail does) would otherwise take the whole
+// persistent process down on every detected failure. While an iteration is
+// armed, exit() becomes "end this iteration with that status" via longjmp
+// back into afex_persistent_run. atexit handlers and stdio flushing are
+// skipped on that path — the adoption contract (README) requires iterations
+// not to depend on them. Everywhere else (spawn mode, forkserver children,
+// forked grandchildren — note the pid guard) it forwards to the real exit.
+void exit(int status) {
+  if (g_exit_armed && getpid() == g_persistent_pid) {
+    g_exit_status = status;
+    longjmp(g_persistent_jmp, 1);
+  }
+  Resolve(g_real_exit, "exit");
+  if (g_real_exit != nullptr) {
+    g_real_exit(status);
+  }
+  _exit(status);
+}
+
+// The persistent-mode hook (see README "Execution modes"). A target adopts
+// it by declaring the symbol weak and, early in main, handing over its
+// per-test entry function:
+//
+//   extern "C" __attribute__((weak)) int afex_persistent_run(int (*)(int));
+//   if (afex_persistent_run != nullptr) {
+//     int rc = afex_persistent_run(&RunOneTest);
+//     if (rc >= 0) return rc;   // loop ran (or plain preload: rc == -1)
+//   }
+//
+// Returns -1 immediately when persistent mode is not active (plain runs,
+// spawn mode, forkserver children), so adopted targets behave identically
+// outside it. Otherwise runs the iteration loop — receive request, re-arm
+// plan, reset feedback, call entry with counting on — until the client
+// closes the control pipe, then returns the loop's final status (0).
+int afex_persistent_run(int (*entry)(int test_id)) {
+  if (g_fs_mode != 2 || g_persistent_entered || entry == nullptr) {
+    return -1;
+  }
+  g_persistent_pid = getpid();
+  g_persistent_entered = 1;
+  ++g_internal;
+  if (!SendMsg(FsMsgKind::kPersistentAck, 0, 0)) {
+    --g_internal;
+    return 0;  // client already gone: let main unwind normally
+  }
+  // Static so no automatic state is live across the longjmp (the loop is
+  // single-threaded and reentrancy-guarded above).
+  static FsRequest req;
+  static FsPlanEntry entries[kFsMaxPlans];
+  while (ReadRequest(req, entries)) {
+    ResetFeedbackForTest(req.test_seq);
+    ArmPlans(entries, req.plan_count);
+    volatile int code = 0;
+    g_exit_armed = 1;
+    if (setjmp(g_persistent_jmp) == 0) {
+      --g_internal;
+      __atomic_store_n(&g_active, 1, __ATOMIC_RELEASE);
+      code = entry(static_cast<int>(req.test_id)) & 0xff;
+      ++g_internal;
+    } else {
+      // Iteration ended through the exit() wrapper.
+      ++g_internal;
+      code = g_exit_status & 0xff;
+    }
+    g_exit_armed = 0;
+    __atomic_store_n(&g_active, 0, __ATOMIC_RELEASE);
+    if (!SendMsg(FsMsgKind::kIterStatus, code, req.test_seq)) {
+      break;
+    }
+  }
+  --g_internal;
+  return 0;
 }
 
 }  // extern "C"

@@ -26,10 +26,9 @@ uint64_t ElapsedMs(Clock::time_point since) {
       std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - since).count());
 }
 
-// Drains whatever is readable right now from `fd` into `out`, up to `cap`
-// total bytes (excess is read and discarded so the child never blocks on a
-// full pipe). Returns false once the pipe reports EOF.
-bool DrainPipe(int fd, std::string& out, size_t cap) {
+}  // namespace
+
+bool DrainAvailable(int fd, std::string& out, size_t cap) {
   char buf[4096];
   while (true) {
     ssize_t n = ::read(fd, buf, sizeof(buf));
@@ -46,7 +45,31 @@ bool DrainPipe(int fd, std::string& out, size_t cap) {
   }
 }
 
-}  // namespace
+std::vector<std::string> MaterializeEnv(
+    const std::vector<std::pair<std::string, std::string>>& env,
+    const std::string& preload) {
+  std::vector<std::string> env_strings;
+  for (char** e = environ; *e != nullptr; ++e) {
+    env_strings.emplace_back(*e);
+  }
+  auto set_var = [&env_strings](const std::string& key, const std::string& value) {
+    std::string prefix = key + "=";
+    for (std::string& entry : env_strings) {
+      if (entry.rfind(prefix, 0) == 0) {
+        entry = prefix + value;
+        return;
+      }
+    }
+    env_strings.push_back(prefix + value);
+  };
+  for (const auto& [key, value] : env) {
+    set_var(key, value);
+  }
+  if (!preload.empty()) {
+    set_var("LD_PRELOAD", preload);
+  }
+  return env_strings;
+}
 
 bool IsCrashSignal(int signal) {
   switch (signal) {
@@ -72,26 +95,7 @@ ProcessResult RunProcess(const ProcessRequest& request) {
   // Everything the child needs is materialized BEFORE fork: with --jobs the
   // parent is multithreaded, so the child may only touch async-signal-safe
   // calls (dup2/chdir/execvpe) — no setenv, no allocation.
-  std::vector<std::string> env_strings;
-  for (char** e = environ; *e != nullptr; ++e) {
-    env_strings.emplace_back(*e);
-  }
-  auto set_var = [&env_strings](const std::string& key, const std::string& value) {
-    std::string prefix = key + "=";
-    for (std::string& entry : env_strings) {
-      if (entry.rfind(prefix, 0) == 0) {
-        entry = prefix + value;
-        return;
-      }
-    }
-    env_strings.push_back(prefix + value);
-  };
-  for (const auto& [key, value] : request.env) {
-    set_var(key, value);
-  }
-  if (!request.preload.empty()) {
-    set_var("LD_PRELOAD", request.preload);
-  }
+  std::vector<std::string> env_strings = MaterializeEnv(request.env, request.preload);
   std::vector<char*> envp;
   envp.reserve(env_strings.size() + 1);
   for (std::string& entry : env_strings) {
@@ -161,7 +165,7 @@ ProcessResult RunProcess(const ProcessRequest& request) {
     if (pipe_open) {
       struct pollfd pfd{pipe_fds[0], POLLIN, 0};
       ::poll(&pfd, 1, 20);
-      pipe_open = DrainPipe(pipe_fds[0], result.output, request.max_output_bytes);
+      pipe_open = DrainAvailable(pipe_fds[0], result.output, request.max_output_bytes);
     } else {
       struct timespec ts{0, 5 * 1000 * 1000};
       ::nanosleep(&ts, nullptr);
@@ -170,7 +174,7 @@ ProcessResult RunProcess(const ProcessRequest& request) {
 
   // Collect output written before exit that we have not read yet.
   if (pipe_open) {
-    DrainPipe(pipe_fds[0], result.output, request.max_output_bytes);
+    DrainAvailable(pipe_fds[0], result.output, request.max_output_bytes);
   }
   ::close(pipe_fds[0]);
 

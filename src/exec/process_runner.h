@@ -58,6 +58,20 @@ ProcessResult RunProcess(const ProcessRequest& request);
 // ILL, TRAP) — the classification the harness maps to TestOutcome::crashed.
 bool IsCrashSignal(int signal);
 
+// Child-environment materialization shared by RunProcess and the forkserver
+// client (exec/forkserver.h): inherited environment with `env` overrides
+// applied and LD_PRELOAD set to `preload` (when non-empty). Built entirely
+// pre-fork because with --jobs the parent is multithreaded and the forked
+// child may only touch async-signal-safe calls.
+std::vector<std::string> MaterializeEnv(
+    const std::vector<std::pair<std::string, std::string>>& env,
+    const std::string& preload);
+
+// Drains whatever is readable right now from a nonblocking `fd` into `out`,
+// up to `cap` total bytes (excess is read and discarded so the writer never
+// blocks on a full pipe). Returns false once the pipe reports EOF.
+bool DrainAvailable(int fd, std::string& out, size_t cap);
+
 }  // namespace exec
 }  // namespace afex
 

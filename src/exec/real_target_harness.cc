@@ -10,6 +10,7 @@
 
 #include "exec/fault_plan.h"
 #include "exec/feedback_block.h"
+#include "exec/forkserver.h"
 #include "exec/process_runner.h"
 #include "injection/libc_profile.h"
 #include "injection/plan.h"
@@ -32,6 +33,38 @@ std::string FirstLine(const std::string& output) {
   size_t nl = output.find('\n');
   return output.substr(0, nl == std::string::npos ? output.size() : nl);
 }
+
+// In-place sandbox recycling (the scratch-dir satellite of the forkserver
+// work): unlink the entries, keep the directory. A test leaves a handful
+// of WAL/data files behind; removing just those beats the old recursive
+// delete + create_directories pair per run — and it is the only option in
+// forkserver/persistent modes, where the server's working directory is
+// pinned at exec time.
+void CleanDirInPlace(const fs::path& dir) {
+  std::error_code ec;
+  std::vector<fs::path> entries;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    entries.push_back(it->path());
+  }
+  for (const fs::path& entry : entries) {
+    std::error_code rm_ec;
+    fs::remove_all(entry, rm_ec);
+  }
+}
+
+// How one test's process terminated, normalized across the three exec
+// modes so the outcome translation below is written once.
+struct RawRun {
+  bool started = false;
+  bool exited = false;
+  int exit_code = -1;
+  int term_signal = 0;
+  bool timed_out = false;
+  bool kill_escalated = false;
+  std::string output;
+  std::string start_error;  // why started == false
+};
 
 }  // namespace
 
@@ -78,16 +111,73 @@ RealTargetHarness::RealTargetHarness(RealTargetConfig config)
     }
   } else {
     work_root_ = config_.work_root;
-    std::error_code ec;
-    fs::create_directories(work_root_, ec);
+    std::error_code ec2;
+    fs::create_directories(work_root_, ec2);
   }
+  // Recycled per-harness scratch: mkdtemp keeps --jobs nodes that share an
+  // explicit work root out of each other's sandboxes.
+  {
+    std::string pattern = (fs::path(work_root_) / "wXXXXXX").string();
+    std::vector<char> buf(pattern.begin(), pattern.end());
+    buf.push_back('\0');
+    instance_dir_ = ::mkdtemp(buf.data()) != nullptr ? std::string(buf.data())
+                                                     : work_root_;
+  }
+  sandbox_dir_ = (fs::path(instance_dir_) / "sandbox").string();
+  plan_path_ = (fs::path(instance_dir_) / "plan.afex").string();
+  feedback_path_ = (fs::path(instance_dir_) / "feedback.afexfb").string();
+  fs::create_directories(sandbox_dir_, ec);
 }
 
 RealTargetHarness::~RealTargetHarness() {
+  // Stop the server before its working directory disappears.
+  forkserver_.reset();
+  std::error_code ec;
   if (own_work_root_ && !config_.keep_scratch) {
-    std::error_code ec;
     fs::remove_all(work_root_, ec);
+  } else if (!config_.keep_scratch && instance_dir_ != work_root_) {
+    fs::remove_all(instance_dir_, ec);
   }
+}
+
+void RealTargetHarness::set_metrics_sink(obs::MetricsSink* sink) {
+  metrics_ = sink;
+  if (forkserver_ != nullptr) {
+    forkserver_->set_metrics_sink(sink);
+  }
+}
+
+bool RealTargetHarness::EnsureForkserver(std::string& why) {
+  if (forkserver_ != nullptr) {
+    return true;
+  }
+  // The server maps the feedback file once, in its constructor: the file
+  // must exist (and keeps its identity across every test and respawn).
+  if (!CreateFeedbackFile(feedback_path_.c_str())) {
+    why = "exec: cannot create feedback file " + feedback_path_;
+    return false;
+  }
+  ForkserverOptions opts;
+  opts.argv = config_.target_argv;
+  bool has_placeholder = false;
+  for (const std::string& arg : opts.argv) {
+    if (arg.find("{test}") != std::string::npos) {
+      has_placeholder = true;
+      break;
+    }
+  }
+  if (!has_placeholder) {
+    opts.argv.emplace_back("{test}");
+  }
+  opts.working_dir = sandbox_dir_;
+  opts.preload = config_.interposer_path;
+  opts.env = {{"AFEX_FEEDBACK", feedback_path_}};
+  opts.persistent = config_.exec_mode == ExecMode::kPersistent;
+  opts.timeout_ms = config_.timeout_ms;
+  opts.max_output_bytes = config_.max_output_bytes;
+  forkserver_ = std::make_unique<ForkserverClient>(std::move(opts));
+  forkserver_->set_metrics_sink(metrics_);
+  return true;
 }
 
 FaultSpace RealTargetHarness::MakeSpace(size_t max_call, bool include_zero_call) const {
@@ -109,20 +199,6 @@ TestOutcome RealTargetHarness::RunFault(const FaultSpace& space, const Fault& fa
   TestOutcome outcome;
   ++tests_run_;
 
-  // ---- per-run sandbox + control files ----
-  obs::PhaseTimer plan_timer(metrics_, obs::Phase::kRealPlanWrite);
-  fs::path run_dir = fs::path(work_root_) / ("run_" + std::to_string(tests_run_));
-  fs::path sandbox = run_dir / "sandbox";
-  std::error_code ec;
-  fs::create_directories(sandbox, ec);
-  if (ec) {
-    outcome.test_failed = true;
-    outcome.detail = "exec: cannot create sandbox " + sandbox.string();
-    return outcome;
-  }
-  std::string plan_path = (run_dir / "plan.afex").string();
-  std::string feedback_path = (run_dir / "feedback.afexfb").string();
-
   std::vector<FaultSpec> specs;
   if (plan.spec.has_value()) {
     if (InterposedSlot(plan.spec->function.c_str()) < 0) {
@@ -134,47 +210,107 @@ TestOutcome RealTargetHarness::RunFault(const FaultSpace& space, const Fault& fa
     }
     specs.push_back(*plan.spec);
   }
-  if (!WriteFaultPlan(plan_path, specs) || !CreateFeedbackFile(feedback_path.c_str())) {
-    outcome.test_failed = true;
-    outcome.detail = "exec: cannot write control files under " + run_dir.string();
-    return outcome;
-  }
-  plan_timer.Finish();
 
-  // ---- build the command ----
-  ProcessRequest request;
-  std::string test_label = std::to_string(plan.test_id + 1);
-  bool substituted = false;
-  for (const std::string& arg : config_.target_argv) {
-    std::string expanded = arg;
-    size_t pos;
-    while ((pos = expanded.find("{test}")) != std::string::npos) {
-      expanded.replace(pos, 6, test_label);
-      substituted = true;
+  const std::string test_label = std::to_string(plan.test_id + 1);
+  std::string feedback_path = feedback_path_;
+  RawRun run;
+  uint32_t expect_seq = 0;
+  std::error_code ec;
+
+  if (config_.exec_mode == ExecMode::kSpawn) {
+    // ---- spawn: control files + one process per test ----
+    obs::PhaseTimer plan_timer(metrics_, obs::Phase::kRealPlanWrite);
+    fs::path run_dir(instance_dir_);
+    fs::path sandbox(sandbox_dir_);
+    std::string plan_path = plan_path_;
+    if (config_.keep_scratch) {
+      // Debugging layout: everything for run N stays under run_N/.
+      run_dir = fs::path(work_root_) / ("run_" + std::to_string(tests_run_));
+      sandbox = run_dir / "sandbox";
+      plan_path = (run_dir / "plan.afex").string();
+      feedback_path = (run_dir / "feedback.afexfb").string();
     }
-    request.argv.push_back(std::move(expanded));
-  }
-  if (!substituted) {
-    request.argv.push_back(test_label);
-  }
-  request.working_dir = sandbox.string();
-  request.preload = config_.interposer_path;
-  request.env = {{"AFEX_PLAN", plan_path}, {"AFEX_FEEDBACK", feedback_path}};
-  request.timeout_ms = config_.timeout_ms;
-  request.max_output_bytes = config_.max_output_bytes;
+    fs::create_directories(sandbox, ec);
+    if (ec) {
+      outcome.test_failed = true;
+      outcome.detail = "exec: cannot create sandbox " + sandbox.string();
+      return outcome;
+    }
+    if (!WriteFaultPlan(plan_path, specs) || !CreateFeedbackFile(feedback_path.c_str())) {
+      outcome.test_failed = true;
+      outcome.detail = "exec: cannot write control files under " + run_dir.string();
+      return outcome;
+    }
+    plan_timer.Finish();
 
-  ProcessResult run = RunProcess(request);
-  if (metrics_ != nullptr) {
-    // The runner stamps spawn/wait on the obs::NowNs timebase so the two
-    // sub-phases line up with everything else in the trace.
-    metrics_->RecordPhase(obs::Phase::kRealForkExec, run.spawn_start_ns, run.spawn_ns);
-    if (run.started) {
-      metrics_->RecordPhase(obs::Phase::kRealChildWait,
-                            run.spawn_start_ns + run.spawn_ns, run.wait_ns);
+    ProcessRequest request;
+    bool substituted = false;
+    for (const std::string& arg : config_.target_argv) {
+      std::string expanded = arg;
+      size_t pos;
+      while ((pos = expanded.find("{test}")) != std::string::npos) {
+        expanded.replace(pos, 6, test_label);
+        substituted = true;
+      }
+      request.argv.push_back(std::move(expanded));
+    }
+    if (!substituted) {
+      request.argv.push_back(test_label);
+    }
+    request.working_dir = sandbox.string();
+    request.preload = config_.interposer_path;
+    request.env = {{"AFEX_PLAN", plan_path}, {"AFEX_FEEDBACK", feedback_path}};
+    request.timeout_ms = config_.timeout_ms;
+    request.max_output_bytes = config_.max_output_bytes;
+
+    ProcessResult pr = RunProcess(request);
+    if (metrics_ != nullptr) {
+      // The runner stamps spawn/wait on the obs::NowNs timebase so the two
+      // sub-phases line up with everything else in the trace.
+      metrics_->RecordPhase(obs::Phase::kRealForkExec, pr.spawn_start_ns, pr.spawn_ns);
+      if (pr.started) {
+        metrics_->RecordPhase(obs::Phase::kRealChildWait,
+                              pr.spawn_start_ns + pr.spawn_ns, pr.wait_ns);
+      }
+    }
+    run.started = pr.started;
+    run.exited = pr.exited;
+    run.exit_code = pr.exit_code;
+    run.term_signal = pr.term_signal;
+    run.timed_out = pr.timed_out;
+    run.kill_escalated = pr.kill_escalated;
+    run.output = std::move(pr.output);
+    if (!run.started) {
+      run.start_error =
+          "exec: failed to start " +
+          (request.argv.empty() ? std::string("<empty>") : request.argv[0]);
+    }
+  } else {
+    // ---- forkserver / persistent: one pipe round-trip per test ----
+    std::string why;
+    if (!EnsureForkserver(why)) {
+      outcome.test_failed = true;
+      outcome.detail = why;
+      return outcome;
+    }
+    expect_seq = ++next_seq_;
+    obs::PhaseTimer roundtrip(metrics_, obs::Phase::kRealFsRoundtrip);
+    ForkserverTestResult fr = forkserver_->RunTest(
+        static_cast<uint32_t>(plan.test_id + 1), specs, expect_seq);
+    roundtrip.Finish();
+    run.started = fr.ran;
+    run.exited = fr.exited;
+    run.exit_code = fr.exit_code;
+    run.term_signal = fr.term_signal;
+    run.timed_out = fr.timed_out;
+    run.kill_escalated = fr.kill_escalated;
+    run.output = std::move(fr.output);
+    if (!run.started) {
+      run.start_error = "exec: " + fr.error;
     }
   }
 
-  // ---- translate the observation ----
+  // ---- translate the observation (identical across exec modes) ----
   outcome.hung = run.timed_out;
   outcome.crashed = IsCrashSignal(run.term_signal);
   outcome.exit_code = run.exited ? run.exit_code : 128 + run.term_signal;
@@ -217,7 +353,16 @@ TestOutcome RealTargetHarness::RunFault(const FaultSpace& space, const Fault& fa
       count("real.feedback_bad_magic");
       break;
   }
-  if (feedback_status == FeedbackReadStatus::kOk) {
+  // In fs modes the server stamps test_seq before every fork/iteration; a
+  // mismatch means the block was never re-armed for this test (server died
+  // between reset and run) and its counts belong to an earlier test —
+  // attributing them here would fabricate coverage/trigger signal.
+  const bool feedback_stale = feedback_status == FeedbackReadStatus::kOk &&
+                              expect_seq != 0 && block.test_seq != expect_seq;
+  if (feedback_stale) {
+    count("real.feedback_stale");
+  }
+  if (feedback_status == FeedbackReadStatus::kOk && !feedback_stale) {
     // Each profiled libc function the run touched is one black-box
     // "coverage block": the call profile is the only structural signal a
     // black-box run emits, and it feeds the impact metric's coverage term
@@ -240,15 +385,15 @@ TestOutcome RealTargetHarness::RunFault(const FaultSpace& space, const Fault& fa
           kInterposedFunctions[block.first_injected_slot],
           "call" + std::to_string(block.first_injected_call)};
     }
-  } else if (!config_.interposer_path.empty()) {
+  } else if (feedback_status != FeedbackReadStatus::kOk &&
+             !config_.interposer_path.empty()) {
     AFEX_LOG(kWarn) << "no feedback block from " << feedback_path
                     << " (interposer did not attach?)";
   }
   feedback_timer.Finish();
 
   if (!run.started) {
-    outcome.detail = "exec: failed to start " +
-                     (request.argv.empty() ? std::string("<empty>") : request.argv[0]);
+    outcome.detail = run.start_error;
   } else if (outcome.hung) {
     outcome.detail = "timeout after " + std::to_string(config_.timeout_ms) + "ms";
     if (run.kill_escalated) {
@@ -261,8 +406,9 @@ TestOutcome RealTargetHarness::RunFault(const FaultSpace& space, const Fault& fa
   }
 
   if (!config_.keep_scratch) {
+    // Recycle, don't recreate: drop the test's droppings, keep the sandbox.
     obs::PhaseTimer cleanup_timer(metrics_, obs::Phase::kRealScratchCleanup);
-    fs::remove_all(run_dir, ec);
+    CleanDirInPlace(sandbox_dir_);
   }
   return outcome;
 }

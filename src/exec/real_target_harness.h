@@ -18,6 +18,7 @@
 #define AFEX_EXEC_REAL_TARGET_HARNESS_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,18 @@
 
 namespace afex {
 namespace exec {
+
+class ForkserverClient;
+
+// How each test becomes a process (README "Execution modes"):
+//   kSpawn      — fork+exec the target per test (the PR-5 baseline).
+//   kForkserver — one long-lived target stopped pre-main; fork per test.
+//   kPersistent — same server, but the target's entry function is re-run
+//                 in-process via afex_persistent_run; falls back to
+//                 kForkserver when the target never adopts the hook.
+// All three produce record-identical campaigns for well-behaved targets;
+// they differ only in per-test cost.
+enum class ExecMode { kSpawn, kForkserver, kPersistent };
 
 struct RealTargetConfig {
   // Target command. Every occurrence of "{test}" in any argument is
@@ -42,10 +55,14 @@ struct RealTargetConfig {
   std::string work_root;
   uint64_t timeout_ms = 5000;
   size_t max_output_bytes = 1 << 16;
-  // Keep per-run sandboxes and control files on disk (debugging).
+  // Keep scratch state on disk for debugging. Spawn mode reverts to the
+  // old one-directory-per-run layout; forkserver/persistent modes (whose
+  // server pins one working directory at exec time) merely skip the
+  // between-test sandbox cleanup.
   bool keep_scratch = false;
   // Function axis for MakeSpace. Empty = InterposableFunctions().
   std::vector<std::string> functions;
+  ExecMode exec_mode = ExecMode::kSpawn;
 };
 
 // The libc-profile functions the interposer wraps, in profile (category)
@@ -75,18 +92,33 @@ class RealTargetHarness : public TargetBackend {
   double CoverageFraction() const override { return coverage_.Fraction(); }
   double RecoveryCoverageFraction() const override { return 0.0; }
   size_t tests_run() const override { return tests_run_; }
-  // Sub-phase timing (real.plan_write / fork_exec / child_wait /
+  // Sub-phase timing (spawn: real.plan_write / fork_exec / child_wait;
+  // forkserver/persistent: real.fs_roundtrip / fs_restart; all modes:
   // feedback_read / scratch_cleanup) plus outcome-breakdown counters.
-  void set_metrics_sink(obs::MetricsSink* sink) override { metrics_ = sink; }
+  void set_metrics_sink(obs::MetricsSink* sink) override;
 
   const RealTargetConfig& config() const { return config_; }
   const CoverageAccumulator& coverage() const { return coverage_; }
+  // The long-lived server client, once the first forkserver/persistent
+  // test has run (null in spawn mode). Exposed for tests.
+  ForkserverClient* forkserver() { return forkserver_.get(); }
 
  private:
+  bool EnsureForkserver(std::string& why);
+
   RealTargetConfig config_;
   std::string work_root_;       // resolved scratch root
   bool own_work_root_ = false;  // created by us => removed in the dtor
   std::string target_name_;     // basename of argv[0], for injection stacks
+  // Per-harness recycled scratch (unique under work_root_, so --jobs nodes
+  // sharing one root never collide): one sandbox emptied in place between
+  // tests, one plan file and one feedback file rewritten per test.
+  std::string instance_dir_;
+  std::string sandbox_dir_;
+  std::string plan_path_;
+  std::string feedback_path_;
+  std::unique_ptr<ForkserverClient> forkserver_;
+  uint32_t next_seq_ = 0;  // FeedbackBlock::test_seq stamps (fs modes)
   CoverageAccumulator coverage_;
   CachedFaultDecoder decoder_;  // per-space decode tables, built once
   size_t tests_run_ = 0;

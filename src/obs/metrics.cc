@@ -109,6 +109,10 @@ const char* PhaseName(Phase phase) {
       return "real.feedback_read";
     case Phase::kRealScratchCleanup:
       return "real.scratch_cleanup";
+    case Phase::kRealFsRoundtrip:
+      return "real.fs_roundtrip";
+    case Phase::kRealFsRestart:
+      return "real.fs_restart";
   }
   return "unknown";
 }

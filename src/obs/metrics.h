@@ -61,8 +61,10 @@ enum class Phase : uint8_t {
   kRealChildWait,       // real backend: child runtime until reaped
   kRealFeedbackRead,    // real backend: feedback block read + translation
   kRealScratchCleanup,  // real backend: per-run sandbox removal
+  kRealFsRoundtrip,     // real backend: forkserver request write → status read
+  kRealFsRestart,       // real backend: forkserver (re)spawn + handshake
 };
-inline constexpr size_t kPhaseCount = 13;
+inline constexpr size_t kPhaseCount = 15;
 
 // Dotted metric name for a phase, e.g. "real.fork_exec".
 const char* PhaseName(Phase phase);

@@ -90,6 +90,11 @@ expect_cli_error("--interposer '.*' does not exist"
   "--interposer=${CMAKE_CURRENT_BINARY_DIR}/no_such_interposer.so")
 expect_cli_error("--auto-space only applies to --backend=real"
   --target=minidb --budget=5 --auto-space)
+expect_cli_error("--exec-mode expects 'spawn', 'forkserver', or 'persistent'"
+  --backend=real "--target-cmd=${AFEX_WALUTIL} {test}" "--interposer=${AFEX_INTERPOSER}"
+  --budget=5 --exec-mode=turbo)
+expect_cli_error("only apply to --backend=real"
+  --target=minidb --budget=5 --exec-mode=forkserver)
 set(space_file "${CMAKE_CURRENT_BINARY_DIR}/smoke_space.afex")
 file(WRITE "${space_file}" "real\ntest : [1,2]\nfunction : { read, write }\ncall : [1,2]\n;\n")
 expect_cli_error("conflicts with --space"
@@ -147,6 +152,36 @@ if(NOT real_leg2 MATCHES "executed 25 tests")
     "real-backend resume did not reach the combined 25-test budget:\n${real_leg2}")
 endif()
 message(STATUS "real-backend campaign: injected site journaled, kill-and-resume ok")
+
+# --- exec modes: determinism across spawn / forkserver / persistent ---------
+# The tentpole's equivalence acceptance, end to end through the CLI: the
+# same seeded campaign — including a kill-and-resume under --jobs=2 — must
+# export byte-identical records in every exec mode.
+foreach(mode spawn forkserver persistent)
+  set(journal "${CMAKE_CURRENT_BINARY_DIR}/smoke_mode_${mode}.afexj")
+  set(mode_export "${CMAKE_CURRENT_BINARY_DIR}/smoke_mode_${mode}.csv")
+  file(REMOVE "${journal}" "${mode_export}")
+  run_cli(mode_leg1 --backend=real "--target-cmd=${AFEX_WALUTIL} {test}" --num-tests=6
+    "--interposer=${AFEX_INTERPOSER}" --timeout-ms=10000 --budget=10 --seed=3
+    --exec-mode=${mode} --jobs=2 "--journal=${journal}")
+  run_cli(mode_leg2 --backend=real "--target-cmd=${AFEX_WALUTIL} {test}" --num-tests=6
+    "--interposer=${AFEX_INTERPOSER}" --timeout-ms=10000 --budget=24 --seed=3
+    --exec-mode=${mode} --jobs=2 "--journal=${journal}" --resume
+    --export=csv "--export-file=${mode_export}")
+  if(NOT mode_leg2 MATCHES "executed 24 tests")
+    message(FATAL_ERROR
+      "--exec-mode=${mode} resume did not reach the combined 24-test budget:\n${mode_leg2}")
+  endif()
+  file(READ "${mode_export}" mode_csv)
+  if(mode STREQUAL "spawn")
+    set(spawn_csv "${mode_csv}")
+  elseif(NOT mode_csv STREQUAL spawn_csv)
+    message(FATAL_ERROR
+      "--exec-mode=${mode} produced records different from spawn mode:\n${mode_csv}")
+  endif()
+endforeach()
+message(STATUS
+  "exec modes: spawn/forkserver/persistent kill-and-resume under --jobs=2 record-identical")
 
 # --- telemetry flag validation ----------------------------------------------
 expect_cli_error("--log-level expects debug.info.warn.error.off"
@@ -231,3 +266,39 @@ if(trace_events EQUAL 0)
   message(FATAL_ERROR "real-backend trace file has no events:\n${trace_json}")
 endif()
 message(STATUS "real telemetry: sub-phase timers and outcome counters populated")
+
+# --- telemetry: forkserver mode ---------------------------------------------
+# Forkserver campaigns time the pipe round-trip instead of the spawn-mode
+# per-test phases: real.fs_roundtrip must cover every test, and the phases
+# whose cost the forkserver eliminates (plan_write/fork_exec/child_wait)
+# must be absent from the snapshot entirely.
+set(metrics_file "${CMAKE_CURRENT_BINARY_DIR}/smoke_fs_metrics.json")
+file(REMOVE "${metrics_file}")
+run_cli(fs_telemetry_leg --backend=real "--target-cmd=${AFEX_WALUTIL} {test}" --num-tests=6
+  "--interposer=${AFEX_INTERPOSER}" --timeout-ms=10000 --budget=10 --seed=1
+  --exec-mode=forkserver "--metrics-file=${metrics_file}")
+file(READ "${metrics_file}" metrics_json)
+string(JSON roundtrip_count GET "${metrics_json}" histograms real.fs_roundtrip count)
+if(NOT roundtrip_count EQUAL 10)
+  message(FATAL_ERROR
+    "forkserver metrics: real.fs_roundtrip count = ${roundtrip_count}, expected 10")
+endif()
+string(JSON restart_count GET "${metrics_json}" histograms real.fs_restart count)
+if(NOT restart_count EQUAL 1)
+  message(FATAL_ERROR
+    "forkserver metrics: real.fs_restart count = ${restart_count}, expected 1 (initial spawn)")
+endif()
+string(JSON feedback_ok GET "${metrics_json}" counters real.feedback_ok)
+if(NOT feedback_ok EQUAL 10)
+  message(FATAL_ERROR
+    "forkserver metrics: real.feedback_ok = ${feedback_ok}, expected 10")
+endif()
+foreach(phase real.plan_write real.fork_exec real.child_wait)
+  string(JSON phase_count ERROR_VARIABLE json_error GET "${metrics_json}" histograms ${phase} count)
+  if(NOT phase_count MATCHES "NOTFOUND" AND NOT phase_count EQUAL 0)
+    message(FATAL_ERROR
+      "forkserver metrics: spawn-mode phase ${phase} recorded ${phase_count} samples, "
+      "expected none")
+  endif()
+endforeach()
+message(STATUS "forkserver telemetry: per-test cost is one pipe round-trip")

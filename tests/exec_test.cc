@@ -9,6 +9,8 @@
 //   AFEX_INTERPOSER_PATH — libafex_interpose.so
 //   AFEX_WALUTIL_PATH    — the sample real target
 #include <gtest/gtest.h>
+#include <signal.h>
+#include <unistd.h>
 
 #include <csignal>
 #include <filesystem>
@@ -23,6 +25,7 @@
 #include "core/fitness_explorer.h"
 #include "exec/fault_plan.h"
 #include "exec/feedback_block.h"
+#include "exec/forkserver.h"
 #include "exec/process_runner.h"
 #include "exec/real_target_harness.h"
 
@@ -80,6 +83,31 @@ TEST(FaultPlanTest, RejectsUnwrappedFunctionAndGarbage) {
   EXPECT_FALSE(ParseFaultPlanFile(dir + "/p2", parsed));
   std::ofstream(dir + "/p3") << "afexplan 1\ninject open nonsense\n";
   EXPECT_FALSE(ParseFaultPlanFile(dir + "/p3", parsed));
+}
+
+TEST(FaultPlanTest, PipeEntriesRoundTrip) {
+  std::vector<FaultSpec> specs = {
+      {.function = "open", .call_lo = 3, .call_hi = 3, .retval = -1, .errno_value = 13},
+      {.function = "malloc", .call_lo = 1, .call_hi = 7, .retval = 0, .errno_value = 12},
+  };
+  std::vector<FsPlanEntry> entries;
+  ASSERT_TRUE(EncodePlanEntries(specs, entries));
+  ASSERT_EQ(entries.size(), 2u);
+  std::vector<FaultSpec> back;
+  ASSERT_TRUE(DecodePlanEntries(entries, back));
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].function, "open");
+  EXPECT_EQ(back[0].call_lo, 3);
+  EXPECT_EQ(back[0].errno_value, 13);
+  EXPECT_EQ(back[1].function, "malloc");
+  EXPECT_EQ(back[1].retval, 0);
+
+  // Same rejection surface as the file form: unwrapped functions and plans
+  // wider than the interposer's fixed table.
+  EXPECT_FALSE(EncodePlanEntries({{.function = "strtol"}}, entries));
+  std::vector<FaultSpec> wide(kFsMaxPlans + 1,
+                              {.function = "open", .call_lo = 1, .call_hi = 1});
+  EXPECT_FALSE(EncodePlanEntries(wide, entries));
 }
 
 TEST(FeedbackBlockTest, CreateAndReadBackRejectsUnattached) {
@@ -278,6 +306,278 @@ TEST(RealTargetHarnessTest, TranslatesOutcomeAndCoverage) {
   EXPECT_TRUE(crashed.test_failed);
   EXPECT_TRUE(crashed.fault_triggered);
   EXPECT_EQ(harness.tests_run(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Forkserver client
+// ---------------------------------------------------------------------------
+
+// Options for a walutil forkserver rooted at `dir` (sandbox + feedback file
+// are created here; the client maps the feedback file server-side).
+ForkserverOptions WalutilFsOptions(const std::string& dir, bool persistent) {
+  fs::create_directories(dir + "/sandbox");
+  EXPECT_TRUE(CreateFeedbackFile((dir + "/fb.bin").c_str()));
+  ForkserverOptions opts;
+  opts.argv = {AFEX_WALUTIL_PATH, "{test}"};
+  opts.working_dir = dir + "/sandbox";
+  opts.preload = AFEX_INTERPOSER_PATH;
+  opts.env = {{"AFEX_FEEDBACK", dir + "/fb.bin"}};
+  opts.persistent = persistent;
+  opts.timeout_ms = 10000;
+  return opts;
+}
+
+TEST(ForkserverClientTest, RunsTestsAndClassifiesOutcomesInOneServer) {
+  std::string dir = TempDir("fs_basic");
+  ForkserverClient client(WalutilFsOptions(dir, /*persistent=*/false));
+
+  ForkserverTestResult clean = client.RunTest(1, {}, 1);
+  ASSERT_TRUE(clean.ran) << clean.error;
+  EXPECT_TRUE(clean.exited);
+  EXPECT_EQ(clean.exit_code, 0);
+  EXPECT_NE(clean.output.find("copied source.tbl"), std::string::npos) << clean.output;
+
+  ForkserverTestResult injected = client.RunTest(
+      1, {{.function = "open", .call_lo = 2, .call_hi = 2, .retval = -1, .errno_value = 13}},
+      2);
+  ASSERT_TRUE(injected.ran) << injected.error;
+  EXPECT_EQ(injected.exit_code, 1);
+  EXPECT_NE(injected.output.find("copy open source failed: errno=13"), std::string::npos)
+      << injected.output;
+
+  ForkserverTestResult crashed = client.RunTest(
+      4, {{.function = "read", .call_lo = 1, .call_hi = 1, .retval = -1, .errno_value = 5}},
+      3);
+  ASSERT_TRUE(crashed.ran) << crashed.error;
+  EXPECT_FALSE(crashed.exited);
+  EXPECT_EQ(crashed.term_signal, SIGSEGV);
+
+  // One server incarnation carried all three children, crash included.
+  EXPECT_EQ(client.restarts(), 0u);
+  EXPECT_EQ(client.generations(), 1u);
+}
+
+TEST(ForkserverClientTest, FeedbackBlockRearmedBetweenChildren) {
+  // The re-arm satellite: the server zeroes and version-stamps the shared
+  // feedback block BEFORE each fork, so a crashed child's counts can never
+  // leak into the next test's attribution.
+  std::string dir = TempDir("fs_rearm");
+  ForkserverClient client(WalutilFsOptions(dir, /*persistent=*/false));
+  std::string fb = dir + "/fb.bin";
+
+  ForkserverTestResult crashed = client.RunTest(
+      4, {{.function = "read", .call_lo = 1, .call_hi = 1, .retval = -1, .errno_value = 5}},
+      1);
+  ASSERT_TRUE(crashed.ran) << crashed.error;
+  EXPECT_EQ(crashed.term_signal, SIGSEGV);
+  FeedbackBlock block;
+  ASSERT_TRUE(ReadFeedbackBlock(fb.c_str(), block));
+  EXPECT_EQ(block.test_seq, 1u);
+  EXPECT_EQ(block.injected_total, 1u);
+
+  ForkserverTestResult clean = client.RunTest(1, {}, 2);
+  ASSERT_TRUE(clean.ran) << clean.error;
+  EXPECT_EQ(clean.exit_code, 0);
+  ASSERT_TRUE(ReadFeedbackBlock(fb.c_str(), block));
+  EXPECT_EQ(block.test_seq, 2u);
+  EXPECT_EQ(block.injected_total, 0u) << "stale injection counts survived the re-arm";
+  EXPECT_EQ(block.attached, 1u);
+}
+
+TEST(ForkserverClientTest, HandshakeFailsOnDeadServerAndWrongMagic) {
+  // A server that exits without ever speaking the protocol (no preload, so
+  // the interposer loop never runs).
+  ForkserverOptions dead = WalutilFsOptions(TempDir("fs_dead"), false);
+  dead.argv = {"/bin/true"};
+  dead.preload.clear();
+  dead.handshake_timeout_ms = 5000;
+  ForkserverClient dead_client(dead);
+  std::string error;
+  EXPECT_FALSE(dead_client.EnsureServer(error));
+  EXPECT_FALSE(error.empty());
+
+  // A server that writes 16 bytes of garbage where the Hello should be.
+  ForkserverOptions noise = WalutilFsOptions(TempDir("fs_noise"), false);
+  noise.argv = {"/bin/sh", "-c", "printf 'ABCDEFGHIJKLMNOP' >&199; sleep 1"};
+  noise.preload.clear();
+  noise.handshake_timeout_ms = 5000;
+  ForkserverClient noise_client(noise);
+  error.clear();
+  EXPECT_FALSE(noise_client.EnsureServer(error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ForkserverClientTest, TimeoutKillsChildAndClassifies) {
+  // The server is parked in waitpid while the child runs, so timeout kills
+  // are delivered by the *client* to the child pid from kChildPid.
+  ForkserverOptions opts = WalutilFsOptions(TempDir("fs_timeout"), false);
+  opts.argv = {"/bin/sh", "-c", "sleep 30"};
+  opts.timeout_ms = 300;
+  opts.kill_grace_ms = 200;
+  ForkserverClient client(opts);
+  pid_t pid = -1;
+  ForkserverTestResult result = client.RunTest(1, {}, 1);
+  ASSERT_TRUE(result.ran) << result.error;
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_FALSE(result.exited);
+  EXPECT_EQ(result.term_signal, SIGTERM);
+  pid = client.server_pid();
+
+  // The server survived its child's killing and serves the next test.
+  ForkserverTestResult after = client.RunTest(1, {}, 2);
+  ASSERT_TRUE(after.ran) << after.error;
+  EXPECT_TRUE(after.timed_out);
+  EXPECT_FALSE(after.server_restarted);
+  EXPECT_EQ(client.server_pid(), pid);
+}
+
+TEST(ForkserverClientTest, TornRequestWriteTriggersTransparentRestart) {
+  std::string dir = TempDir("fs_torn");
+  ForkserverClient client(WalutilFsOptions(dir, /*persistent=*/false));
+  ForkserverTestResult first = client.RunTest(1, {}, 1);
+  ASSERT_TRUE(first.ran) << first.error;
+
+  // Desynchronize the control pipe: the server reads these bytes as the
+  // head of the next request, sees a bad magic, and exits by contract.
+  ASSERT_GE(client.ctl_fd(), 0);
+  ASSERT_EQ(::write(client.ctl_fd(), "garbage", 7), 7);
+
+  ForkserverTestResult second = client.RunTest(1, {}, 2);
+  ASSERT_TRUE(second.ran) << second.error;
+  EXPECT_EQ(second.exit_code, 0);
+  EXPECT_TRUE(second.server_restarted);
+  EXPECT_EQ(client.restarts(), 1u);
+}
+
+TEST(ForkserverClientTest, ServerDeathMidCampaignRestartsTransparently) {
+  std::string dir = TempDir("fs_death");
+  ForkserverClient client(WalutilFsOptions(dir, /*persistent=*/false));
+  ForkserverTestResult first = client.RunTest(1, {}, 1);
+  ASSERT_TRUE(first.ran) << first.error;
+  pid_t old_pid = client.server_pid();
+  ASSERT_GT(old_pid, 0);
+  ASSERT_EQ(::kill(old_pid, SIGKILL), 0);
+
+  ForkserverTestResult second = client.RunTest(2, {}, 2);
+  ASSERT_TRUE(second.ran) << second.error;
+  EXPECT_EQ(second.exit_code, 0);
+  EXPECT_TRUE(second.server_restarted);
+  EXPECT_NE(client.server_pid(), old_pid);
+}
+
+TEST(ForkserverClientTest, PersistentRunsManyIterationsInOneProcess) {
+  std::string dir = TempDir("fs_persist");
+  ForkserverClient client(WalutilFsOptions(dir, /*persistent=*/true));
+  uint32_t seq = 0;
+  ForkserverTestResult first = client.RunTest(1, {}, ++seq);
+  ASSERT_TRUE(first.ran) << first.error;
+  EXPECT_EQ(first.exit_code, 0);
+  EXPECT_NE(first.output.find("copied source.tbl"), std::string::npos) << first.output;
+  pid_t pid = client.server_pid();
+
+  for (int i = 0; i < 20; ++i) {
+    ForkserverTestResult r = client.RunTest(static_cast<uint32_t>(1 + (i % 2)), {}, ++seq);
+    ASSERT_TRUE(r.ran) << r.error;
+    EXPECT_EQ(r.exit_code, 0);
+  }
+  // All iterations ran inside the original process.
+  EXPECT_EQ(client.server_pid(), pid);
+  EXPECT_EQ(client.restarts(), 0u);
+  EXPECT_TRUE(client.persistent_active());
+
+  // Injection still works in-process, including the exit() interception
+  // that turns walutil's Fail() into an iteration result.
+  ForkserverTestResult injected = client.RunTest(
+      1, {{.function = "open", .call_lo = 2, .call_hi = 2, .retval = -1, .errno_value = 13}},
+      ++seq);
+  ASSERT_TRUE(injected.ran) << injected.error;
+  EXPECT_EQ(injected.exit_code, 1);
+  EXPECT_NE(injected.output.find("copy open source failed: errno=13"), std::string::npos)
+      << injected.output;
+}
+
+TEST(ForkserverClientTest, PersistentCrashRestartsAndKeepsServing) {
+  std::string dir = TempDir("fs_persist_crash");
+  ForkserverClient client(WalutilFsOptions(dir, /*persistent=*/true));
+  ForkserverTestResult before = client.RunTest(1, {}, 1);
+  ASSERT_TRUE(before.ran) << before.error;
+  pid_t pid = client.server_pid();
+
+  // A crashing iteration takes the whole persistent process down; the
+  // client must report the crash truthfully, then respawn for the next test.
+  ForkserverTestResult crashed = client.RunTest(
+      4, {{.function = "read", .call_lo = 1, .call_hi = 1, .retval = -1, .errno_value = 5}},
+      2);
+  ASSERT_TRUE(crashed.ran) << crashed.error;
+  EXPECT_FALSE(crashed.exited);
+  EXPECT_EQ(crashed.term_signal, SIGSEGV);
+
+  ForkserverTestResult after = client.RunTest(1, {}, 3);
+  ASSERT_TRUE(after.ran) << after.error;
+  EXPECT_EQ(after.exit_code, 0);
+  EXPECT_NE(client.server_pid(), pid);
+  EXPECT_GE(client.restarts(), 1u);
+  EXPECT_TRUE(client.persistent_active());
+}
+
+TEST(ForkserverClientTest, PersistentFallsBackWhenTargetNeverAdopts) {
+  // /bin/sh never calls afex_persistent_run: the persistent server runs
+  // main to completion and exits before any ack — the client downgrades
+  // itself to forkserver mode and reruns the test there.
+  ForkserverOptions opts = WalutilFsOptions(TempDir("fs_fallback"), /*persistent=*/true);
+  opts.argv = {"/bin/sh", "-c", "echo no-adoption; exit 0"};
+  ForkserverClient client(opts);
+  ForkserverTestResult result = client.RunTest(1, {}, 1);
+  ASSERT_TRUE(result.ran) << result.error;
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_TRUE(result.persistent_fell_back);
+  EXPECT_FALSE(client.persistent_active());
+
+  // Subsequent tests stay in forkserver mode without re-probing.
+  ForkserverTestResult next = client.RunTest(1, {}, 2);
+  ASSERT_TRUE(next.ran) << next.error;
+  EXPECT_EQ(next.exit_code, 0);
+  EXPECT_FALSE(next.persistent_fell_back);
+}
+
+// ---------------------------------------------------------------------------
+// Exec-mode equivalence: the tentpole's determinism acceptance — the same
+// campaign produces byte-identical records in all three modes.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> CampaignRecords(ExecMode mode, const std::string& dir,
+                                         size_t budget) {
+  RealTargetConfig config = WalutilConfig(dir);
+  config.exec_mode = mode;
+  RealTargetHarness harness(config);
+  FaultSpace space = harness.MakeSpace(/*max_call=*/6);
+  FitnessExplorerConfig explorer_config;
+  explorer_config.seed = 23;
+  FitnessExplorer explorer(space, explorer_config);
+  ExplorationSession session(explorer, harness, space, SessionConfig{});
+  session.Run(SearchTarget{.max_tests = budget});
+  std::vector<std::string> serialized;
+  for (const SessionRecord& record : session.result().records) {
+    serialized.push_back(SerializeRecord(record));
+  }
+  return serialized;
+}
+
+TEST(ExecModeEquivalenceTest, AllModesProduceIdenticalRecordSequences) {
+  const size_t budget = 30;
+  std::vector<std::string> spawn =
+      CampaignRecords(ExecMode::kSpawn, TempDir("eq_spawn"), budget);
+  std::vector<std::string> forkserver =
+      CampaignRecords(ExecMode::kForkserver, TempDir("eq_fs"), budget);
+  std::vector<std::string> persistent =
+      CampaignRecords(ExecMode::kPersistent, TempDir("eq_pers"), budget);
+  ASSERT_EQ(spawn.size(), budget);
+  ASSERT_EQ(forkserver.size(), budget);
+  ASSERT_EQ(persistent.size(), budget);
+  for (size_t i = 0; i < budget; ++i) {
+    EXPECT_EQ(spawn[i], forkserver[i]) << "spawn vs forkserver, record " << i;
+    EXPECT_EQ(spawn[i], persistent[i]) << "spawn vs persistent, record " << i;
+  }
 }
 
 // ---------------------------------------------------------------------------

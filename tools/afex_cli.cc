@@ -100,6 +100,10 @@ struct Options {
   std::string interposer;   // libafex_interpose.so ("" = auto-discover)
   uint64_t timeout_ms = 5000;
   size_t num_tests = 6;     // test-axis cardinality for the real backend
+  // How the real backend turns tests into processes: fork+exec per test
+  // (spawn), an AFL-style forkserver, or in-process persistent iterations
+  // with automatic forkserver fallback. README "Execution modes".
+  std::string exec_mode = "spawn";
   // Derive the fault space from static analysis of the target binary: the
   // function axis is pruned to the interposable libc functions the binary
   // actually imports, and fitness priorities are seeded from callsite
@@ -110,6 +114,7 @@ struct Options {
   bool target_set = false;
   bool timeout_ms_set = false;
   bool num_tests_set = false;
+  bool exec_mode_set = false;
 };
 
 void PrintUsage() {
@@ -123,6 +128,7 @@ void PrintUsage() {
                "                [--export-file=FILE] [--crashes-only] [--top=N] [--verbose]\n"
                "                [--backend=<sim|real>] [--target-cmd='BIN ARGS...']\n"
                "                [--interposer=SO] [--timeout-ms=N] [--num-tests=N]\n"
+               "                [--exec-mode=<spawn|forkserver|persistent>]\n"
                "                [--auto-space] [--log-level=debug|info|warn|error|off]\n"
                "                [--metrics-file=FILE] [--trace-file=FILE]\n"
                "                [--status-interval=SEC]\n"
@@ -139,7 +145,12 @@ void PrintUsage() {
                "injector ({test} = 1-based test id; appended when omitted).\n"
                "--auto-space statically analyzes the target ELF binary and prunes\n"
                "the function axis to the interposable libc functions it imports,\n"
-               "seeding fitness priorities from per-function callsite counts.\n");
+               "seeding fitness priorities from per-function callsite counts.\n"
+               "--exec-mode picks how tests become processes: spawn (fork+exec per\n"
+               "test, the default), forkserver (one target stopped pre-main, one\n"
+               "bare fork per test), or persistent (in-process iterations via the\n"
+               "afex_persistent_run hook, falling back to forkserver when the\n"
+               "target never adopts it). All modes produce identical records.\n");
 }
 
 bool ParseFlag(const std::string& arg, const std::string& name, std::string& out) {
@@ -221,6 +232,9 @@ bool ParseOptions(int argc, char** argv, Options& options) {
       }
       options.num_tests = static_cast<size_t>(number);
       options.num_tests_set = true;
+    } else if (ParseFlag(arg, "exec-mode", value)) {
+      options.exec_mode = value;
+      options.exec_mode_set = true;
     } else if (ParseFlag(arg, "log-level", value)) {
       options.log_level = value;
     } else if (ParseFlag(arg, "metrics-file", value)) {
@@ -272,10 +286,17 @@ bool ParseOptions(int argc, char** argv, Options& options) {
   }
   if (options.backend != "real" &&
       (!options.target_cmd.empty() || !options.interposer.empty() ||
-       options.timeout_ms_set || options.num_tests_set)) {
+       options.timeout_ms_set || options.num_tests_set || options.exec_mode_set)) {
     std::fprintf(stderr,
-                 "--target-cmd/--interposer/--timeout-ms/--num-tests only apply to "
-                 "--backend=real\n");
+                 "--target-cmd/--interposer/--timeout-ms/--num-tests/--exec-mode only "
+                 "apply to --backend=real\n");
+    return false;
+  }
+  if (options.exec_mode != "spawn" && options.exec_mode != "forkserver" &&
+      options.exec_mode != "persistent") {
+    std::fprintf(stderr,
+                 "--exec-mode expects 'spawn', 'forkserver', or 'persistent', got '%s'\n",
+                 options.exec_mode.c_str());
     return false;
   }
   if (options.auto_space && options.backend != "real") {
@@ -445,6 +466,11 @@ bool MakeRealConfig(const Options& options, const char* argv0,
   }
   config.num_tests = options.num_tests;
   config.timeout_ms = options.timeout_ms;
+  config.exec_mode = options.exec_mode == "forkserver"
+                         ? exec::ExecMode::kForkserver
+                         : options.exec_mode == "persistent"
+                               ? exec::ExecMode::kPersistent
+                               : exec::ExecMode::kSpawn;
   config.interposer_path = ResolveInterposer(options, argv0);
   if (config.interposer_path.empty()) {
     std::fprintf(stderr,

@@ -376,14 +376,7 @@ int RunStdioCopy() {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc != 2) {
-    fprintf(stderr, "usage: afex_walutil <test-id 1..%d>\n", kNumScenarios);
-    return 2;
-  }
-  long id = strtol(argv[1], nullptr, 10);
+int RunScenario(int id) {
   switch (id) {
     case 1:
       return RunCopy();
@@ -398,7 +391,37 @@ int main(int argc, char** argv) {
     case 6:
       return RunStdioCopy();
     default:
-      fprintf(stderr, "unknown test id %ld\n", id);
+      fprintf(stderr, "unknown test id %d\n", id);
       return 2;
   }
+}
+
+}  // namespace
+
+// Persistent-mode hook, exported by libafex_interpose.so when the process
+// was launched as a persistent server (AFEX_FORKSERVER=2). Weak: when the
+// binary runs standalone or under spawn/forkserver the symbol is absent and
+// the pointer is null, so adoption costs one branch.
+extern "C" int afex_persistent_run(int (*entry)(int test_id)) __attribute__((weak));
+
+int main(int argc, char** argv) {
+  // Unbuffered stdio keeps the scenarios persistent-safe: buffered streams
+  // flush through libc-internal writes that bypass the PLT (so ordinals are
+  // unaffected either way), but an exit()-interrupted iteration would carry
+  // buffered output into the next test's capture window.
+  setvbuf(stdout, nullptr, _IONBF, 0);
+  setvbuf(stderr, nullptr, _IONBF, 0);
+  if (afex_persistent_run != nullptr) {
+    int rc = afex_persistent_run(&RunScenario);
+    if (rc >= 0) {
+      return rc;
+    }
+    // rc < 0: the preload is present but this process is not a persistent
+    // server (spawn or forkserver mode) — run the normal argv path.
+  }
+  if (argc != 2) {
+    fprintf(stderr, "usage: afex_walutil <test-id 1..%d>\n", kNumScenarios);
+    return 2;
+  }
+  return RunScenario(static_cast<int>(strtol(argv[1], nullptr, 10)));
 }
