@@ -246,10 +246,22 @@ FieldStatus ApplyOutcomeField(std::string_view key, std::string_view value, Test
   if (key == "detail") {
     return mark(1u << 8, UnescapeField(value, out.detail));
   }
+  // Crash-recovery facets, serialized from format v3 on. Optional on parse
+  // (record lines carry no version; pre-v3 journals simply lack them and
+  // both facets default to false), so the bits land above the required
+  // mask.
+  if (key == "recfail") {
+    return mark(1u << 9, ParseBool(value, out.recovery_failed));
+  }
+  if (key == "inv") {
+    return mark(1u << 10, ParseBool(value, out.invariant_violated));
+  }
   return FieldStatus::kUnknown;
 }
 
-constexpr uint32_t kAllOutcomeFields = (1u << 9) - 1;
+// The nine v1 fields every outcome line must carry; recfail/inv are
+// accepted but not required (see above).
+constexpr uint32_t kRequiredOutcomeFields = (1u << 9) - 1;
 
 }  // namespace
 
@@ -350,6 +362,8 @@ std::string SerializeOutcome(const TestOutcome& outcome) {
   out += " blocks=" + SerializeBlockIds(outcome.new_block_ids);
   out += " trig=" + std::string(outcome.fault_triggered ? "1" : "0");
   out += " stack=" + SerializeStringList(outcome.injection_stack);
+  out += " recfail=" + std::string(outcome.recovery_failed ? "1" : "0");
+  out += " inv=" + std::string(outcome.invariant_violated ? "1" : "0");
   out += " detail=" + EscapeField(outcome.detail);
   return out;
 }
@@ -366,7 +380,7 @@ bool ParseOutcome(std::string_view s, TestOutcome& out) {
       return false;
     }
   }
-  return seen == kAllOutcomeFields;
+  return (seen & kRequiredOutcomeFields) == kRequiredOutcomeFields;
 }
 
 std::string SerializeRecord(const SessionRecord& record) {
@@ -421,7 +435,8 @@ bool ParseRecord(std::string_view s, SessionRecord& out) {
       return false;
     }
   }
-  return record_seen == (1u << 4) - 1 && outcome_seen == kAllOutcomeFields;
+  return record_seen == (1u << 4) - 1 &&
+         (outcome_seen & kRequiredOutcomeFields) == kRequiredOutcomeFields;
 }
 
 std::string FingerprintHex(uint64_t fingerprint) {

@@ -28,8 +28,10 @@ class CampaignError : public std::runtime_error {
 // Bumped on any incompatible change to the serialized forms below.
 // History: v1 — initial format; v2 — adds the `analysis=` meta field
 // (static target-profile fingerprint). v1 journals still parse (the field
-// defaults to 0 = "no analysis recorded").
-inline constexpr int kCampaignFormatVersion = 2;
+// defaults to 0 = "no analysis recorded"). v3 — adds the `recfail=` /
+// `inv=` outcome fields (two-phase crash-recovery facets). v1/v2 journals
+// still parse (both facets default to false).
+inline constexpr int kCampaignFormatVersion = 3;
 
 // Identity of a campaign: everything that must match for a journal to be
 // resumable — the same target, strategy, seed, fault space, execution

@@ -36,6 +36,12 @@ struct TestOutcome {
   // Synthetic stack trace captured at the injection point (empty when the
   // fault did not trigger). Used by redundancy clustering (paper §5).
   std::vector<std::string> injection_stack;
+  // Two-phase crash-recovery facets (real backend, recovery/verify phases
+  // configured): the recovery command failed to bring the store back up,
+  // or the verifier found the recovered state violating an invariant
+  // (silent corruption — possible even when the workload itself passed).
+  bool recovery_failed = false;
+  bool invariant_violated = false;
   // Free-form diagnostic (crash reason, failed assertion, ...).
   std::string detail;
 };
@@ -46,6 +52,11 @@ struct ImpactPolicy {
   double points_per_failed_test = 10.0;
   double points_per_hang = 10.0;
   double points_per_crash = 20.0;
+  // Crash-recovery facets outrank a plain crash: a store that cannot
+  // recover (or recovers to corrupt state) is the bug class the storage-
+  // failure campaigns exist to find.
+  double points_per_recovery_failure = 25.0;
+  double points_per_invariant_violation = 30.0;
 
   double Score(const TestOutcome& outcome) const {
     double score = points_per_new_block * static_cast<double>(outcome.new_blocks_covered);
@@ -57,6 +68,12 @@ struct ImpactPolicy {
     }
     if (outcome.crashed) {
       score += points_per_crash;
+    }
+    if (outcome.recovery_failed) {
+      score += points_per_recovery_failure;
+    }
+    if (outcome.invariant_violated) {
+      score += points_per_invariant_violation;
     }
     return score;
   }

@@ -10,10 +10,31 @@
 namespace afex {
 namespace exec {
 
+namespace {
+
+// Shared validity check for every codec in this file: the interposer must
+// wrap the function, the ordinal window must be sane, and the kind must
+// apply to the function (a drop_sync on read() could never mean anything).
+bool ValidSpec(const FaultSpec& spec) {
+  if (InterposedSlot(spec.function.c_str()) < 0 || spec.call_lo < 1 ||
+      spec.call_hi < spec.call_lo) {
+    return false;
+  }
+  if (!FaultKindAppliesTo(spec.kind, spec.function)) {
+    return false;
+  }
+  if (spec.kind == FaultKind::kShortWrite && spec.param < 0) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 bool WriteFaultPlan(const std::string& path, const std::vector<FaultSpec>& specs) {
   std::string text = "afexplan " + std::to_string(kPlanFormatVersion) + "\n";
   for (const FaultSpec& spec : specs) {
-    if (InterposedSlot(spec.function.c_str()) < 0) {
+    if (!ValidSpec(spec)) {
       return false;
     }
     text += "inject ";
@@ -26,6 +47,14 @@ bool WriteFaultPlan(const std::string& path, const std::vector<FaultSpec>& specs
     text += std::to_string(spec.retval);
     text += ' ';
     text += std::to_string(spec.errno_value);
+    if (spec.kind != FaultKind::kErrno) {
+      text += ' ';
+      text += FaultKindName(spec.kind);
+      if (spec.kind == FaultKind::kShortWrite) {
+        text += ' ';
+        text += std::to_string(spec.param);
+      }
+    }
     text += '\n';
   }
   std::ofstream out(path, std::ios::trunc);
@@ -47,11 +76,12 @@ bool ParseFaultPlanFile(const std::string& path, std::vector<FaultSpec>& out) {
   if (!std::getline(in, line)) {
     return false;
   }
+  int version = 0;
   {
     std::istringstream header(line);
     std::string tag;
-    int version = 0;
-    if (!(header >> tag >> version) || tag != "afexplan" || version != kPlanFormatVersion) {
+    if (!(header >> tag >> version) || tag != "afexplan" || version < 1 ||
+        version > kPlanFormatVersion) {
       return false;
     }
   }
@@ -65,12 +95,30 @@ bool ParseFaultPlanFile(const std::string& path, std::vector<FaultSpec>& out) {
     FaultSpec spec;
     if (!(fields >> directive >> spec.function >> spec.call_lo >> spec.call_hi >>
           spec.retval >> spec.errno_value) ||
-        directive != "inject" || InterposedSlot(spec.function.c_str()) < 0 ||
-        spec.call_lo < 1 || spec.call_hi < spec.call_lo) {
+        directive != "inject") {
       return false;
+    }
+    std::string mode_word;
+    if (fields >> mode_word) {
+      if (version < 2) {
+        return false;  // v1 plans have no mode fields
+      }
+      auto kind = FaultKindFromName(mode_word);
+      if (!kind.has_value()) {
+        return false;
+      }
+      spec.kind = *kind;
+      if (spec.kind == FaultKind::kShortWrite) {
+        if (!(fields >> spec.param)) {
+          return false;  // short_write requires K
+        }
+      }
     }
     std::string extra;
     if (fields >> extra) {
+      return false;
+    }
+    if (!ValidSpec(spec)) {
       return false;
     }
     out.push_back(std::move(spec));
@@ -86,16 +134,17 @@ bool EncodePlanEntries(const std::vector<FaultSpec>& specs,
   out.clear();
   out.reserve(specs.size());
   for (const FaultSpec& spec : specs) {
-    int slot = InterposedSlot(spec.function.c_str());
-    if (slot < 0 || spec.call_lo < 1 || spec.call_hi < spec.call_lo) {
+    if (!ValidSpec(spec)) {
       return false;
     }
     FsPlanEntry entry;
-    entry.slot = slot;
+    entry.slot = InterposedSlot(spec.function.c_str());
     entry.errno_value = spec.errno_value;
     entry.call_lo = static_cast<uint64_t>(spec.call_lo);
     entry.call_hi = static_cast<uint64_t>(spec.call_hi);
     entry.retval = spec.retval;
+    entry.kind = static_cast<int32_t>(spec.kind);
+    entry.param = spec.param;
     out.push_back(entry);
   }
   return true;
@@ -111,7 +160,9 @@ bool DecodePlanEntries(const std::vector<FsPlanEntry>& entries,
   for (const FsPlanEntry& entry : entries) {
     if (entry.slot < 0 ||
         entry.slot >= static_cast<int32_t>(kInterposedFunctionCount) ||
-        entry.call_lo < 1 || entry.call_hi < entry.call_lo) {
+        entry.call_lo < 1 || entry.call_hi < entry.call_lo ||
+        entry.kind < static_cast<int32_t>(FaultKind::kErrno) ||
+        entry.kind > static_cast<int32_t>(FaultKind::kCrashAfterRename)) {
       return false;
     }
     FaultSpec spec;
@@ -120,6 +171,11 @@ bool DecodePlanEntries(const std::vector<FsPlanEntry>& entries,
     spec.call_hi = static_cast<int>(entry.call_hi);
     spec.retval = entry.retval;
     spec.errno_value = entry.errno_value;
+    spec.kind = static_cast<FaultKind>(entry.kind);
+    spec.param = entry.param;
+    if (!ValidSpec(spec)) {
+      return false;
+    }
     out.push_back(spec);
   }
   return true;

@@ -3,14 +3,21 @@
 // LD_PRELOADed interposer (pointed at it via AFEX_PLAN) parses it with its
 // own allocation-free reader. The format is line-oriented text:
 //
-//   afexplan 1
-//   inject <function> <call_lo> <call_hi> <retval> <errno>
+//   afexplan 2
+//   inject <function> <call_lo> <call_hi> <retval> <errno> [<mode> [<K>]]
 //
-// e.g. "inject open 3 3 -1 13" = the third open() fails with EACCES.
-// Zero `inject` lines is a valid plan (run without injection — the
-// Phi_coreutils call-label-0 convention). The parent-side parser here
-// exists for tests and tooling round-trips; it accepts exactly what the
-// interposer accepts.
+// e.g. "inject open 3 3 -1 13" = the third open() fails with EACCES, and
+// "inject write 2 2 0 0 short_write 40" = the second write() is torn to
+// its first 40 bytes. The optional trailing fields are the storage-failure
+// class (FaultKind label: errno / short_write / drop_sync / kill_at /
+// crash_after_rename; absent = errno) and, for short_write only, the byte
+// (write) / item (fwrite) count K actually performed. Version 1 plans (no
+// mode fields) still parse. Zero `inject` lines is a valid plan (run
+// without injection — the Phi_coreutils call-label-0 convention). The
+// parent-side parser here exists for tests and tooling round-trips; it
+// accepts exactly what the interposer accepts — including the per-kind
+// function constraints (drop_sync only on fsync/fdatasync, short_write
+// only on write/fwrite, crash_after_rename only on rename).
 #ifndef AFEX_EXEC_FAULT_PLAN_H_
 #define AFEX_EXEC_FAULT_PLAN_H_
 
@@ -23,7 +30,8 @@
 namespace afex {
 namespace exec {
 
-inline constexpr int kPlanFormatVersion = 1;
+// v2 added the optional storage-failure mode fields; v1 files still parse.
+inline constexpr int kPlanFormatVersion = 2;
 
 // Writes the control file for `specs`. Returns false on I/O failure or when
 // a spec names a function the interposer does not wrap (injecting it could

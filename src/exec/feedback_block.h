@@ -34,6 +34,7 @@ inline constexpr const char* kInterposedFunctions[] = {
     "malloc", "calloc",  "realloc",                                // memory
     "fopen",  "fclose",  "fread",  "fwrite", "fgets", "fflush",    // stdio
     "open",   "close",   "read",   "write",  "lseek",              // fd I/O
+    "fsync",  "fdatasync",                                         // durability
     "rename", "unlink",  "mkdir",                                  // dir/meta
     "socket", "bind",    "listen", "accept", "connect",            // net
     "send",   "recv",

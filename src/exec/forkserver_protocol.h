@@ -36,7 +36,10 @@ inline constexpr const char* kForkserverEnvVar = "AFEX_FORKSERVER";
 inline constexpr const char* kForkserverEnvFork = "1";
 inline constexpr const char* kForkserverEnvPersistent = "2";
 
-inline constexpr uint32_t kForkserverProtocolVersion = 1;
+// v2 widened FsPlanEntry with the storage-failure fields (kind, param).
+// Client and server are compiled from the same tree, so the version is a
+// handshake sanity check, not a negotiation.
+inline constexpr uint32_t kForkserverProtocolVersion = 2;
 
 inline constexpr uint32_t kFsMsgMagic = 0x4146534DU;      // "AFSM"
 inline constexpr uint32_t kFsRequestMagic = 0x41465351U;  // "AFSQ"
@@ -88,6 +91,12 @@ struct FsPlanEntry {
   uint64_t call_lo = 0;
   uint64_t call_hi = 0;
   int64_t retval = -1;
+  // Storage-failure class (numeric FaultKind: 0 errno, 1 short_write,
+  // 2 drop_sync, 3 kill_at, 4 crash_after_rename) and its parameter
+  // (short_write: the byte/item count actually performed).
+  int32_t kind = 0;
+  int32_t pad = 0;  // keep the struct 8-byte aligned, deterministic bytes
+  int64_t param = 0;
 };
 
 // Matches the interposer's plan table capacity; a request claiming more is

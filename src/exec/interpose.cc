@@ -7,7 +7,7 @@
 //
 // The per-run plan arrives via two environment variables set by the process
 // runner:
-//   AFEX_PLAN     — control file ("afexplan 1" header + `inject` lines,
+//   AFEX_PLAN     — control file ("afexplan 1|2" header + `inject` lines,
 //                   exec/fault_plan.h)
 //   AFEX_FEEDBACK — feedback file, pre-sized by the parent, mmapped here
 //
@@ -51,6 +51,8 @@
 #include <errno.h>
 #include <fcntl.h>
 #include <setjmp.h>
+#include <signal.h>
+#include <sys/syscall.h>
 #include <stdarg.h>
 #include <stdlib.h>
 #include <stdio.h>
@@ -128,6 +130,7 @@ using ReadFn = ssize_t (*)(int, void*, size_t);
 using WriteFn = ssize_t (*)(int, const void*, size_t);
 using LseekFn = off_t (*)(int, off_t, int);
 using Lseek64Fn = off64_t (*)(int, off64_t, int);
+using FsyncFn = int (*)(int);
 using FopenFn = FILE* (*)(const char*, const char*);
 using FcloseFn = int (*)(FILE*);
 using FreadFn = size_t (*)(void*, size_t, size_t, FILE*);
@@ -156,6 +159,8 @@ ReadFn g_real_read;
 WriteFn g_real_write;
 LseekFn g_real_lseek;
 Lseek64Fn g_real_lseek64;
+FsyncFn g_real_fsync;
+FsyncFn g_real_fdatasync;
 FopenFn g_real_fopen;
 FopenFn g_real_fopen64;
 FcloseFn g_real_fclose;
@@ -199,11 +204,88 @@ void Resolve(Fn& slot, const char* name) {
 // ---------------------------------------------------------------------------
 // Plan + feedback state.
 // ---------------------------------------------------------------------------
+// Slot constants, kept in sync with kInterposedFunctions by static_asserts
+// on the names that anchor each group.
+enum Slot : int {
+  kSlotMalloc = 0,
+  kSlotCalloc,
+  kSlotRealloc,
+  kSlotFopen,
+  kSlotFclose,
+  kSlotFread,
+  kSlotFwrite,
+  kSlotFgets,
+  kSlotFflush,
+  kSlotOpen,
+  kSlotClose,
+  kSlotRead,
+  kSlotWrite,
+  kSlotLseek,
+  kSlotFsync,
+  kSlotFdatasync,
+  kSlotRename,
+  kSlotUnlink,
+  kSlotMkdir,
+  kSlotSocket,
+  kSlotBind,
+  kSlotListen,
+  kSlotAccept,
+  kSlotConnect,
+  kSlotSend,
+  kSlotRecv,
+};
+static_assert(afex::exec::kInterposedFunctions[kSlotMalloc][0] == 'm');
+static_assert(afex::exec::kInterposedFunctions[kSlotFopen][1] == 'o');
+static_assert(afex::exec::kInterposedFunctions[kSlotOpen][0] == 'o');
+static_assert(afex::exec::kInterposedFunctions[kSlotFsync][1] == 's');
+static_assert(afex::exec::kInterposedFunctions[kSlotRecv][0] == 'r');
+static_assert(kSlotRecv + 1 == static_cast<int>(kInterposedFunctionCount));
+
+// Numeric fault kinds, matching injection/fault_bus.h FaultKind (this file
+// is freestanding and cannot include it).
+enum PlanKind : int {
+  kKindErrno = 0,
+  kKindShortWrite = 1,
+  kKindDropSync = 2,
+  kKindKillAt = 3,
+  kKindCrashAfterRename = 4,
+};
+
+// Per-kind function constraints, the slot-level mirror of
+// FaultKindAppliesTo: a drop_sync on read() could never mean anything.
+bool KindAllowedForSlot(int kind, int slot) {
+  switch (kind) {
+    case kKindErrno:
+    case kKindKillAt:
+      return true;
+    case kKindShortWrite:
+      return slot == kSlotWrite || slot == kSlotFwrite;
+    case kKindDropSync:
+      return slot == kSlotFsync || slot == kSlotFdatasync;
+    case kKindCrashAfterRename:
+      return slot == kSlotRename;
+    default:
+      return false;
+  }
+}
+
+// The power cut. Raw syscalls so no wrapper, atexit handler, or stdio flush
+// runs between the decision to die and death — exactly like losing power.
+// The feedback block is MAP_SHARED, so injections recorded before the kill
+// survive for the parent to read.
+[[noreturn]] void RawKill() {
+  syscall(SYS_kill, syscall(SYS_getpid), SIGKILL);
+  for (;;) {
+  }
+}
+
 struct Plan {
   int slot = -1;
+  int kind = kKindErrno;
   unsigned long call_lo = 0;
   unsigned long call_hi = 0;
   long retval = -1;
+  long param = 0;  // short_write: byte (write) / item (fwrite) count kept
   int errno_value = 0;
 };
 
@@ -227,24 +309,212 @@ const Plan* MatchPlan(int slot, unsigned long n) {
   return nullptr;
 }
 
-// Count one call to `slot`; returns the plan to inject, else null. Relaxed
-// atomics: counters are monotonic and read only after the child exits.
-// g_active is read with acquire to pair with the constructor's release
-// store (plan and feedback state are published before counting starts).
-const Plan* OnCall(int slot) {
+// Count one call to `slot`; returns the matching plan *without* recording
+// an injection — the caller decides whether one actually happens (a
+// short_write whose K covers the whole buffer is a no-op and must not be
+// recorded). Relaxed atomics: counters are monotonic and read only after
+// the child exits. g_active is read with acquire to pair with the
+// constructor's release store (plan and feedback state are published
+// before counting starts).
+const Plan* OnCallCount(int slot, unsigned long& n) {
   if (!__atomic_load_n(&g_active, __ATOMIC_ACQUIRE) || g_internal) {
     return nullptr;
   }
-  unsigned long n = __atomic_add_fetch(&g_block->calls[slot], 1, __ATOMIC_RELAXED);
-  const Plan* plan = MatchPlan(slot, n);
-  if (plan != nullptr) {
-    __atomic_add_fetch(&g_block->injected[slot], 1, __ATOMIC_RELAXED);
-    if (__atomic_add_fetch(&g_block->injected_total, 1, __ATOMIC_RELAXED) == 1) {
-      g_block->first_injected_slot = static_cast<uint32_t>(slot);
-      g_block->first_injected_call = n;
+  n = __atomic_add_fetch(&g_block->calls[slot], 1, __ATOMIC_RELAXED);
+  return MatchPlan(slot, n);
+}
+
+void RecordInjection(int slot, unsigned long n) {
+  __atomic_add_fetch(&g_block->injected[slot], 1, __ATOMIC_RELAXED);
+  if (__atomic_add_fetch(&g_block->injected_total, 1, __ATOMIC_RELAXED) == 1) {
+    g_block->first_injected_slot = static_cast<uint32_t>(slot);
+    g_block->first_injected_call = n;
+  }
+}
+
+// The common wrapper path: handles the kinds every function can carry
+// (errno, kill_at) and returns the plan only for an errno injection. The
+// storage-specific kinds (short_write, drop_sync, crash_after_rename) can
+// only be armed on their own slots — those wrappers use OnCallCount
+// directly and finish the job themselves.
+const Plan* OnCall(int slot) {
+  unsigned long n = 0;
+  const Plan* plan = OnCallCount(slot, n);
+  if (plan == nullptr) {
+    return nullptr;
+  }
+  if (plan->kind == kKindKillAt) {
+    RecordInjection(slot, n);
+    RawKill();
+  }
+  if (plan->kind != kKindErrno) {
+    return nullptr;  // arming validated kind/slot pairs; never reached
+  }
+  RecordInjection(slot, n);
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Deferred-durability write buffer. Armed whenever any plan carries a
+// crash-shaped kind (drop_sync, kill_at, crash_after_rename): emulating a
+// power cut with SIGKILL only works if unsynced data can actually be lost,
+// and the kernel page cache survives process death. So while a crash kind
+// is armed, every write() to a target-opened regular file is deferred into
+// a static arena and only reaches the file on fsync/fdatasync/close/clean
+// exit — the interposer plays the page cache. A SIGKILL (kill_at,
+// crash_after_rename) loses whatever is pending, exactly like pulling the
+// plug; a faulted drop_sync reports success and discards the fd's pending
+// records, the classic lying drive.
+//
+// Scope (documented limitation): sequential WAL/page-store I/O. Tracked
+// fds are those the target open()s; O_APPEND fds flush via plain write,
+// others via pwrite at the offset the app saw (shadow-tracked through
+// lseek). Reads of not-yet-flushed data return stale bytes. fds opened
+// O_SYNC/O_DSYNC are write-through — the app asked for synchronous
+// durability and gets it. stdio streams bypass this entirely (libc's
+// internal write does not cross the PLT), so an oracle file written with
+// fwrite+fflush survives the kill — harnesses rely on that.
+// ---------------------------------------------------------------------------
+constexpr int kMaxFdTrack = 128;
+struct FdInfo {
+  unsigned char tracked = 0;       // open()'d by the target while buffering
+  unsigned char writethrough = 0;  // O_SYNC/O_DSYNC: app asked for durability
+  unsigned char append = 0;        // O_APPEND: flush via plain write
+  long offset = 0;                 // shadow file offset (non-append fds)
+};
+FdInfo g_fd_info[kMaxFdTrack];
+
+alignas(16) char g_write_arena[256 * 1024];
+size_t g_write_arena_used = 0;
+struct WriteRecord {
+  int fd = -1;
+  int live = 0;
+  long offset = 0;  // -1 = append record
+  size_t len = 0;
+  size_t arena_off = 0;
+};
+constexpr int kMaxWriteRecords = 512;
+WriteRecord g_write_records[kMaxWriteRecords];
+int g_write_record_count = 0;
+int g_buffering = 0;
+
+void MaybeResetArena() {
+  for (int i = 0; i < g_write_record_count; ++i) {
+    if (g_write_records[i].live) {
+      return;
     }
   }
-  return plan;
+  g_write_record_count = 0;
+  g_write_arena_used = 0;
+}
+
+// Replays `fd`'s pending records, in order. pwrite for positioned records
+// so the kernel offset (which deferred writes never advanced) stays
+// untouched; plain write for O_APPEND records.
+void FlushFd(int fd) {
+  for (int i = 0; i < g_write_record_count; ++i) {
+    WriteRecord& rec = g_write_records[i];
+    if (!rec.live || rec.fd != fd) {
+      continue;
+    }
+    const char* data = g_write_arena + rec.arena_off;
+    size_t done = 0;
+    while (done < rec.len) {
+      long w;
+      if (rec.offset < 0) {
+        w = g_real_write(fd, data + done, rec.len - done);
+      } else {
+        w = syscall(SYS_pwrite64, fd, data + done, rec.len - done,
+                    static_cast<long>(rec.offset) + static_cast<long>(done));
+      }
+      if (w <= 0) {
+        break;
+      }
+      done += static_cast<size_t>(w);
+    }
+    rec.live = 0;
+  }
+  MaybeResetArena();
+}
+
+void FlushAll() {
+  for (int fd = 0; fd < kMaxFdTrack; ++fd) {
+    if (g_fd_info[fd].tracked) {
+      FlushFd(fd);
+    }
+  }
+}
+
+// The lying drive: the fd's pending records vanish as if they were never
+// written.
+void DiscardFd(int fd) {
+  for (int i = 0; i < g_write_record_count; ++i) {
+    if (g_write_records[i].live && g_write_records[i].fd == fd) {
+      g_write_records[i].live = 0;
+    }
+  }
+  MaybeResetArena();
+}
+
+void NoteOpen(int fd, int flags) {
+  if (!g_buffering || fd < 0 || fd >= kMaxFdTrack) {
+    return;
+  }
+  FdInfo& info = g_fd_info[fd];
+  info.tracked = (flags & O_DIRECTORY) == 0;
+  info.writethrough = (flags & (O_SYNC | O_DSYNC)) != 0;
+  info.append = (flags & O_APPEND) != 0;
+  info.offset = 0;
+}
+
+void ClearFd(int fd) {
+  if (fd >= 0 && fd < kMaxFdTrack) {
+    g_fd_info[fd] = FdInfo{};
+  }
+}
+
+// True when the write was absorbed into the arena (*result = full count).
+// Arena pressure flushes the fd and falls back to write-through — the same
+// thing the kernel's writeback does under memory pressure.
+bool BufferedWrite(int fd, const void* buf, size_t count, long* result) {
+  if (!g_buffering || fd < 0 || fd >= kMaxFdTrack) {
+    return false;
+  }
+  FdInfo& info = g_fd_info[fd];
+  if (!info.tracked || info.writethrough) {
+    return false;
+  }
+  if (g_write_record_count >= kMaxWriteRecords ||
+      g_write_arena_used + count > sizeof(g_write_arena)) {
+    FlushFd(fd);
+    return false;
+  }
+  WriteRecord& rec = g_write_records[g_write_record_count++];
+  rec.fd = fd;
+  rec.live = 1;
+  rec.offset = info.append ? -1 : info.offset;
+  rec.len = count;
+  rec.arena_off = g_write_arena_used;
+  memcpy(g_write_arena + rec.arena_off, buf, count);
+  g_write_arena_used += count;
+  if (!info.append) {
+    info.offset += static_cast<long>(count);
+  }
+  *result = static_cast<long>(count);
+  return true;
+}
+
+// Arms (or disarms) buffering for one test and clears all per-test state.
+// Runs at plan-load time in spawn mode and from ArmPlans in forkserver /
+// persistent mode — in the server, before the fork, so every child starts
+// with an empty arena.
+void ResetBuffering(int active) {
+  g_buffering = active;
+  g_write_record_count = 0;
+  g_write_arena_used = 0;
+  for (int fd = 0; fd < kMaxFdTrack; ++fd) {
+    g_fd_info[fd] = FdInfo{};
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -311,11 +581,12 @@ void LoadPlan() {
   buf[total] = '\0';
 
   const char* p = buf;
-  // Header: "afexplan 1".
+  // Header: "afexplan 1" or "afexplan 2" (v2 added the optional mode
+  // fields on inject lines).
   char word[64];
   long version = 0;
   if (!ParseWord(p, word, sizeof(word)) || strcmp(word, "afexplan") != 0 ||
-      !ParseLong(p, version) || version != 1) {
+      !ParseLong(p, version) || version < 1 || version > 2) {
     return;
   }
   while (*p != '\0') {
@@ -341,11 +612,55 @@ void LoadPlan() {
     plan.call_hi = static_cast<unsigned long>(hi);
     plan.retval = retval;
     plan.errno_value = static_cast<int>(err);
-    if (plan.slot >= 0 && lo >= 1 && hi >= lo && g_plan_count < kMaxPlans) {
+    while (*p == ' ') {
+      ++p;
+    }
+    if (*p != '\n' && *p != '\0') {
+      // Optional "<mode> [<K>]" tail, v2 only.
+      char mode[32];
+      if (version < 2 || !ParseWord(p, mode, sizeof(mode))) {
+        return;
+      }
+      if (strcmp(mode, "errno") == 0) {
+        plan.kind = kKindErrno;
+      } else if (strcmp(mode, "short_write") == 0) {
+        plan.kind = kKindShortWrite;
+      } else if (strcmp(mode, "drop_sync") == 0) {
+        plan.kind = kKindDropSync;
+      } else if (strcmp(mode, "kill_at") == 0) {
+        plan.kind = kKindKillAt;
+      } else if (strcmp(mode, "crash_after_rename") == 0) {
+        plan.kind = kKindCrashAfterRename;
+      } else {
+        return;
+      }
+      if (plan.kind == kKindShortWrite) {
+        long param = 0;
+        if (!ParseLong(p, param) || param < 0) {
+          return;
+        }
+        plan.param = param;
+      }
+      while (*p == ' ') {
+        ++p;
+      }
+      if (*p != '\n' && *p != '\0') {
+        return;  // trailing junk on the line
+      }
+    }
+    if (plan.slot >= 0 && lo >= 1 && hi >= lo &&
+        KindAllowedForSlot(plan.kind, plan.slot) && g_plan_count < kMaxPlans) {
       g_plans[g_plan_count++] = plan;
       __atomic_add_fetch(&g_block->plans_loaded, 1, __ATOMIC_RELAXED);
     }
   }
+  int buffering = 0;
+  for (int i = 0; i < g_plan_count; ++i) {
+    if (g_plans[i].kind >= kKindDropSync) {
+      buffering = 1;
+    }
+  }
+  ResetBuffering(buffering);
 }
 
 void MapFeedback() {
@@ -463,21 +778,35 @@ void ResetFeedbackForTest(uint32_t seq) {
 void ArmPlans(const FsPlanEntry* entries, uint32_t count) {
   g_plan_count = 0;
   uint64_t loaded = 0;
+  int buffering = 0;
   for (uint32_t i = 0; i < count; ++i) {
     const FsPlanEntry& e = entries[i];
     if (e.slot < 0 || e.slot >= static_cast<int32_t>(kInterposedFunctionCount) ||
         e.call_lo < 1 || e.call_hi < e.call_lo) {
       continue;
     }
+    if (e.kind < kKindErrno || e.kind > kKindCrashAfterRename ||
+        !KindAllowedForSlot(e.kind, e.slot) ||
+        (e.kind == kKindShortWrite && e.param < 0)) {
+      continue;
+    }
     Plan& p = g_plans[g_plan_count++];
     p.slot = e.slot;
+    p.kind = e.kind;
     p.call_lo = static_cast<unsigned long>(e.call_lo);
     p.call_hi = static_cast<unsigned long>(e.call_hi);
     p.retval = static_cast<long>(e.retval);
+    p.param = static_cast<long>(e.param);
     p.errno_value = e.errno_value;
+    if (p.kind >= kKindDropSync) {
+      buffering = 1;
+    }
     ++loaded;
   }
   g_block->plans_loaded = loaded;
+  // Runs in the server before the fork (or between persistent iterations):
+  // every test starts with an empty arena and a clean fd table.
+  ResetBuffering(buffering);
 }
 
 // Splices the request's test id over every "{test}" placeholder in the
@@ -587,6 +916,8 @@ void ResolveAll() {
   Resolve(g_real_write, "write");
   Resolve(g_real_lseek, "lseek");
   Resolve(g_real_lseek64, "lseek64");
+  Resolve(g_real_fsync, "fsync");
+  Resolve(g_real_fdatasync, "fdatasync");
   Resolve(g_real_fopen, "fopen");
   Resolve(g_real_fopen64, "fopen64");
   Resolve(g_real_fclose, "fclose");
@@ -647,39 +978,17 @@ __attribute__((constructor)) void AfexInterposeInit(int argc, char** argv,
   __atomic_store_n(&g_active, 1, __ATOMIC_RELEASE);
 }
 
-// Slot constants, kept in sync with kInterposedFunctions by static_asserts
-// on the names that anchor each group.
-enum Slot : int {
-  kSlotMalloc = 0,
-  kSlotCalloc,
-  kSlotRealloc,
-  kSlotFopen,
-  kSlotFclose,
-  kSlotFread,
-  kSlotFwrite,
-  kSlotFgets,
-  kSlotFflush,
-  kSlotOpen,
-  kSlotClose,
-  kSlotRead,
-  kSlotWrite,
-  kSlotLseek,
-  kSlotRename,
-  kSlotUnlink,
-  kSlotMkdir,
-  kSlotSocket,
-  kSlotBind,
-  kSlotListen,
-  kSlotAccept,
-  kSlotConnect,
-  kSlotSend,
-  kSlotRecv,
-};
-static_assert(afex::exec::kInterposedFunctions[kSlotMalloc][0] == 'm');
-static_assert(afex::exec::kInterposedFunctions[kSlotFopen][1] == 'o');
-static_assert(afex::exec::kInterposedFunctions[kSlotOpen][0] == 'o');
-static_assert(afex::exec::kInterposedFunctions[kSlotRecv][0] == 'r');
-static_assert(kSlotRecv + 1 == static_cast<int>(kInterposedFunctionCount));
+// Clean process shutdown is the writeback path: exit() runs DSO
+// destructors, so pending deferred writes reach the file. Only an actual
+// kill (SIGKILL from kill_at / crash_after_rename, or a target calling
+// _exit directly) loses them — which is the point.
+__attribute__((destructor)) void AfexInterposeFini() {
+  if (g_buffering) {
+    ++g_internal;
+    FlushAll();
+    --g_internal;
+  }
+}
 
 // Inject helper: sets errno and produces the planned return value.
 template <typename T>
@@ -784,7 +1093,11 @@ int open(const char* path, int flags, ...) {
   if (const Plan* plan = OnCall(kSlotOpen)) {
     return Inject<int>(plan);
   }
-  return g_real_open(path, flags, mode);
+  int fd = g_real_open(path, flags, mode);
+  if (fd >= 0 && !g_internal) {
+    NoteOpen(fd, flags);
+  }
+  return fd;
 }
 
 int open64(const char* path, int flags, ...) {
@@ -799,13 +1112,23 @@ int open64(const char* path, int flags, ...) {
   if (const Plan* plan = OnCall(kSlotOpen)) {
     return Inject<int>(plan);
   }
-  return g_real_open64(path, flags, mode);
+  int fd = g_real_open64(path, flags, mode);
+  if (fd >= 0 && !g_internal) {
+    NoteOpen(fd, flags);
+  }
+  return fd;
 }
 
 int close(int fd) {
   Resolve(g_real_close, "close");
   if (const Plan* plan = OnCall(kSlotClose)) {
     return Inject<int>(plan);
+  }
+  if (g_buffering && !g_internal) {
+    // A clean close is the writeback path: pending deferred writes reach
+    // the file, as the page cache eventually would.
+    FlushFd(fd);
+    ClearFd(fd);
   }
   return g_real_close(fd);
 }
@@ -820,8 +1143,26 @@ ssize_t read(int fd, void* buf, size_t count) {
 
 ssize_t write(int fd, const void* buf, size_t count) {
   Resolve(g_real_write, "write");
-  if (const Plan* plan = OnCall(kSlotWrite)) {
-    return Inject<long>(plan);
+  unsigned long n = 0;
+  const Plan* plan = OnCallCount(kSlotWrite, n);
+  if (plan != nullptr) {
+    if (plan->kind == kKindKillAt) {
+      RecordInjection(kSlotWrite, n);
+      RawKill();
+    } else if (plan->kind == kKindErrno) {
+      RecordInjection(kSlotWrite, n);
+      return Inject<long>(plan);
+    } else if (plan->kind == kKindShortWrite &&
+               static_cast<unsigned long>(plan->param) < count) {
+      // The torn write: only the first K bytes happen. When K covers the
+      // whole buffer the call is untouched and no injection is recorded.
+      RecordInjection(kSlotWrite, n);
+      count = static_cast<size_t>(plan->param);
+    }
+  }
+  long result = 0;
+  if (BufferedWrite(fd, buf, count, &result)) {
+    return result;
   }
   return g_real_write(fd, buf, count);
 }
@@ -831,6 +1172,24 @@ off_t lseek(int fd, off_t offset, int whence) {
   if (const Plan* plan = OnCall(kSlotLseek)) {
     return Inject<long>(plan);
   }
+  if (g_buffering && !g_internal && fd >= 0 && fd < kMaxFdTrack) {
+    FdInfo& info = g_fd_info[fd];
+    if (info.tracked && !info.writethrough && !info.append) {
+      if (whence == SEEK_CUR) {
+        // Deferred writes never advanced the kernel offset; resolve the
+        // relative seek against the shadow offset instead.
+        offset += static_cast<off_t>(info.offset);
+        whence = SEEK_SET;
+      } else if (whence == SEEK_END) {
+        FlushFd(fd);  // the logical EOF includes deferred data
+      }
+      off_t r = g_real_lseek(fd, offset, whence);
+      if (r >= 0) {
+        info.offset = static_cast<long>(r);
+      }
+      return r;
+    }
+  }
   return g_real_lseek(fd, offset, whence);
 }
 
@@ -838,6 +1197,22 @@ off64_t lseek64(int fd, off64_t offset, int whence) {
   Resolve(g_real_lseek64, "lseek64");
   if (const Plan* plan = OnCall(kSlotLseek)) {
     return Inject<long>(plan);
+  }
+  if (g_buffering && !g_internal && fd >= 0 && fd < kMaxFdTrack) {
+    FdInfo& info = g_fd_info[fd];
+    if (info.tracked && !info.writethrough && !info.append) {
+      if (whence == SEEK_CUR) {
+        offset += static_cast<off64_t>(info.offset);
+        whence = SEEK_SET;
+      } else if (whence == SEEK_END) {
+        FlushFd(fd);
+      }
+      off64_t r = g_real_lseek64(fd, offset, whence);
+      if (r >= 0) {
+        info.offset = static_cast<long>(r);
+      }
+      return r;
+    }
   }
   return g_real_lseek64(fd, offset, whence);
 }
@@ -876,8 +1251,24 @@ size_t fread(void* ptr, size_t size, size_t nmemb, FILE* stream) {
 
 size_t fwrite(const void* ptr, size_t size, size_t nmemb, FILE* stream) {
   Resolve(g_real_fwrite, "fwrite");
-  if (const Plan* plan = OnCall(kSlotFwrite)) {
-    return Inject<size_t>(plan);
+  unsigned long n = 0;
+  const Plan* plan = OnCallCount(kSlotFwrite, n);
+  if (plan != nullptr) {
+    if (plan->kind == kKindKillAt) {
+      RecordInjection(kSlotFwrite, n);
+      RawKill();
+    }
+    if (plan->kind == kKindErrno) {
+      RecordInjection(kSlotFwrite, n);
+      return Inject<size_t>(plan);
+    }
+    if (plan->kind == kKindShortWrite &&
+        static_cast<unsigned long>(plan->param) < nmemb) {
+      // Torn stdio write: only the first K items happen. K covering all
+      // items means the call is untouched and nothing is recorded.
+      RecordInjection(kSlotFwrite, n);
+      return g_real_fwrite(ptr, size, static_cast<size_t>(plan->param), stream);
+    }
   }
   return g_real_fwrite(ptr, size, nmemb, stream);
 }
@@ -908,10 +1299,81 @@ int unlink(const char* path) {
 
 int rename(const char* oldpath, const char* newpath) {
   Resolve(g_real_rename, "rename");
-  if (const Plan* plan = OnCall(kSlotRename)) {
-    return Inject<int>(plan);
+  unsigned long n = 0;
+  const Plan* plan = OnCallCount(kSlotRename, n);
+  if (plan != nullptr) {
+    if (plan->kind == kKindKillAt) {
+      RecordInjection(kSlotRename, n);
+      RawKill();
+    }
+    if (plan->kind == kKindErrno) {
+      RecordInjection(kSlotRename, n);
+      return Inject<int>(plan);
+    }
+    if (plan->kind == kKindCrashAfterRename) {
+      // The rename reaches the directory; the power dies before anything
+      // else does. Deferred data (the arena) is lost with the process.
+      RecordInjection(kSlotRename, n);
+      g_real_rename(oldpath, newpath);
+      RawKill();
+    }
   }
   return g_real_rename(oldpath, newpath);
+}
+
+int fsync(int fd) {
+  Resolve(g_real_fsync, "fsync");
+  unsigned long n = 0;
+  const Plan* plan = OnCallCount(kSlotFsync, n);
+  if (plan != nullptr) {
+    if (plan->kind == kKindKillAt) {
+      RecordInjection(kSlotFsync, n);
+      RawKill();
+    }
+    if (plan->kind == kKindDropSync) {
+      // The lying drive: report durable, discard the fd's pending data.
+      // Only a later crash exposes it — a clean run flushes nothing stale
+      // because the discarded records are gone either way.
+      RecordInjection(kSlotFsync, n);
+      DiscardFd(fd);
+      return 0;
+    }
+    if (plan->kind == kKindErrno) {
+      // Classic fsyncgate injection: the fd's pending data stays pending
+      // (a failed fsync promises nothing about durability).
+      RecordInjection(kSlotFsync, n);
+      return Inject<int>(plan);
+    }
+  }
+  if (g_buffering && !g_internal) {
+    FlushFd(fd);
+  }
+  return g_real_fsync(fd);
+}
+
+int fdatasync(int fd) {
+  Resolve(g_real_fdatasync, "fdatasync");
+  unsigned long n = 0;
+  const Plan* plan = OnCallCount(kSlotFdatasync, n);
+  if (plan != nullptr) {
+    if (plan->kind == kKindKillAt) {
+      RecordInjection(kSlotFdatasync, n);
+      RawKill();
+    }
+    if (plan->kind == kKindDropSync) {
+      RecordInjection(kSlotFdatasync, n);
+      DiscardFd(fd);
+      return 0;
+    }
+    if (plan->kind == kKindErrno) {
+      RecordInjection(kSlotFdatasync, n);
+      return Inject<int>(plan);
+    }
+  }
+  if (g_buffering && !g_internal) {
+    FlushFd(fd);
+  }
+  return g_real_fdatasync(fd);
 }
 
 int mkdir(const char* path, mode_t mode) {

@@ -208,11 +208,20 @@ TestOutcome RealTargetHarness::RunFault(const FaultSpace& space, const Fault& fa
       outcome.detail = "exec: function not interposable: " + plan.spec->function;
       return outcome;
     }
-    specs.push_back(*plan.spec);
+    if (!FaultKindAppliesTo(plan.spec->kind, plan.spec->function)) {
+      // A mode axis crossed with the function axis necessarily produces
+      // points whose kind cannot mean anything on that function
+      // (short_write × read). They run fault-free — the campaign's
+      // baseline observations — and are counted, not failed.
+      count("real.kind_incompatible");
+    } else {
+      specs.push_back(*plan.spec);
+    }
   }
 
   const std::string test_label = std::to_string(plan.test_id + 1);
   std::string feedback_path = feedback_path_;
+  std::string phase_sandbox = sandbox_dir_;  // where recovery/verify run
   RawRun run;
   uint32_t expect_seq = 0;
   std::error_code ec;
@@ -229,6 +238,7 @@ TestOutcome RealTargetHarness::RunFault(const FaultSpace& space, const Fault& fa
       sandbox = run_dir / "sandbox";
       plan_path = (run_dir / "plan.afex").string();
       feedback_path = (run_dir / "feedback.afexfb").string();
+      phase_sandbox = sandbox.string();
     }
     fs::create_directories(sandbox, ec);
     if (ec) {
@@ -405,10 +415,81 @@ TestOutcome RealTargetHarness::RunFault(const FaultSpace& space, const Fault& fa
     outcome.detail = FirstLine(run.output);
   }
 
-  if (!config_.keep_scratch) {
+  // ---- two-phase crash→recover→verify ----
+  // Runs after every test (not just crashed ones: silent corruption is
+  // invisible until the verifier looks), in the same sandbox the workload
+  // ran in, strictly before any recycling — the crash state on disk IS the
+  // input to these phases. No interposer, no fault plan: recovery and
+  // verification are observed, never faulted.
+  if (run.started &&
+      (!config_.recovery_argv.empty() || !config_.verify_argv.empty())) {
+    auto fold_detail = [&outcome](const std::string& tag, const std::string& line) {
+      if (!outcome.detail.empty()) {
+        outcome.detail += "; ";
+      }
+      outcome.detail += tag;
+      if (!line.empty()) {
+        outcome.detail += ": " + line;
+      }
+    };
+    auto run_phase = [&](const std::vector<std::string>& argv,
+                         std::string& first_line) {
+      ProcessRequest req;
+      for (const std::string& arg : argv) {
+        std::string expanded = arg;
+        size_t pos;
+        while ((pos = expanded.find("{test}")) != std::string::npos) {
+          expanded.replace(pos, 6, test_label);
+        }
+        req.argv.push_back(std::move(expanded));
+      }
+      req.working_dir = phase_sandbox;
+      req.timeout_ms = config_.timeout_ms;
+      req.max_output_bytes = config_.max_output_bytes;
+      ProcessResult r = RunProcess(req);
+      first_line = FirstLine(r.output);
+      return r.started && r.exited && !r.timed_out && r.term_signal == 0 &&
+             r.exit_code == 0;
+    };
+    if (!config_.recovery_argv.empty()) {
+      obs::PhaseTimer recovery_timer(metrics_, obs::Phase::kRealRecoveryRun);
+      std::string line;
+      if (!run_phase(config_.recovery_argv, line)) {
+        outcome.recovery_failed = true;
+        count("real.recovery_failed");
+        fold_detail("recovery failed", line);
+      }
+      recovery_timer.Finish();
+    }
+    // A store that never came back up has nothing to verify.
+    if (!outcome.recovery_failed && !config_.verify_argv.empty()) {
+      obs::PhaseTimer verify_timer(metrics_, obs::Phase::kRealVerify);
+      std::string line;
+      if (!run_phase(config_.verify_argv, line)) {
+        outcome.invariant_violated = true;
+        count("real.invariant_violated");
+        fold_detail("invariant violated", line);
+      }
+      verify_timer.Finish();
+    }
+    if (outcome.recovery_failed || outcome.invariant_violated) {
+      outcome.test_failed = true;
+    }
+  }
+
+  if (!config_.keep_scratch && !config_.preserve_sandbox) {
     // Recycle, don't recreate: drop the test's droppings, keep the sandbox.
     obs::PhaseTimer cleanup_timer(metrics_, obs::Phase::kRealScratchCleanup);
     CleanDirInPlace(sandbox_dir_);
+    // The recycled/preserved invariant: after recycling, nothing of this
+    // test may survive into the next one. A leak here means tests stopped
+    // being independent — surfaced, not silently tolerated.
+    std::error_code inv_ec;
+    if (fs::directory_iterator(sandbox_dir_, inv_ec) != fs::directory_iterator() &&
+        !inv_ec) {
+      count("real.recycle_leak");
+      AFEX_LOG(kWarn) << "sandbox not empty after recycle: " << sandbox_dir_;
+    }
   }
   return outcome;
 }

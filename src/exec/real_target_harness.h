@@ -60,6 +60,23 @@ struct RealTargetConfig {
   // server pins one working directory at exec time) merely skip the
   // between-test sandbox cleanup.
   bool keep_scratch = false;
+  // Preserve each test's sandbox contents into the next test instead of
+  // recycling the sandbox in place. Rarely wanted for exploration (tests
+  // stop being independent) but explicit here because the two-phase flow
+  // below depends on the ordering contract: recovery and verify always run
+  // *before* any recycling, in the same sandbox the workload crashed in.
+  bool preserve_sandbox = false;
+  // Two-phase crash→recover→verify (storage-failure campaigns). When
+  // either is non-empty, after every workload run the harness re-runs the
+  // target in recovery mode (`recovery_argv`) and then the verifier
+  // (`verify_argv`) in the workload's sandbox — no interposer, no fault
+  // plan — and folds the results into the same TestOutcome
+  // (recovery_failed / invariant_violated). "{test}" substitutes in both,
+  // like target_argv. Verify runs after every test, even a cleanly exited
+  // workload: silent corruption is exactly the case where only the
+  // verifier notices.
+  std::vector<std::string> recovery_argv;
+  std::vector<std::string> verify_argv;
   // Function axis for MakeSpace. Empty = InterposableFunctions().
   std::vector<std::string> functions;
   ExecMode exec_mode = ExecMode::kSpawn;
@@ -94,7 +111,8 @@ class RealTargetHarness : public TargetBackend {
   size_t tests_run() const override { return tests_run_; }
   // Sub-phase timing (spawn: real.plan_write / fork_exec / child_wait;
   // forkserver/persistent: real.fs_roundtrip / fs_restart; all modes:
-  // feedback_read / scratch_cleanup) plus outcome-breakdown counters.
+  // feedback_read / scratch_cleanup, plus recovery_run / verify when the
+  // two-phase commands are configured) plus outcome-breakdown counters.
   void set_metrics_sink(obs::MetricsSink* sink) override;
 
   const RealTargetConfig& config() const { return config_; }

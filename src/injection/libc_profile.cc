@@ -78,6 +78,10 @@ const LibcProfile& LibcProfile::Default() {
     add("read", -1, {kEINTR, kEIO, kEAGAIN}, "file");
     add("write", -1, {kEINTR, kEIO, kENOSPC}, "file");
     add("lseek", -1, {kEBADF}, "file");
+    // Durability calls: the storage-failure fault kinds (drop_sync) hang
+    // off these, but they also take classic errno injection (fsyncgate).
+    add("fsync", -1, {kEIO, kEINTR}, "file");
+    add("fdatasync", -1, {kEIO, kEINTR}, "file");
     add("stat", -1, {kENOENT, kEACCES}, "file");
     add("rename", -1, {kEACCES, kENOENT}, "file");
     add("unlink", -1, {kENOENT, kEACCES}, "file");

@@ -55,6 +55,21 @@ InjectionPlan DecodeFault(const FaultSpace& space, const Fault& fault,
   if (auto retval_axis = space.AxisIndexByName("retval")) {
     spec.retval = std::stoll(space.axis(*retval_axis).Label(fault[*retval_axis]));
   }
+  if (auto mode_axis = space.AxisIndexByName("mode")) {
+    std::string label = space.axis(*mode_axis).Label(fault[*mode_axis]);
+    auto kind = FaultKindFromName(label);
+    if (!kind.has_value()) {
+      throw std::invalid_argument("unknown mode label '" + label + "'");
+    }
+    spec.kind = *kind;
+  }
+  if (spec.kind == FaultKind::kShortWrite) {
+    // The short write returns the count it performed, so the retval axis
+    // doubles as K (negative profiled defaults clamp to a 0-byte write).
+    spec.param = spec.retval >= 0 ? spec.retval : 0;
+    spec.retval = spec.param;
+    spec.errno_value = 0;  // a short write is not an error return
+  }
 
   plan.spec = std::move(spec);
   return plan;
@@ -122,6 +137,18 @@ FaultDecoder::FaultDecoder(const FaultSpace& space, const LibcProfile& profile) 
       retval_by_value_.push_back(std::stoll(retval_axis.Label(v)));
     }
   }
+  roles_.mode = space.AxisIndexByName("mode");
+  if (roles_.mode.has_value()) {
+    const Axis& mode_axis = space.axis(*roles_.mode);
+    for (size_t v = 0; v < mode_axis.cardinality(); ++v) {
+      std::string label = mode_axis.Label(v);
+      auto kind = FaultKindFromName(label);
+      if (!kind.has_value()) {
+        throw std::invalid_argument("unknown mode label '" + label + "'");
+      }
+      kind_by_value_.push_back(*kind);
+    }
+  }
 }
 
 InjectionPlan FaultDecoder::Decode(const Fault& fault) const {
@@ -142,6 +169,14 @@ InjectionPlan FaultDecoder::Decode(const Fault& fault) const {
   }
   if (roles_.retval.has_value()) {
     spec.retval = retval_by_value_[fault[*roles_.retval]];
+  }
+  if (roles_.mode.has_value()) {
+    spec.kind = kind_by_value_[fault[*roles_.mode]];
+  }
+  if (spec.kind == FaultKind::kShortWrite) {
+    spec.param = spec.retval >= 0 ? spec.retval : 0;
+    spec.retval = spec.param;
+    spec.errno_value = 0;
   }
   plan.spec = std::move(spec);
   return plan;
@@ -184,6 +219,13 @@ std::string FormatPlan(const InjectionPlan& plan) {
   out += " callNumber " + std::to_string(plan.spec->call_lo);
   if (plan.spec->call_hi != plan.spec->call_lo) {
     out += "-" + std::to_string(plan.spec->call_hi);
+  }
+  if (plan.spec->kind != FaultKind::kErrno) {
+    out += " mode ";
+    out += FaultKindName(plan.spec->kind);
+    if (plan.spec->kind == FaultKind::kShortWrite) {
+      out += " K " + std::to_string(plan.spec->param);
+    }
   }
   return out;
 }

@@ -14,6 +14,10 @@
 //   errno     — the errno to set (defaults to the function's first profiled
 //               errno)
 //   retval    — the error return (defaults to the function's profiled one)
+//   mode      — the storage-failure class (FaultKind label: "errno",
+//               "short_write", "drop_sync", "kill_at",
+//               "crash_after_rename"); for short_write the retval axis
+//               doubles as K, the byte count actually written
 #ifndef AFEX_INJECTION_PLAN_H_
 #define AFEX_INJECTION_PLAN_H_
 
@@ -58,6 +62,7 @@ class FaultDecoder {
     std::optional<size_t> call;
     std::optional<size_t> errno_axis;
     std::optional<size_t> retval;
+    std::optional<size_t> mode;
   };
 
   AxisRoles roles_;
@@ -68,6 +73,7 @@ class FaultDecoder {
   std::vector<FaultSpec> spec_by_function_;
   std::vector<int> errno_by_value_;
   std::vector<int64_t> retval_by_value_;
+  std::vector<FaultKind> kind_by_value_;
 };
 
 // One-slot FaultDecoder cache for the harness hot path: one campaign

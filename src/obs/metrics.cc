@@ -113,6 +113,10 @@ const char* PhaseName(Phase phase) {
       return "real.fs_roundtrip";
     case Phase::kRealFsRestart:
       return "real.fs_restart";
+    case Phase::kRealRecoveryRun:
+      return "real.recovery_run";
+    case Phase::kRealVerify:
+      return "real.verify";
   }
   return "unknown";
 }

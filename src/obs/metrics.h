@@ -63,8 +63,10 @@ enum class Phase : uint8_t {
   kRealScratchCleanup,  // real backend: per-run sandbox removal
   kRealFsRoundtrip,     // real backend: forkserver request write → status read
   kRealFsRestart,       // real backend: forkserver (re)spawn + handshake
+  kRealRecoveryRun,     // real backend: two-phase recovery command
+  kRealVerify,          // real backend: two-phase verifier command
 };
-inline constexpr size_t kPhaseCount = 15;
+inline constexpr size_t kPhaseCount = 17;
 
 // Dotted metric name for a phase, e.g. "real.fork_exec".
 const char* PhaseName(Phase phase);

@@ -116,7 +116,7 @@ expect_cli_error("never imports: accept"
 run_cli(auto_leg --backend=real "--target-cmd=${AFEX_WALUTIL} {test}" --num-tests=2
   "--interposer=${AFEX_INTERPOSER}" --timeout-ms=10000 --max-call=2 --budget=15 --seed=1
   --auto-space)
-if(NOT auto_leg MATCHES "pruned function axis to 15 of 24 interposable functions; 60 of 96 points")
+if(NOT auto_leg MATCHES "pruned function axis to 15 of 26 interposable functions; 60 of 104 points")
   message(FATAL_ERROR "--auto-space did not report the pruned space sizes:\n${auto_leg}")
 endif()
 if(NOT auto_leg MATCHES "seeded 15 priority hints from callsite weights")
@@ -125,7 +125,7 @@ endif()
 if(NOT auto_leg MATCHES "space 'real:afex_walutil' with 60 points")
   message(FATAL_ERROR "--auto-space campaign did not run over the pruned space:\n${auto_leg}")
 endif()
-message(STATUS "static analysis: unimported space rejected, auto-space pruned 96 -> 60")
+message(STATUS "static analysis: unimported space rejected, auto-space pruned 104 -> 60")
 
 # --- real-process backend end to end ----------------------------------------
 # A real fitness campaign against the sample walutil target: journal a first

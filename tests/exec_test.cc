@@ -8,6 +8,7 @@
 // The build injects the artifact locations:
 //   AFEX_INTERPOSER_PATH — libafex_interpose.so
 //   AFEX_WALUTIL_PATH    — the sample real target
+//   AFEX_TXENGINE_PATH   — the WAL/transaction-engine crash-recovery target
 #include <gtest/gtest.h>
 #include <signal.h>
 #include <unistd.h>
@@ -17,6 +18,7 @@
 #include <fstream>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -108,6 +110,72 @@ TEST(FaultPlanTest, PipeEntriesRoundTrip) {
   std::vector<FaultSpec> wide(kFsMaxPlans + 1,
                               {.function = "open", .call_lo = 1, .call_hi = 1});
   EXPECT_FALSE(EncodePlanEntries(wide, entries));
+}
+
+TEST(FaultPlanTest, V2ModeFieldsRoundTripInBothForms) {
+  std::string path = TempDir("plan_v2") + "/plan.afex";
+  std::vector<FaultSpec> specs = {
+      {.function = "write", .call_lo = 2, .call_hi = 2, .retval = 40, .errno_value = 0,
+       .kind = FaultKind::kShortWrite, .param = 40},
+      {.function = "fsync", .call_lo = 1, .call_hi = 1, .kind = FaultKind::kDropSync},
+      {.function = "close", .call_lo = 3, .call_hi = 3, .kind = FaultKind::kKillAt},
+      {.function = "rename", .call_lo = 1, .call_hi = 1,
+       .kind = FaultKind::kCrashAfterRename},
+  };
+  ASSERT_TRUE(WriteFaultPlan(path, specs));
+  std::vector<FaultSpec> parsed;
+  ASSERT_TRUE(ParseFaultPlanFile(path, parsed));
+  ASSERT_EQ(parsed.size(), 4u);
+  EXPECT_EQ(parsed[0].kind, FaultKind::kShortWrite);
+  EXPECT_EQ(parsed[0].param, 40);
+  EXPECT_EQ(parsed[1].kind, FaultKind::kDropSync);
+  EXPECT_EQ(parsed[2].kind, FaultKind::kKillAt);
+  EXPECT_EQ(parsed[3].kind, FaultKind::kCrashAfterRename);
+
+  std::vector<FsPlanEntry> entries;
+  ASSERT_TRUE(EncodePlanEntries(specs, entries));
+  std::vector<FaultSpec> back;
+  ASSERT_TRUE(DecodePlanEntries(entries, back));
+  ASSERT_EQ(back.size(), 4u);
+  for (size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].kind, specs[i].kind) << i;
+    EXPECT_EQ(back[i].param, specs[i].param) << i;
+    EXPECT_EQ(back[i].function, specs[i].function) << i;
+  }
+}
+
+TEST(FaultPlanTest, RejectsHostileModeDirectives) {
+  std::string dir = TempDir("plan_hostile");
+  int n = 0;
+  auto rejects = [&](const std::string& body) {
+    std::string path = dir + "/p" + std::to_string(++n);
+    std::ofstream(path) << body;
+    std::vector<FaultSpec> parsed;
+    EXPECT_FALSE(ParseFaultPlanFile(path, parsed)) << body;
+  };
+  // Garbage mode word.
+  rejects("afexplan 2\ninject write 1 1 0 0 long_write\n");
+  // kill_at with a trailing K (the parameter belongs to short_write only).
+  rejects("afexplan 2\ninject write 1 1 0 0 kill_at 7\n");
+  // short_write with a negative or missing K, or trailing junk after it.
+  rejects("afexplan 2\ninject write 1 1 0 0 short_write -4\n");
+  rejects("afexplan 2\ninject write 1 1 0 0 short_write\n");
+  rejects("afexplan 2\ninject write 1 1 0 0 short_write 4 junk\n");
+  // Kind incompatible with the function.
+  rejects("afexplan 2\ninject read 1 1 0 0 short_write 4\n");
+  rejects("afexplan 2\ninject write 1 1 0 0 drop_sync\n");
+  rejects("afexplan 2\ninject open 1 1 0 0 crash_after_rename\n");
+  // A v1 header cannot carry mode fields.
+  rejects("afexplan 1\ninject write 1 1 0 0 kill_at\n");
+
+  // The pipe codec rejects the same shapes.
+  std::vector<FsPlanEntry> entries;
+  EXPECT_FALSE(EncodePlanEntries(
+      {{.function = "read", .kind = FaultKind::kShortWrite, .param = 4}}, entries));
+  EXPECT_FALSE(EncodePlanEntries(
+      {{.function = "write", .kind = FaultKind::kShortWrite, .param = -1}}, entries));
+  EXPECT_FALSE(EncodePlanEntries(
+      {{.function = "fsync", .kind = FaultKind::kCrashAfterRename}}, entries));
 }
 
 TEST(FeedbackBlockTest, CreateAndReadBackRejectsUnattached) {
@@ -249,6 +317,158 @@ TEST(InterposerTest, CatalogReadFaultCrashesChild) {
   EXPECT_NE(result.output.find("cannot read errmsg.sys (errno=5)"), std::string::npos)
       << result.output;
   EXPECT_EQ(block.injected_total, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Storage-failure fault classes, each in isolation through a real child
+// ---------------------------------------------------------------------------
+
+// Runs `afex_txengine workload 1` under the interposer with `specs` armed;
+// fills `block` and returns the sandbox path via `sandbox_out` so tests can
+// inspect the crash state the run left on disk.
+ProcessResult RunTxengine(const std::string& dir, const std::vector<FaultSpec>& specs,
+                          FeedbackBlock& block, std::string& sandbox_out) {
+  std::string plan_path = dir + "/plan.afex";
+  std::string feedback_path = dir + "/fb.bin";
+  sandbox_out = dir + "/sandbox";
+  fs::create_directories(sandbox_out);
+  EXPECT_TRUE(WriteFaultPlan(plan_path, specs));
+  EXPECT_TRUE(CreateFeedbackFile(feedback_path.c_str()));
+
+  ProcessRequest request;
+  request.argv = {AFEX_TXENGINE_PATH, "workload", "1"};
+  request.working_dir = sandbox_out;
+  request.preload = AFEX_INTERPOSER_PATH;
+  request.env = {{"AFEX_PLAN", plan_path}, {"AFEX_FEEDBACK", feedback_path}};
+  request.timeout_ms = 10000;
+  ProcessResult result = RunProcess(request);
+  EXPECT_TRUE(ReadFeedbackBlock(feedback_path.c_str(), block));
+  return result;
+}
+
+std::string SlurpFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+TEST(StorageFaultTest, ShortWriteObservedByChild) {
+  // walutil's fixture write checks its return value: a short_write torn to
+  // 4 bytes must surface there, with errno untouched.
+  FeedbackBlock block;
+  ProcessResult result = RunWalutil(
+      TempDir("short_write"), /*copy*/ 1,
+      {{.function = "write", .call_lo = 1, .call_hi = 1, .retval = 0, .errno_value = 0,
+        .kind = FaultKind::kShortWrite, .param = 4}},
+      block);
+  EXPECT_TRUE(result.exited);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("fixture write failed: errno=0"), std::string::npos)
+      << result.output;
+  int write_slot = InterposedSlot("write");
+  ASSERT_GE(write_slot, 0);
+  EXPECT_EQ(block.injected_total, 1u);
+  EXPECT_EQ(block.injected[write_slot], 1u);
+  EXPECT_EQ(block.first_injected_call, 1u);
+}
+
+TEST(StorageFaultTest, ShortWriteBeyondCountInjectsNothing) {
+  // K >= the write's byte count cannot tear anything: the call runs in
+  // full and no injection is recorded — the campaign sees a baseline run.
+  FeedbackBlock block;
+  ProcessResult result = RunWalutil(
+      TempDir("short_write_big"), /*copy*/ 1,
+      {{.function = "write", .call_lo = 1, .call_hi = 1, .retval = 0, .errno_value = 0,
+        .kind = FaultKind::kShortWrite, .param = 1 << 20}},
+      block);
+  EXPECT_TRUE(result.exited);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(block.plans_loaded, 1u);
+  EXPECT_EQ(block.injected_total, 0u);
+}
+
+TEST(StorageFaultTest, KillAtFiresAtTheExactOrdinal) {
+  FeedbackBlock block;
+  std::string sandbox;
+  ProcessResult result = RunTxengine(
+      TempDir("kill_at"),
+      {{.function = "write", .call_lo = 5, .call_hi = 5, .kind = FaultKind::kKillAt}},
+      block, sandbox);
+  ASSERT_TRUE(result.started);
+  EXPECT_FALSE(result.exited);
+  EXPECT_EQ(result.term_signal, SIGKILL);
+  int write_slot = InterposedSlot("write");
+  ASSERT_GE(write_slot, 0);
+  // The matched call is counted, recorded, and never returns.
+  EXPECT_EQ(block.calls[write_slot], 5u);
+  EXPECT_EQ(block.injected_total, 1u);
+  EXPECT_EQ(block.first_injected_slot, static_cast<uint32_t>(write_slot));
+  EXPECT_EQ(block.first_injected_call, 5u);
+}
+
+TEST(StorageFaultTest, DropSyncLeavesLogStaleAfterKill) {
+  // The lying-drive scenario end to end: txengine's first commit fsync
+  // reports success but the log records are discarded; a later power cut
+  // (kill_at) then loses them for good. The oracle line — stdio, flushed
+  // through libc-internal writes the interposer does not defer — survives,
+  // which is exactly the contradiction the verifier later flags.
+  FeedbackBlock block;
+  std::string sandbox;
+  ProcessResult result = RunTxengine(
+      TempDir("drop_sync"),
+      {{.function = "fsync", .call_lo = 1, .call_hi = 1, .kind = FaultKind::kDropSync},
+       {.function = "write", .call_lo = 14, .call_hi = 14, .kind = FaultKind::kKillAt}},
+      block, sandbox);
+  ASSERT_TRUE(result.started);
+  EXPECT_EQ(result.term_signal, SIGKILL);
+  EXPECT_EQ(block.injected_total, 2u);
+  // wal.log exists but holds nothing: txn 17's records died in the dropped
+  // sync, txn 18's died in the buffer with the process.
+  fs::path wal = fs::path(sandbox) / "wal.log";
+  ASSERT_TRUE(fs::exists(wal));
+  EXPECT_EQ(fs::file_size(wal), 0u);
+  // The engine acknowledged txn 17 before the cut.
+  EXPECT_NE(SlurpFile(fs::path(sandbox) / "oracle.txt").find("commit 17"),
+            std::string::npos);
+}
+
+TEST(StorageFaultTest, CrashAfterRenamePerformsTheRenameFirst) {
+  // txengine's first checkpoint renames meta.tmp over meta.chk; the fault
+  // kills the process immediately after the rename lands, so the new
+  // checkpoint must be on disk (its content was flushed at close).
+  FeedbackBlock block;
+  std::string sandbox;
+  ProcessResult result = RunTxengine(
+      TempDir("crash_rename"),
+      {{.function = "rename", .call_lo = 1, .call_hi = 1,
+        .kind = FaultKind::kCrashAfterRename}},
+      block, sandbox);
+  ASSERT_TRUE(result.started);
+  EXPECT_EQ(result.term_signal, SIGKILL);
+  EXPECT_EQ(block.injected_total, 1u);
+  // txns 17..20 wrote 12 WAL records before the checkpoint fired.
+  EXPECT_EQ(SlurpFile(fs::path(sandbox) / "meta.chk"), "ckpt 12\n");
+  EXPECT_FALSE(fs::exists(fs::path(sandbox) / "meta.tmp"));
+}
+
+TEST(StorageFaultTest, FsyncErrnoFaultGoesUnnoticedByTheEngine) {
+  // fsync is now on the interposable axis; txengine ignores its result
+  // (the fsyncgate pattern), so the classic errno fault injects cleanly
+  // and the run still "succeeds".
+  FeedbackBlock block;
+  std::string sandbox;
+  ProcessResult result = RunTxengine(
+      TempDir("fsync_errno"),
+      {{.function = "fsync", .call_lo = 1, .call_hi = 1, .retval = -1,
+        .errno_value = 5}},
+      block, sandbox);
+  EXPECT_TRUE(result.exited);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(block.injected_total, 1u);
+  int fsync_slot = InterposedSlot("fsync");
+  ASSERT_GE(fsync_slot, 0);
+  EXPECT_EQ(block.injected[fsync_slot], 1u);
 }
 
 // ---------------------------------------------------------------------------
@@ -717,6 +937,179 @@ TEST(StaticAnalysisTest, AutoSpaceFindsTheSameCrashesInAStrictlySmallerSpace) {
   // exactly the same planted crashes.
   EXPECT_FALSE(auto_crashes.empty());
   EXPECT_EQ(auto_crashes, full_crashes);
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase crash→recover→verify over afex_txengine
+// ---------------------------------------------------------------------------
+
+RealTargetConfig TxengineConfig(const std::string& work_root) {
+  RealTargetConfig config;
+  config.target_argv = {AFEX_TXENGINE_PATH, "workload", "{test}"};
+  config.recovery_argv = {AFEX_TXENGINE_PATH, "recover"};
+  config.verify_argv = {AFEX_TXENGINE_PATH, "verify"};
+  config.num_tests = 2;
+  config.interposer_path = AFEX_INTERPOSER_PATH;
+  config.work_root = work_root;
+  config.timeout_ms = 10000;
+  config.functions = {"write", "fsync", "rename"};
+  return config;
+}
+
+// <test, function, call, retval, mode> storage-failure space. The retval
+// axis is pinned at 20: it doubles as the short_write byte count K, small
+// enough to tear any 256-byte page write.
+FaultSpace TxengineSpace(int64_t max_call) {
+  std::vector<Axis> axes;
+  axes.push_back(Axis::MakeInterval("test", 1, 2));
+  axes.push_back(Axis::MakeSet("function", {"write", "fsync", "rename"}));
+  axes.push_back(Axis::MakeInterval("call", 1, max_call));
+  axes.push_back(Axis::MakeInterval("retval", 20, 20));
+  axes.push_back(
+      Axis::MakeSet("mode", {"kill_at", "short_write", "drop_sync", "crash_after_rename"}));
+  return FaultSpace(std::move(axes), "txengine-storage");
+}
+
+Fault MakeModeFault(const FaultSpace& space, size_t test_1based, const std::string& function,
+                    size_t call_1based, const std::string& mode) {
+  auto function_index = space.axis(1).IndexOf(function);
+  auto mode_index = space.axis(4).IndexOf(mode);
+  EXPECT_TRUE(function_index.has_value());
+  EXPECT_TRUE(mode_index.has_value());
+  return Fault(std::vector<size_t>{test_1based - 1, function_index.value_or(0),
+                                   call_1based - 1, 0, mode_index.value_or(0)});
+}
+
+TEST(TwoPhaseHarnessTest, CleanRunRecoversAndVerifies) {
+  RealTargetHarness harness(TxengineConfig(TempDir("twophase_clean")));
+  FaultSpace space = TxengineSpace(/*max_call=*/40);
+  // Test 1 makes 39 write calls; ordinal 40 is unreachable, so the workload
+  // runs fault-free — and recovery + verify still run and must both pass.
+  TestOutcome clean = harness.RunFault(space, MakeModeFault(space, 1, "write", 40, "kill_at"));
+  EXPECT_FALSE(clean.fault_triggered);
+  EXPECT_FALSE(clean.test_failed);
+  EXPECT_FALSE(clean.recovery_failed);
+  EXPECT_FALSE(clean.invariant_violated);
+}
+
+TEST(TwoPhaseHarnessTest, KillDuringPageWriteExposesRedoSkewAsInvariant) {
+  RealTargetHarness harness(TxengineConfig(TempDir("twophase_redo")));
+  FaultSpace space = TxengineSpace(/*max_call=*/40);
+  // Power cut at write call 12 — txn 17's apply of page 1 (odd id). The
+  // commit record is durable (txn 17's fsync flushed the log), recovery
+  // succeeds, but the planted redo bug skips odd pages: the verifier sees
+  // page 1 diverge from the durable log.
+  TestOutcome outcome =
+      harness.RunFault(space, MakeModeFault(space, 1, "write", 12, "kill_at"));
+  EXPECT_TRUE(outcome.fault_triggered);
+  // The simulated power cut is not a target bug: SIGKILL is deliberately
+  // not a crash signal (the classification walutil timeouts rely on too).
+  EXPECT_FALSE(outcome.crashed);
+  EXPECT_EQ(outcome.exit_code, 128 + SIGKILL);
+  EXPECT_FALSE(outcome.recovery_failed);
+  EXPECT_TRUE(outcome.invariant_violated);
+  EXPECT_TRUE(outcome.test_failed);
+  EXPECT_NE(outcome.detail.find("invariant violated"), std::string::npos) << outcome.detail;
+  EXPECT_NE(outcome.detail.find("diverges"), std::string::npos) << outcome.detail;
+}
+
+TEST(TwoPhaseHarnessTest, TornPageBelowCheckpointFailsRecovery) {
+  RealTargetHarness harness(TxengineConfig(TempDir("twophase_torn")));
+  FaultSpace space = TxengineSpace(/*max_call=*/40);
+  // Write call 17 is txn 18's apply of page 2 (lsn 4, never rewritten).
+  // K=20 tears it: new header + 4 payload bytes, stale tail. The page's
+  // LSN is below the checkpoint, so recovery's checksum pass catches it
+  // and refuses to come up — recovery_failed, and verify never runs.
+  TestOutcome outcome =
+      harness.RunFault(space, MakeModeFault(space, 1, "write", 17, "short_write"));
+  EXPECT_TRUE(outcome.fault_triggered);
+  EXPECT_FALSE(outcome.crashed);  // the workload itself ignores the short write
+  EXPECT_TRUE(outcome.recovery_failed);
+  EXPECT_FALSE(outcome.invariant_violated);
+  EXPECT_TRUE(outcome.test_failed);
+  EXPECT_NE(outcome.detail.find("recovery failed"), std::string::npos) << outcome.detail;
+  EXPECT_NE(outcome.detail.find("unrecoverable torn page"), std::string::npos)
+      << outcome.detail;
+}
+
+TEST(TwoPhaseHarnessTest, TornPageAboveCheckpointSlipsPastRecovery) {
+  RealTargetHarness harness(TxengineConfig(TempDir("twophase_torn_high")));
+  FaultSpace space = TxengineSpace(/*max_call=*/40);
+  // Write call 34 is txn 21's apply of page 0 (lsn 14 > checkpoint 12).
+  // The planted recovery bug skips checksum validation above the
+  // checkpoint, and redo skips it too (its WAL lsn equals the on-disk
+  // header's): recovery reports success, only the verifier notices.
+  TestOutcome outcome =
+      harness.RunFault(space, MakeModeFault(space, 1, "write", 34, "short_write"));
+  EXPECT_TRUE(outcome.fault_triggered);
+  EXPECT_FALSE(outcome.recovery_failed);
+  EXPECT_TRUE(outcome.invariant_violated);
+  EXPECT_NE(outcome.detail.find("torn page"), std::string::npos) << outcome.detail;
+}
+
+TEST(TwoPhaseHarnessTest, SandboxRecycledByDefaultPreservedOnRequest) {
+  auto find_sandbox = [](const std::string& work_root) {
+    for (const auto& entry : fs::recursive_directory_iterator(work_root)) {
+      if (entry.is_directory() && entry.path().filename() == "sandbox") {
+        return entry.path().string();
+      }
+    }
+    return std::string();
+  };
+  FaultSpace space = TxengineSpace(/*max_call=*/40);
+
+  // Default: the sandbox is recycled after recovery/verify — empty between
+  // tests (the recycled/preserved invariant the harness asserts).
+  std::string recycled_root = TempDir("twophase_recycle");
+  RealTargetHarness recycled(TxengineConfig(recycled_root));
+  recycled.RunFault(space, MakeModeFault(space, 1, "write", 40, "kill_at"));
+  std::string recycled_sandbox = find_sandbox(recycled_root);
+  ASSERT_FALSE(recycled_sandbox.empty());
+  EXPECT_TRUE(fs::is_empty(recycled_sandbox));
+
+  // preserve_sandbox: the crash state survives the test for post-mortem.
+  std::string preserved_root = TempDir("twophase_preserve");
+  RealTargetConfig config = TxengineConfig(preserved_root);
+  config.preserve_sandbox = true;
+  RealTargetHarness preserved(config);
+  preserved.RunFault(space, MakeModeFault(space, 1, "write", 40, "kill_at"));
+  std::string preserved_sandbox = find_sandbox(preserved_root);
+  ASSERT_FALSE(preserved_sandbox.empty());
+  EXPECT_TRUE(fs::exists(fs::path(preserved_sandbox) / "wal.log"));
+  EXPECT_TRUE(fs::exists(fs::path(preserved_sandbox) / "pages.db"));
+}
+
+// Spawn and forkserver must stay record-identical with the storage-failure
+// axes in play — kills, torn writes, dropped syncs and all.
+std::vector<std::string> TxengineRecords(ExecMode mode, const std::string& dir,
+                                         size_t budget) {
+  RealTargetConfig config = TxengineConfig(dir);
+  config.exec_mode = mode;
+  RealTargetHarness harness(config);
+  FaultSpace space = TxengineSpace(/*max_call=*/12);
+  FitnessExplorerConfig explorer_config;
+  explorer_config.seed = 41;
+  FitnessExplorer explorer(space, explorer_config);
+  ExplorationSession session(explorer, harness, space, SessionConfig{});
+  session.Run(SearchTarget{.max_tests = budget});
+  std::vector<std::string> serialized;
+  for (const SessionRecord& record : session.result().records) {
+    serialized.push_back(SerializeRecord(record));
+  }
+  return serialized;
+}
+
+TEST(TwoPhaseHarnessTest, StorageFaultCampaignRecordIdenticalAcrossExecModes) {
+  const size_t budget = 24;
+  std::vector<std::string> spawn =
+      TxengineRecords(ExecMode::kSpawn, TempDir("tx_eq_spawn"), budget);
+  std::vector<std::string> forkserver =
+      TxengineRecords(ExecMode::kForkserver, TempDir("tx_eq_fs"), budget);
+  ASSERT_EQ(spawn.size(), budget);
+  ASSERT_EQ(forkserver.size(), budget);
+  for (size_t i = 0; i < budget; ++i) {
+    EXPECT_EQ(spawn[i], forkserver[i]) << "spawn vs forkserver, record " << i;
+  }
 }
 
 }  // namespace

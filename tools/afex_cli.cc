@@ -97,6 +97,11 @@ struct Options {
   // LD_PRELOAD interposer.
   std::string backend = "sim";
   std::string target_cmd;   // command line, space-separated; {test} = test id
+  // Two-phase crash→recover→verify (README "Crash-recovery scenarios"):
+  // after every workload run, re-exec the target in recovery mode, then run
+  // the verifier, both in the workload's sandbox without the interposer.
+  std::string recovery_cmd;
+  std::string verify_cmd;
   std::string interposer;   // libafex_interpose.so ("" = auto-discover)
   uint64_t timeout_ms = 5000;
   size_t num_tests = 6;     // test-axis cardinality for the real backend
@@ -127,6 +132,7 @@ void PrintUsage() {
                "                [--warm-start=FILE] [--export=csv|json]\n"
                "                [--export-file=FILE] [--crashes-only] [--top=N] [--verbose]\n"
                "                [--backend=<sim|real>] [--target-cmd='BIN ARGS...']\n"
+               "                [--recovery-cmd='BIN ARGS...'] [--verify-cmd='BIN ARGS...']\n"
                "                [--interposer=SO] [--timeout-ms=N] [--num-tests=N]\n"
                "                [--exec-mode=<spawn|forkserver|persistent>]\n"
                "                [--auto-space] [--log-level=debug|info|warn|error|off]\n"
@@ -150,7 +156,13 @@ void PrintUsage() {
                "test, the default), forkserver (one target stopped pre-main, one\n"
                "bare fork per test), or persistent (in-process iterations via the\n"
                "afex_persistent_run hook, falling back to forkserver when the\n"
-               "target never adopts it). All modes produce identical records.\n");
+               "target never adopts it). All modes produce identical records.\n"
+               "\n"
+               "crash-recovery campaigns: --recovery-cmd re-runs the target in\n"
+               "recovery mode after every workload run, and --verify-cmd then checks\n"
+               "invariants — both in the workload's sandbox, without the interposer\n"
+               "({test} substitutes as in --target-cmd). A non-zero recovery exit\n"
+               "marks the record recfail=1; a non-zero verifier exit marks inv=1.\n");
 }
 
 bool ParseFlag(const std::string& arg, const std::string& name, std::string& out) {
@@ -218,6 +230,10 @@ bool ParseOptions(int argc, char** argv, Options& options) {
       options.backend = value;
     } else if (ParseFlag(arg, "target-cmd", value)) {
       options.target_cmd = value;
+    } else if (ParseFlag(arg, "recovery-cmd", value)) {
+      options.recovery_cmd = value;
+    } else if (ParseFlag(arg, "verify-cmd", value)) {
+      options.verify_cmd = value;
     } else if (ParseFlag(arg, "interposer", value)) {
       options.interposer = value;
     } else if (ParseFlag(arg, "timeout-ms", value)) {
@@ -286,10 +302,11 @@ bool ParseOptions(int argc, char** argv, Options& options) {
   }
   if (options.backend != "real" &&
       (!options.target_cmd.empty() || !options.interposer.empty() ||
+       !options.recovery_cmd.empty() || !options.verify_cmd.empty() ||
        options.timeout_ms_set || options.num_tests_set || options.exec_mode_set)) {
     std::fprintf(stderr,
-                 "--target-cmd/--interposer/--timeout-ms/--num-tests/--exec-mode only "
-                 "apply to --backend=real\n");
+                 "--target-cmd/--recovery-cmd/--verify-cmd/--interposer/--timeout-ms/"
+                 "--num-tests/--exec-mode only apply to --backend=real\n");
     return false;
   }
   if (options.exec_mode != "spawn" && options.exec_mode != "forkserver" &&
@@ -463,6 +480,35 @@ bool MakeRealConfig(const Options& options, const char* argv0,
                  config.target_argv[0].c_str(),
                  config.target_argv[0].find('/') == std::string::npos ? " in $PATH" : "");
     return false;
+  }
+  // The two-phase commands get the same split + binary resolution as the
+  // target command: a typo'd verifier path should fail before the campaign,
+  // not silently mark every record invariant_violated.
+  struct PhaseCmd {
+    const char* flag;
+    const std::string* cmd;
+    std::vector<std::string>* argv;
+  } phase_cmds[] = {
+      {"recovery-cmd", &options.recovery_cmd, &config.recovery_argv},
+      {"verify-cmd", &options.verify_cmd, &config.verify_argv},
+  };
+  for (const PhaseCmd& phase : phase_cmds) {
+    if (phase.cmd->empty()) {
+      continue;
+    }
+    *phase.argv = SplitCommand(*phase.cmd);
+    if (phase.argv->empty()) {
+      std::fprintf(stderr, "--%s is empty after splitting\n", phase.flag);
+      return false;
+    }
+    std::string resolved;
+    if (!ResolveTargetBinary((*phase.argv)[0], resolved)) {
+      std::fprintf(stderr, "--%s binary '%s' does not exist%s\n", phase.flag,
+                   (*phase.argv)[0].c_str(),
+                   (*phase.argv)[0].find('/') == std::string::npos ? " in $PATH" : "");
+      return false;
+    }
+    (*phase.argv)[0] = resolved;
   }
   config.num_tests = options.num_tests;
   config.timeout_ms = options.timeout_ms;
