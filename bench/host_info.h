@@ -1,0 +1,71 @@
+// Host metadata stamped into every BENCH_*.json artifact. Published
+// numbers are meaningless without the hardware they were measured on, so
+// each bench embeds a `"host"` object carrying the online core count, the
+// CPU model string, and the cpufreq governor (a "powersave" governor is
+// the usual explanation for a mysteriously slow rerun).
+#ifndef AFEX_BENCH_HOST_INFO_H_
+#define AFEX_BENCH_HOST_INFO_H_
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace afex {
+namespace bench {
+
+inline std::string JsonEscapeHostField(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+inline std::string HostCpuModel() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      size_t colon = line.find(':');
+      if (colon == std::string::npos) {
+        break;
+      }
+      size_t start = line.find_first_not_of(" \t", colon + 1);
+      return start == std::string::npos ? std::string() : line.substr(start);
+    }
+  }
+  return "unknown";
+}
+
+inline std::string HostCpuGovernor() {
+  // Containers and VMs frequently hide cpufreq entirely; report that
+  // honestly rather than guessing.
+  std::ifstream in("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor");
+  std::string governor;
+  if (in >> governor) {
+    return governor;
+  }
+  return "unavailable";
+}
+
+// `"host": {...}` as a string, no trailing comma or newline, ready to
+// splice into a bench's top-level JSON object.
+inline std::string HostJson() {
+  std::ostringstream out;
+  out << "\"host\": {\"cores\": " << std::thread::hardware_concurrency()
+      << ", \"cpu_model\": \"" << JsonEscapeHostField(HostCpuModel())
+      << "\", \"governor\": \"" << JsonEscapeHostField(HostCpuGovernor()) << "\"}";
+  return out.str();
+}
+
+}  // namespace bench
+}  // namespace afex
+
+#endif  // AFEX_BENCH_HOST_INFO_H_

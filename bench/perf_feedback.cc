@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/host_info.h"
 #include "cluster/node_manager.h"
 #include "cluster/parallel_session.h"
 #include "core/fitness_explorer.h"
@@ -216,6 +217,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   out << "{\n  \"benchmark\": \"feedback_path\",\n";
+  out << "  " << bench::HostJson() << ",\n";
   out << "  \"config\": {\"strategy\": \"fitness\", \"feedback\": true, \"budget\": " << budget
       << ", \"cluster_jobs\": " << cluster_jobs << ", \"default_pool\": " << kDefaultPool
       << ", \"campaign_pool\": " << pool << ", \"seed\": " << seed << "},\n";

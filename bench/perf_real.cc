@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/host_info.h"
 #include "core/fitness_explorer.h"
 #include "core/session.h"
 #include "exec/forkserver.h"
@@ -86,6 +87,83 @@ uint64_t DigestRecords(const SessionResult& result) {
   }
   return h;
 }
+
+#ifdef AFEX_WALUTIL_COV_PATH
+// Proxy-vs-edges coverage A/B cell: identical seeded fitness campaigns on
+// the sancov-instrumented walutil, once with the libc proxy signal and
+// once with real edge coverage. The number that matters is where the
+// coverage-growth curve stops — the proxy's block universe (one block per
+// interposed libc call) saturates after a few dozen tests, while the edge
+// signal keeps paying fitness feedback well past that wall.
+struct CoverageCell {
+  double seconds = 0.0;
+  size_t tests = 0;
+  size_t covered_blocks = 0;
+  uint64_t last_growth_test = 0;  // last test index where coverage grew
+  size_t growth_points = 0;
+  double edges_total = 0.0;  // gauge real.edges_total; stays 0 in proxy mode
+  size_t crashes = 0;
+  size_t clusters = 0;
+};
+
+CoverageCell RunCoverageCell(bool use_edges, size_t budget, uint64_t seed) {
+  exec::RealTargetConfig config;
+  config.target_argv = {AFEX_WALUTIL_COV_PATH, "{test}"};
+  config.num_tests = 6;
+  config.interposer_path = AFEX_INTERPOSER_PATH;
+  config.timeout_ms = 10000;
+  config.exec_mode = exec::ExecMode::kForkserver;
+  config.use_edges = use_edges;
+  exec::RealTargetHarness harness(config);
+  obs::CampaignTelemetry telemetry;
+  harness.set_metrics_sink(&telemetry);
+  FaultSpace space = harness.MakeSpace(/*max_call=*/6);
+  budget = std::min(budget, space.TotalPoints() / 2);
+
+  FitnessExplorerConfig explorer_config;
+  explorer_config.seed = seed;
+  FitnessExplorer explorer(space, explorer_config);
+
+  SessionConfig session_config;
+  session_config.redundancy_feedback = true;
+  session_config.metrics = &telemetry;
+
+  CoverageCell cell;
+  auto started = std::chrono::steady_clock::now();
+  ExplorationSession session(explorer, harness, space, session_config);
+  const SessionResult& outcome = session.Run(SearchTarget{.max_tests = budget});
+  cell.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+  cell.tests = outcome.tests_executed;
+  cell.covered_blocks = outcome.blocks_covered;
+  cell.crashes = outcome.crashes;
+  cell.clusters = outcome.clusters;
+  obs::MetricsSnapshot snapshot = telemetry.Snapshot();
+  cell.growth_points = snapshot.coverage_growth.size();
+  if (!snapshot.coverage_growth.empty()) {
+    cell.last_growth_test = snapshot.coverage_growth.back().tests;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (name == "real.edges_total") {
+      cell.edges_total = value;
+    }
+  }
+  return cell;
+}
+
+void EmitCoverageCell(std::ofstream& out, const char* key, const CoverageCell& c) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "    \"%s\": {\"seconds\": %.6f, \"tests\": %zu, "
+                "\"covered_blocks\": %zu, \"last_growth_test\": %llu, "
+                "\"growth_points\": %zu, \"edges_total\": %.0f, "
+                "\"crashes\": %zu, \"clusters\": %zu}",
+                key, c.seconds, c.tests, c.covered_blocks,
+                static_cast<unsigned long long>(c.last_growth_test), c.growth_points,
+                c.edges_total, c.crashes, c.clusters);
+  out << buf;
+}
+#endif  // AFEX_WALUTIL_COV_PATH
 
 const char* ModeName(exec::ExecMode mode) {
   switch (mode) {
@@ -175,6 +253,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   out << "{\n  \"benchmark\": \"real_exec_modes\",\n";
+  out << "  " << bench::HostJson() << ",\n";
   out << "  \"config\": {\"target\": \"walutil\", \"strategy\": \"fitness\", "
          "\"feedback\": true, \"budget\": "
       << budget << ", \"num_tests\": 6, \"max_call\": 6, \"seed\": " << seed << "},\n";
@@ -237,6 +316,35 @@ int main(int argc, char** argv) {
     out << "\n    }";
   }
   out << "\n  },\n";
+#ifdef AFEX_WALUTIL_COV_PATH
+  {
+    // Fixed A/B budget regardless of --budget/--quick: the cell exists to
+    // show where each signal's growth curve stops, and 120 tests is well
+    // past the proxy's saturation wall while staying CI-smoke cheap.
+    const size_t cov_budget = 120;
+    std::printf("coverage A/B (budget %zu): proxy... ", cov_budget);
+    std::fflush(stdout);
+    CoverageCell proxy_cell = RunCoverageCell(/*use_edges=*/false, cov_budget, seed);
+    std::printf("%zu blocks, growth stops at test %llu  edges... ",
+                proxy_cell.covered_blocks,
+                static_cast<unsigned long long>(proxy_cell.last_growth_test));
+    std::fflush(stdout);
+    CoverageCell edges_cell = RunCoverageCell(/*use_edges=*/true, cov_budget, seed);
+    std::printf("%.0f edges, growth through test %llu\n", edges_cell.edges_total,
+                static_cast<unsigned long long>(edges_cell.last_growth_test));
+    out << "  \"coverage_ab\": {\n"
+        << "    \"target\": \"walutil_cov\", \"strategy\": \"fitness\", \"budget\": "
+        << cov_budget << ", \"seed\": " << seed << ",\n";
+    EmitCoverageCell(out, "proxy", proxy_cell);
+    out << ",\n";
+    EmitCoverageCell(out, "edges", edges_cell);
+    out << "\n  },\n";
+  }
+#else
+  // Toolchain without -fsanitize-coverage support: no instrumented walutil
+  // variant to A/B against.
+  out << "  \"coverage_ab\": null,\n";
+#endif
   {
     char buf[256];
     std::snprintf(buf, sizeof(buf),

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/host_info.h"
 #include "cluster/node_manager.h"
 #include "cluster/parallel_session.h"
 #include "core/fitness_explorer.h"
@@ -227,6 +228,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   out << "{\n  \"benchmark\": \"sim_layer\",\n";
+  out << "  " << bench::HostJson() << ",\n";
   out << "  \"config\": {\"strategy\": \"fitness\", \"feedback\": true, \"budget\": " << budget
       << ", \"cluster_jobs\": " << cluster_jobs << ", \"pool\": " << pool
       << ", \"seed\": " << seed << "},\n";

@@ -215,6 +215,14 @@ std::optional<TargetProfile> AnalyzeTargetBinary(const std::string& path,
   // logical names and deduplicated (a binary can import open and open64).
   std::unordered_map<std::string, size_t> index_by_name;
   for (const ElfSymbol& symbol : elf->dynamic_symbols()) {
+    // Sancov detection scans every dynsym entry, not just undefined FUNCs:
+    // the hand-off symbol the instrumented builds carry
+    // (afex_sancov_region) is a *weak undefined* non-FUNC import, and a
+    // binary exporting raw __sanitizer_cov_* callbacks counts too.
+    if (symbol.name == "afex_sancov_region" ||
+        symbol.name.starts_with("__sanitizer_cov_")) {
+      profile.sancov_instrumented = true;
+    }
     if (!symbol.IsUndefined() || !symbol.IsFunction() || symbol.name.empty()) {
       continue;
     }

@@ -48,6 +48,11 @@ struct TargetProfile {
   std::vector<std::string> needed;        // DT_NEEDED libraries
   std::vector<ImportedFunction> imports;  // undefined FUNC dynamic symbols
   bool callsites_scanned = false;         // x86-64 .text scan ran
+  // The binary was built with -fsanitize-coverage and carries the AFEX
+  // sancov hand-off symbol (or raw __sanitizer_cov_* callbacks) in its
+  // dynamic symbol table — the interposer can stream real edge coverage
+  // from it. Drives afex_cli's --coverage=auto resolution.
+  bool sancov_instrumented = false;
 
   const ImportedFunction* Find(std::string_view name) const;
   bool Imports(std::string_view name) const { return Find(name) != nullptr; }

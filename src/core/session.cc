@@ -85,6 +85,16 @@ void ProcessSessionRecord(const SessionConfig& config, Explorer& explorer,
   if (record.outcome.hung) {
     ++result.hangs;
   }
+  if (record.outcome.recovery_failed) {
+    ++result.recovery_failures;
+  }
+  if (record.outcome.invariant_violated) {
+    ++result.invariant_violations;
+  }
+  // new_block_ids are disjoint across records by construction (each id is
+  // new relative to the backend's accumulator), so the sum is the count of
+  // distinct blocks the campaign has covered.
+  result.blocks_covered += record.outcome.new_block_ids.size();
   result.total_impact += record.impact;
   result.records.push_back(std::move(record));
   if (notify_observer && config.record_observer) {
@@ -99,6 +109,9 @@ void ProcessSessionRecord(const SessionConfig& config, Explorer& explorer,
     update.crashes = result.crashes;
     update.hangs = result.hangs;
     update.clusters = clusterer.cluster_count();
+    update.recovery_failures = result.recovery_failures;
+    update.invariant_violations = result.invariant_violations;
+    update.covered_blocks = result.blocks_covered;
     config.metrics->OnTestExecuted(update);
   }
 }

@@ -113,6 +113,12 @@ struct SessionResult {
   size_t clusters = 0;
   size_t unique_failures = 0;
   size_t unique_crashes = 0;
+  // Two-phase crash→recover→verify facets (real backend) and cumulative
+  // distinct coverage blocks across all records — the discovery counters
+  // the progress line and report surface alongside throughput.
+  size_t recovery_failures = 0;
+  size_t invariant_violations = 0;
+  size_t blocks_covered = 0;
   double total_impact = 0.0;
   bool space_exhausted = false;
 };

@@ -20,13 +20,29 @@ FeedbackReadStatus ReadFeedbackBlockStatus(const char* path, FeedbackBlock& out)
   if (f == nullptr) {
     return FeedbackReadStatus::kMissing;
   }
-  size_t read = std::fread(&out, sizeof(out), 1, f);
+  // Byte-count read: a version-1 block (older interposer, or a feedback
+  // file the interposer never grew) is shorter than sizeof(FeedbackBlock),
+  // so the block is decoded by how many bytes are actually present.
+  size_t bytes = std::fread(&out, 1, sizeof(out), f);
   std::fclose(f);
-  if (read != 1) {
+  if (bytes < kFeedbackBlockV1Size) {
     return FeedbackReadStatus::kShort;
   }
-  if (out.magic != kFeedbackMagic || out.version != kFeedbackVersion) {
+  if (out.magic != kFeedbackMagic) {
     return FeedbackReadStatus::kBadMagic;
+  }
+  if (out.version == 1) {
+    // Legacy layout: no edge region. Zero it so callers see a clean
+    // "edges unsupported" block and fall back to the libc proxy.
+    std::memset(reinterpret_cast<char*>(&out) + kFeedbackBlockV1Size, 0,
+                sizeof(out) - kFeedbackBlockV1Size);
+    return FeedbackReadStatus::kOk;
+  }
+  if (out.version != kFeedbackVersion) {
+    return FeedbackReadStatus::kVersionSkew;
+  }
+  if (bytes < sizeof(out)) {
+    return FeedbackReadStatus::kShort;
   }
   return FeedbackReadStatus::kOk;
 }

@@ -18,6 +18,7 @@
 #ifndef AFEX_EXEC_FEEDBACK_BLOCK_H_
 #define AFEX_EXEC_FEEDBACK_BLOCK_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 
@@ -46,7 +47,21 @@ inline constexpr uint32_t kInterposedFunctionCount =
 inline constexpr uint32_t kMaxInterposedFunctions = 32;
 
 inline constexpr uint64_t kFeedbackMagic = 0x3130424658454641ULL;  // "AFEXFB01"
-inline constexpr uint32_t kFeedbackVersion = 1;
+// Version 2 appends the SanitizerCoverage edge-hit region after the v1
+// fields. A v1-sized block (from an older interposer) still parses: the
+// parent zero-fills the edge region and falls back to the libc proxy.
+inline constexpr uint32_t kFeedbackVersion = 2;
+// Byte size of the version-1 block prefix; the v2 edge region starts here.
+inline constexpr uint32_t kFeedbackBlockV1Size = 568;
+// Fixed capacity of the per-test new-edge list. The interposer dedups
+// edges child-side (an edge id is reported at most once per process), so
+// this bounds *new* edges per test, not total edges per test; overruns
+// increment edge_overflow and the dropped ids retry at the next harvest.
+inline constexpr uint32_t kMaxEdgeHits = 4096;
+// Upper bound on distinct sancov edge ids the interposer tracks. Counter
+// regions longer than this are truncated (edge_total still records the
+// real length so the parent can see the truncation).
+inline constexpr uint32_t kMaxSancovEdges = 65536;
 
 // Slot index for a logical function name, or -1 when not interposed.
 // Linear scan: called once per decode on the parent and once per plan line
@@ -88,7 +103,30 @@ struct FeedbackBlock {
   // creates a fresh zero file per test and leaves this 0. (Was `reserved`;
   // same layout, so no version bump.)
   uint32_t test_seq = 0;
+
+  // --- version 2: SanitizerCoverage edge feedback ----------------------
+  // 1 when the target registered a sancov counter region with the
+  // interposer (i.e. the binary is instrumented AND the preload took);
+  // 0 means the parent must fall back to the libc proxy.
+  uint32_t edges_supported = 0;
+  // Count of new-edge append attempts dropped because edge_hits was full.
+  // Monotonic per test; dropped edges are retried at later harvests, so a
+  // nonzero value means the per-test signal saturated, not that edges
+  // were lost for the campaign.
+  uint32_t edge_overflow = 0;
+  // Length of the registered counter region (edges in the module), before
+  // any kMaxSancovEdges truncation — lets the parent size the coverage
+  // universe and detect truncation.
+  uint64_t edge_total = 0;
+  // Number of valid entries in edge_hits (<= kMaxEdgeHits).
+  uint64_t edge_hit_count = 0;
+  // Edge ids newly touched by this test, in first-hit order. Ids are
+  // indices into the module's counter region (or hashed PCs in trace-pc
+  // mode); each id appears at most once per child process.
+  uint32_t edge_hits[kMaxEdgeHits] = {};
 };
+static_assert(offsetof(FeedbackBlock, edges_supported) == kFeedbackBlockV1Size,
+              "v2 edge region must start exactly where the v1 block ended");
 
 // Parent-side helpers (implemented in feedback_block.cc; not used by the
 // interposer, which maps the file itself).
@@ -103,9 +141,10 @@ bool CreateFeedbackFile(const char* path);
 // a bad magic means the interposer never attached (or is incompatible).
 enum class FeedbackReadStatus {
   kOk = 0,
-  kMissing,   // open failed
-  kShort,     // fewer than sizeof(FeedbackBlock) bytes
-  kBadMagic,  // magic or version mismatch
+  kMissing,      // open failed
+  kShort,        // fewer bytes than the block's version requires
+  kBadMagic,     // magic mismatch: the interposer never attached
+  kVersionSkew,  // magic ok but a version this parent cannot decode
 };
 
 // Reads the block back after the child exited, reporting what went wrong.

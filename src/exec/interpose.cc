@@ -86,7 +86,9 @@ using afex::exec::kFsMaxPlans;
 using afex::exec::kFsMsgMagic;
 using afex::exec::kFsRequestMagic;
 using afex::exec::kInterposedFunctionCount;
+using afex::exec::kMaxEdgeHits;
 using afex::exec::kMaxInterposedFunctions;
+using afex::exec::kMaxSancovEdges;
 
 // ---------------------------------------------------------------------------
 // Bootstrap allocator: serves allocations made while dlsym resolves the real
@@ -272,8 +274,12 @@ bool KindAllowedForSlot(int kind, int slot) {
 // The power cut. Raw syscalls so no wrapper, atexit handler, or stdio flush
 // runs between the decision to die and death — exactly like losing power.
 // The feedback block is MAP_SHARED, so injections recorded before the kill
-// survive for the parent to read.
+// survive for the parent to read. Edges touched since the last libc call
+// are harvested first — the harvest only writes the shared block, which
+// survives the kill exactly like the injection counters do.
+void SancovHarvest();
 [[noreturn]] void RawKill() {
+  SancovHarvest();
   syscall(SYS_kill, syscall(SYS_getpid), SIGKILL);
   for (;;) {
   }
@@ -298,6 +304,66 @@ int g_plan_count = 0;
 FeedbackBlock g_local_block;
 FeedbackBlock* g_block = &g_local_block;
 
+// ---------------------------------------------------------------------------
+// SanitizerCoverage edge feedback. An instrumented target's sancov client
+// (exec/sancov_client.cc) hands its byte-counter region to
+// afex_sancov_region() from the executable's own initializers — after this
+// library's constructor, so the feedback block is already mapped. Counters
+// are CUMULATIVE for the life of the process; the seen-bitmap below dedups
+// so each edge id is reported exactly once per process. That makes the
+// per-test new-edge sets identical across exec modes without any counter
+// zeroing: the parent's CoverageAccumulator takes the set difference
+// against everything already known, so a persistent process re-reporting
+// nothing (already-seen edges stay silent) and a fresh spawn re-reporting
+// everything (parent already knows it) produce the same records.
+// ---------------------------------------------------------------------------
+unsigned char* g_sancov_start = nullptr;
+unsigned long g_sancov_len = 0;       // scanned length (<= kMaxSancovEdges)
+unsigned long g_sancov_full_len = 0;  // real region length, pre-truncation
+unsigned char g_sancov_seen[kMaxSancovEdges / 8];
+int g_sancov_lock = 0;
+
+// Scans the counter region and appends edge ids not seen before by this
+// process to the block's edge-hit list. Word-at-a-time fast path skips the
+// (vast majority of) untouched counters. The seen bit is set only when the
+// id actually lands in the list, so ids dropped on a full list retry at
+// the next harvest; edge_overflow counts the drops as a saturation signal.
+// Contended harvests are skipped — a concurrent thread's edges surface at
+// its own next harvest site.
+void SancovHarvest() {
+  unsigned char* region = __atomic_load_n(&g_sancov_start, __ATOMIC_ACQUIRE);
+  if (region == nullptr) {
+    return;
+  }
+  if (__atomic_exchange_n(&g_sancov_lock, 1, __ATOMIC_ACQUIRE) != 0) {
+    return;
+  }
+  FeedbackBlock* b = g_block;
+  unsigned long len = g_sancov_len;
+  for (unsigned long i = 0; i < len; ++i) {
+    if ((i & 7) == 0 && i + 8 <= len) {
+      unsigned long word;
+      memcpy(&word, region + i, sizeof(word));
+      if (word == 0) {
+        i += 7;
+        continue;
+      }
+    }
+    if (region[i] == 0 || (g_sancov_seen[i >> 3] & (1u << (i & 7))) != 0) {
+      continue;
+    }
+    uint64_t slot = b->edge_hit_count;
+    if (slot < kMaxEdgeHits) {
+      b->edge_hits[slot] = static_cast<uint32_t>(i);
+      b->edge_hit_count = slot + 1;
+      g_sancov_seen[i >> 3] |= static_cast<unsigned char>(1u << (i & 7));
+    } else {
+      ++b->edge_overflow;
+    }
+  }
+  __atomic_store_n(&g_sancov_lock, 0, __ATOMIC_RELEASE);
+}
+
 // First armed plan covering call ordinal `n` of `slot`, else null.
 const Plan* MatchPlan(int slot, unsigned long n) {
   for (int i = 0; i < g_plan_count; ++i) {
@@ -320,6 +386,10 @@ const Plan* OnCallCount(int slot, unsigned long& n) {
   if (!__atomic_load_n(&g_active, __ATOMIC_ACQUIRE) || g_internal) {
     return nullptr;
   }
+  // Every interposed libc call is an edge-harvest point: the block always
+  // reflects the target's coverage up to its most recent libc boundary, so
+  // even a SIGSEGV mid-test leaves the edges that led there readable.
+  SancovHarvest();
   n = __atomic_add_fetch(&g_block->calls[slot], 1, __ATOMIC_RELAXED);
   return MatchPlan(slot, n);
 }
@@ -772,6 +842,16 @@ void ResetFeedbackForTest(uint32_t seq) {
   b->first_injected_call = 0;
   b->first_injected_slot = 0;
   b->plans_loaded = 0;
+  // The per-test edge-hit list is reset; the process-lifetime sancov
+  // counters and seen-bitmap are NOT (see the harvest comment: cumulative
+  // counters + child-side dedup is what makes exec modes record-equal).
+  // In a forkserver server no region is registered yet (the executable's
+  // initializers only run in the forked children), so these stamp zero and
+  // each child re-stamps at registration time.
+  b->edge_hit_count = 0;
+  b->edge_overflow = 0;
+  b->edges_supported = g_sancov_start != nullptr ? 1 : 0;
+  b->edge_total = g_sancov_full_len;
   b->test_seq = seq;
 }
 
@@ -983,6 +1063,7 @@ __attribute__((constructor)) void AfexInterposeInit(int argc, char** argv,
 // kill (SIGKILL from kill_at / crash_after_rename, or a target calling
 // _exit directly) loses them — which is the point.
 __attribute__((destructor)) void AfexInterposeFini() {
+  SancovHarvest();  // edges touched after the last libc call
   if (g_buffering) {
     ++g_internal;
     FlushAll();
@@ -1460,6 +1541,32 @@ void exit(int status) {
   _exit(status);
 }
 
+// SanitizerCoverage adoption point. An instrumented target's sancov client
+// (exec/sancov_client.cc) declares this weak-undefined and calls it with
+// the module's byte-counter region; uninstrumented targets never reference
+// it, and instrumented targets run un-preloaded resolve it to null and skip
+// the call. First region wins; a re-registration of the same base pointer
+// with a longer length (the trace-pc-guard stub grows as guards get
+// numbered) extends it. Stores pointers and stamps the shared block only —
+// safe from the target's earliest initializers.
+void afex_sancov_region(void* begin, void* end) {
+  unsigned char* base = static_cast<unsigned char*>(begin);
+  unsigned char* stop = static_cast<unsigned char*>(end);
+  if (base == nullptr || stop <= base) {
+    return;
+  }
+  unsigned long len = static_cast<unsigned long>(stop - base);
+  unsigned char* cur = __atomic_load_n(&g_sancov_start, __ATOMIC_RELAXED);
+  if (cur != nullptr && (cur != base || len <= g_sancov_full_len)) {
+    return;
+  }
+  g_sancov_full_len = len;
+  g_sancov_len = len > kMaxSancovEdges ? kMaxSancovEdges : len;
+  __atomic_store_n(&g_sancov_start, base, __ATOMIC_RELEASE);
+  g_block->edges_supported = 1;
+  g_block->edge_total = g_sancov_full_len;
+}
+
 // The persistent-mode hook (see README "Execution modes"). A target adopts
 // it by declaring the symbol weak and, early in main, handing over its
 // per-test entry function:
@@ -1507,6 +1614,11 @@ int afex_persistent_run(int (*entry)(int test_id)) {
     }
     g_exit_armed = 0;
     __atomic_store_n(&g_active, 0, __ATOMIC_RELEASE);
+    // Final harvest for this iteration: edges touched after the entry's
+    // last libc call land in this test's list, not the next one's. Must
+    // complete before the status message — the client reads the block as
+    // soon as kIterStatus arrives.
+    SancovHarvest();
     if (!SendMsg(FsMsgKind::kIterStatus, code, req.test_seq)) {
       break;
     }

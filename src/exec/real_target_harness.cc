@@ -78,9 +78,16 @@ std::vector<std::string> InterposableFunctions() {
   return names;
 }
 
+static_assert(kEdgeBlockBase >= kMaxInterposedFunctions,
+              "edge block ids must sit above every possible proxy slot id");
+
 RealTargetHarness::RealTargetHarness(RealTargetConfig config)
     : config_(std::move(config)),
-      coverage_(kInterposedFunctionCount, /*recovery_base=*/0) {
+      // Edge mode starts with just the offset as a placeholder universe;
+      // the first feedback block carrying edge_total resizes it to the
+      // target's real region length.
+      coverage_(config_.use_edges ? kEdgeBlockBase : kInterposedFunctionCount,
+                /*recovery_base=*/0) {
   if (config_.functions.empty()) {
     config_.functions = InterposableFunctions();
   }
@@ -362,6 +369,9 @@ TestOutcome RealTargetHarness::RunFault(const FaultSpace& space, const Fault& fa
     case FeedbackReadStatus::kBadMagic:
       count("real.feedback_bad_magic");
       break;
+    case FeedbackReadStatus::kVersionSkew:
+      count("real.feedback_version");
+      break;
   }
   // In fs modes the server stamps test_seq before every fork/iteration; a
   // mismatch means the block was never re-armed for this test (server died
@@ -373,19 +383,67 @@ TestOutcome RealTargetHarness::RunFault(const FaultSpace& space, const Fault& fa
     count("real.feedback_stale");
   }
   if (feedback_status == FeedbackReadStatus::kOk && !feedback_stale) {
-    // Each profiled libc function the run touched is one black-box
-    // "coverage block": the call profile is the only structural signal a
-    // black-box run emits, and it feeds the impact metric's coverage term
-    // exactly like basic blocks do for the sim backend.
     CoverageSet touched;
-    uint32_t slots = std::min(block.function_count, kMaxInterposedFunctions);
-    for (uint32_t slot = 0; slot < slots; ++slot) {
-      if (block.calls[slot] > 0) {
-        touched.Hit(slot);
+    if (!config_.use_edges) {
+      // Each profiled libc function the run touched is one black-box
+      // "coverage block": the call profile is the only structural signal a
+      // black-box run emits, and it feeds the impact metric's coverage
+      // term exactly like basic blocks do for the sim backend.
+      uint32_t slots = std::min(block.function_count, kMaxInterposedFunctions);
+      for (uint32_t slot = 0; slot < slots; ++slot) {
+        if (block.calls[slot] > 0) {
+          touched.Hit(slot);
+        }
       }
+    } else if (block.edges_supported == 0) {
+      // Edge signal requested but this run's process never registered a
+      // counter region — uninstrumented target, or the preload didn't
+      // take. Surfaced per test: a campaign with this counter at its test
+      // count is exploring with no coverage signal at all.
+      count("real.edges_missing");
+    } else {
+      // Edge ids become coverage blocks above kEdgeBlockBase. The block
+      // is hostile input (a crashed child wrote it): entry count and ids
+      // are clamped to the interposer's own caps, which also bounds the
+      // accumulator's bitmap growth.
+      obs::PhaseTimer merge_timer(metrics_, obs::Phase::kRealEdgeMerge);
+      if (!edge_total_known_ && block.edge_total > 0) {
+        edge_total_known_ = true;
+        coverage_.set_total_blocks(
+            kEdgeBlockBase + static_cast<uint32_t>(std::min<uint64_t>(
+                                 block.edge_total, kMaxSancovEdges)));
+      }
+      uint64_t entries = std::min<uint64_t>(block.edge_hit_count, kMaxEdgeHits);
+      for (uint64_t i = 0; i < entries; ++i) {
+        uint32_t id = block.edge_hits[i];
+        if (id < kMaxSancovEdges) {
+          touched.Hit(kEdgeBlockBase + id);
+        }
+      }
+      if (block.edge_overflow > 0) {
+        // The per-test new-edge list saturated; dropped edges re-surface
+        // on later tests, so discovery ordering (not totals) degrades.
+        count("real.edge_overflow");
+      }
+      merge_timer.Finish();
     }
     outcome.new_blocks_covered = coverage_.MergeCollect(touched, outcome.new_block_ids);
     std::sort(outcome.new_block_ids.begin(), outcome.new_block_ids.end());
+    if (config_.use_edges) {
+      uint64_t edges_new = 0;
+      for (uint32_t id : outcome.new_block_ids) {
+        if (id >= kEdgeBlockBase) {
+          ++edges_new;
+        }
+      }
+      edges_total_ += edges_new;
+      if (metrics_ != nullptr) {
+        if (edges_new > 0) {
+          metrics_->AddCounter("real.edges_new", edges_new);
+        }
+        metrics_->SetGauge("real.edges_total", edges_total_);
+      }
+    }
     outcome.fault_triggered = block.injected_total > 0;
     if (outcome.fault_triggered && block.first_injected_slot < kInterposedFunctionCount) {
       // Synthetic stack for redundancy clustering: target, test, injected

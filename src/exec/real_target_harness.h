@@ -41,6 +41,13 @@ class ForkserverClient;
 // they differ only in per-test cost.
 enum class ExecMode { kSpawn, kForkserver, kPersistent };
 
+// Coverage block ids for the edge signal start here, above the libc-proxy
+// slot ids (0..kInterposedFunctionCount-1): an edge id E becomes block
+// kEdgeBlockBase + E. The offset keeps the two id spaces disjoint so a
+// journal seeded from proxy records can never alias an edge block (and
+// vice versa) on resume.
+inline constexpr uint32_t kEdgeBlockBase = 32;
+
 struct RealTargetConfig {
   // Target command. Every occurrence of "{test}" in any argument is
   // replaced by the 1-based test id; if no argument contains the
@@ -80,6 +87,14 @@ struct RealTargetConfig {
   // Function axis for MakeSpace. Empty = InterposableFunctions().
   std::vector<std::string> functions;
   ExecMode exec_mode = ExecMode::kSpawn;
+  // Feed coverage from SanitizerCoverage edge hits (FeedbackBlock v2)
+  // instead of the 26-slot libc-call proxy. Requires an instrumented
+  // target; the CLI resolves --coverage=auto|proxy|edges to this via the
+  // ELF analyzer's sancov detection. When set, the proxy slots are
+  // excluded from coverage (the signals would double-count otherwise);
+  // everything else — injection accounting, clustering stacks — is
+  // signal-independent.
+  bool use_edges = false;
 };
 
 // The libc-profile functions the interposer wraps, in profile (category)
@@ -103,6 +118,13 @@ class RealTargetHarness : public TargetBackend {
 
   void SeedCoverage(const std::vector<uint32_t>& blocks) override {
     coverage_.MergeIds(blocks);
+    // Resumed edge blocks count toward real.edges_total, so the gauge is
+    // campaign-cumulative, not session-local.
+    for (uint32_t id : blocks) {
+      if (id >= kEdgeBlockBase) {
+        ++edges_total_;
+      }
+    }
   }
   uint32_t coverage_total_blocks() const override { return coverage_.total_blocks(); }
   uint32_t coverage_recovery_base() const override { return 0; }
@@ -138,6 +160,11 @@ class RealTargetHarness : public TargetBackend {
   std::unique_ptr<ForkserverClient> forkserver_;
   uint32_t next_seq_ = 0;  // FeedbackBlock::test_seq stamps (fs modes)
   CoverageAccumulator coverage_;
+  // Edge-signal bookkeeping (use_edges): distinct edges merged so far
+  // (drives the real.edges_total gauge) and whether the target's region
+  // length has sized the coverage universe yet.
+  uint64_t edges_total_ = 0;
+  bool edge_total_known_ = false;
   CachedFaultDecoder decoder_;  // per-space decode tables, built once
   size_t tests_run_ = 0;
   obs::MetricsSink* metrics_ = nullptr;

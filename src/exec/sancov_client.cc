@@ -1,0 +1,115 @@
+// SanitizerCoverage entry points for instrumented real targets.
+//
+// Compiled (uninstrumented) into the *_cov variants of the sample targets,
+// this TU satisfies the callbacks the compiler emits under
+// -fsanitize-coverage= and presents whatever mechanism the compiler
+// provides as one uniform byte-counter region, handed to the interposer
+// through `afex_sancov_region`:
+//
+//   inline-8bit-counters (clang)  the module's own counter array is the
+//                                 region; the init callback forwards it.
+//   trace-pc-guard (clang)        guards get sequential ids; a callback
+//                                 bumps a static byte array per edge.
+//   trace-pc (gcc)                PCs hash into a fixed byte table
+//                                 (AFL-style; needs -no-pie for stable
+//                                 ids across runs).
+//
+// `afex_sancov_region` is a weak *undefined* import: it lands in the
+// executable's dynsym, resolves against libafex_interpose.so when that is
+// LD_PRELOADed, and stays null otherwise — same adoption pattern as
+// walutil's `afex_persistent_run`. No dlsym, no allocation, no libc calls,
+// so the callbacks are safe from the earliest target code. This TU must
+// NOT itself be instrumented (trace-pc would recurse), which is why the
+// build compiles it into a separate uninstrumented helper library.
+#include <cstdint>
+
+extern "C" {
+
+// Strong definition lives in the interposer; null when not preloaded.
+__attribute__((weak)) void afex_sancov_region(void* begin, void* end);
+
+}  // extern "C"
+
+namespace {
+
+// trace-pc mode: fixed hash table of edge counters. 4096 slots is ample
+// for the sample targets (a few hundred edges); collisions merely merge
+// edges, as in AFL.
+constexpr uintptr_t kTracePcSlots = 4096;
+unsigned char g_trace_pc_table[kTracePcSlots];
+bool g_trace_pc_registered = false;
+
+// trace-pc-guard mode: guards get ids 1..kGuardSlots; id-1 indexes this
+// counter array, which is registered as the region.
+constexpr uint32_t kGuardSlots = 65536;
+unsigned char g_guard_counters[kGuardSlots];
+uint32_t g_guard_count = 0;
+
+inline void RegisterRegion(unsigned char* begin, unsigned char* end) {
+  if (afex_sancov_region != nullptr) {
+    afex_sancov_region(begin, end);
+  }
+}
+
+// Fingerprint mix (splitmix64 finalizer) — spreads nearby return
+// addresses across the trace-pc table.
+inline uintptr_t MixPc(uintptr_t pc) {
+  pc ^= pc >> 30;
+  pc *= 0xbf58476d1ce4e5b9ULL;
+  pc ^= pc >> 27;
+  pc *= 0x94d049bb133111ebULL;
+  pc ^= pc >> 31;
+  return pc;
+}
+
+}  // namespace
+
+extern "C" {
+
+// clang -fsanitize-coverage=inline-8bit-counters: the compiler gives us
+// the module's counter array directly.
+void __sanitizer_cov_8bit_counters_init(char* start, char* end) {
+  RegisterRegion(reinterpret_cast<unsigned char*>(start),
+                 reinterpret_cast<unsigned char*>(end));
+}
+
+// clang -fsanitize-coverage=trace-pc-guard: assign each guard a 1-based
+// id once (guards are zero-initialized; a re-run of init on an already
+// numbered range is a no-op per the sancov contract).
+void __sanitizer_cov_trace_pc_guard_init(uint32_t* start, uint32_t* stop) {
+  if (start == stop || *start != 0) {
+    return;
+  }
+  for (uint32_t* guard = start; guard < stop; ++guard) {
+    *guard = g_guard_count < kGuardSlots ? ++g_guard_count : 0;
+  }
+  RegisterRegion(g_guard_counters, g_guard_counters + g_guard_count);
+}
+
+void __sanitizer_cov_trace_pc_guard(uint32_t* guard) {
+  uint32_t id = *guard;
+  if (id == 0) {
+    return;
+  }
+  unsigned char& counter = g_guard_counters[id - 1];
+  if (counter != 0xff) {
+    ++counter;
+  }
+}
+
+// gcc -fsanitize-coverage=trace-pc: no init callback exists, so the table
+// registers itself at the first edge. A benign race at worst re-registers
+// the same region; the interposer keeps the first.
+void __sanitizer_cov_trace_pc() {
+  if (!g_trace_pc_registered) {
+    g_trace_pc_registered = true;
+    RegisterRegion(g_trace_pc_table, g_trace_pc_table + kTracePcSlots);
+  }
+  uintptr_t pc = reinterpret_cast<uintptr_t>(__builtin_return_address(0));
+  unsigned char& counter = g_trace_pc_table[MixPc(pc) & (kTracePcSlots - 1)];
+  if (counter != 0xff) {
+    ++counter;
+  }
+}
+
+}  // extern "C"

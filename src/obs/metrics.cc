@@ -117,6 +117,8 @@ const char* PhaseName(Phase phase) {
       return "real.recovery_run";
     case Phase::kRealVerify:
       return "real.verify";
+    case Phase::kRealEdgeMerge:
+      return "real.edge_merge";
   }
   return "unknown";
 }
@@ -351,8 +353,16 @@ void MetricsSnapshot::WriteJson(std::ostream& out, int indent) const {
         << ", \"p90_ns\": " << FormatNumber(h.p90_ns)
         << ", \"p99_ns\": " << FormatNumber(h.p99_ns) << "}";
   }
-  out << (histograms.empty() ? "" : "\n" + pad + "  ") << "}\n";
-  out << pad << "}";
+  out << (histograms.empty() ? "" : "\n" + pad + "  ") << "}";
+  if (!coverage_growth.empty()) {
+    out << ",\n" << pad << "  \"coverage_growth\": [";
+    for (size_t i = 0; i < coverage_growth.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << "[" << coverage_growth[i].tests << ", "
+          << coverage_growth[i].covered << "]";
+    }
+    out << "]";
+  }
+  out << "\n" << pad << "}";
 }
 
 }  // namespace obs

@@ -65,8 +65,9 @@ enum class Phase : uint8_t {
   kRealFsRestart,       // real backend: forkserver (re)spawn + handshake
   kRealRecoveryRun,     // real backend: two-phase recovery command
   kRealVerify,          // real backend: two-phase verifier command
+  kRealEdgeMerge,       // real backend: sancov edge-hit translation + merge
 };
-inline constexpr size_t kPhaseCount = 17;
+inline constexpr size_t kPhaseCount = 18;
 
 // Dotted metric name for a phase, e.g. "real.fork_exec".
 const char* PhaseName(Phase phase);
@@ -102,14 +103,26 @@ struct HistogramSummary {
   double p99_ns = 0.0;
 };
 
+// One point on the campaign's coverage-growth curve: after `tests`
+// executed tests, `covered` distinct coverage blocks were known.
+struct CoveragePoint {
+  uint64_t tests = 0;
+  uint64_t covered = 0;
+};
+
 struct MetricsSnapshot {
   std::vector<std::pair<std::string, uint64_t>> counters;  // registration order
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<HistogramSummary> histograms;
+  // Coverage-growth curve, recorded by CampaignTelemetry whenever covered
+  // grows (decimated to a bounded point count). Empty when the campaign
+  // produced no coverage signal; omitted from the JSON then.
+  std::vector<CoveragePoint> coverage_growth;
 
   // Pretty-printed JSON object {"counters": {...}, "gauges": {...},
-  // "histograms": {...}} with `indent` leading spaces on every line after
-  // the first (so it embeds into a larger document); no trailing newline.
+  // "histograms": {...}[, "coverage_growth": [...]]} with `indent` leading
+  // spaces on every line after the first (so it embeds into a larger
+  // document); no trailing newline.
   void WriteJson(std::ostream& out, int indent = 0) const;
 };
 
@@ -174,6 +187,12 @@ struct ProgressUpdate {
   size_t crashes = 0;
   size_t hangs = 0;
   size_t clusters = 0;
+  // Discovery facets (PR-9 two-phase outcomes + coverage): long real
+  // campaigns are throughput-flat but discovery-active, and the progress
+  // line should show the latter.
+  size_t recovery_failures = 0;
+  size_t invariant_violations = 0;
+  size_t covered_blocks = 0;  // cumulative distinct coverage blocks
 };
 
 // What the instrumented layers talk to. The one concrete implementation is

@@ -67,6 +67,17 @@ std::string ProgressReporter::ComposeLine(const ProgressUpdate& update) const {
   std::snprintf(buf, sizeof(buf), ", %zu crashes, %zu failed, %zu clusters",
                 update.crashes, update.failed_tests, update.clusters);
   line += buf;
+  // Two-phase discovery facets appear once the campaign produces them —
+  // campaigns without recovery/verify phases keep the shorter line.
+  if (update.recovery_failures > 0 || update.invariant_violations > 0) {
+    std::snprintf(buf, sizeof(buf), ", %zu recfail, %zu inv",
+                  update.recovery_failures, update.invariant_violations);
+    line += buf;
+  }
+  if (update.covered_blocks > 0) {
+    std::snprintf(buf, sizeof(buf), ", %zu blocks", update.covered_blocks);
+    line += buf;
+  }
   if (config_.coverage_fraction) {
     std::snprintf(buf, sizeof(buf), ", coverage %.1f%%", 100.0 * config_.coverage_fraction());
     line += buf;

@@ -72,7 +72,39 @@ void CampaignTelemetry::SetGauge(std::string_view name, double value) {
 }
 
 void CampaignTelemetry::OnTestExecuted(const ProgressUpdate& update) {
+  if (update.covered_blocks > 0) {
+    std::lock_guard<std::mutex> lock(coverage_mutex_);
+    if (coverage_curve_.empty() ||
+        update.covered_blocks > coverage_curve_.back().covered) {
+      coverage_curve_.push_back(
+          {static_cast<uint64_t>(update.tests_executed),
+           static_cast<uint64_t>(update.covered_blocks)});
+      // Bound the curve: halve its resolution when it doubles past 1024
+      // points. Growth curves are read for their shape, not per-test
+      // detail, and the final point always survives (it was just pushed).
+      if (coverage_curve_.size() > 2048) {
+        std::vector<CoveragePoint> kept;
+        kept.reserve(coverage_curve_.size() / 2 + 1);
+        for (size_t i = 0; i < coverage_curve_.size(); i += 2) {
+          kept.push_back(coverage_curve_[i]);
+        }
+        if (kept.back().covered != coverage_curve_.back().covered) {
+          kept.push_back(coverage_curve_.back());
+        }
+        coverage_curve_ = std::move(kept);
+      }
+    }
+  }
   progress_.OnTestExecuted(update);
+}
+
+MetricsSnapshot CampaignTelemetry::Snapshot() const {
+  MetricsSnapshot snapshot = registry_.Snapshot();
+  {
+    std::lock_guard<std::mutex> lock(coverage_mutex_);
+    snapshot.coverage_growth = coverage_curve_;
+  }
+  return snapshot;
 }
 
 bool CampaignTelemetry::WriteMetricsFile(const std::string& path) const {
@@ -137,6 +169,16 @@ std::string CampaignTelemetry::SynopsisLine() const {
   }
   line += "; " + dominant->name + " p50=" + FormatNs(dominant->p50_ns) +
           " p99=" + FormatNs(dominant->p99_ns);
+  if (!snapshot.coverage_growth.empty()) {
+    const CoveragePoint& last = snapshot.coverage_growth.back();
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "; coverage %llu blocks by test %llu (%zu growth points)",
+                  static_cast<unsigned long long>(last.covered),
+                  static_cast<unsigned long long>(last.tests),
+                  snapshot.coverage_growth.size());
+    line += buf;
+  }
   return line;
 }
 

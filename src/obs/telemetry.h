@@ -21,6 +21,7 @@
 #include <ostream>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/progress.h"
@@ -49,7 +50,10 @@ class CampaignTelemetry : public MetricsSink {
   const TraceWriter& trace() const { return trace_; }
   ProgressReporter& progress() { return progress_; }
 
-  MetricsSnapshot Snapshot() const { return registry_.Snapshot(); }
+  // Registry state plus the coverage-growth curve accumulated from
+  // progress updates (one point per covered-blocks increase, decimated to
+  // a bounded count).
+  MetricsSnapshot Snapshot() const;
 
   // Writers for --metrics-file / --trace-file; false on I/O failure.
   bool WriteMetricsFile(const std::string& path) const;
@@ -70,6 +74,9 @@ class CampaignTelemetry : public MetricsSink {
   std::mutex names_mutex_;
   std::unordered_map<std::string, uint32_t> counter_ids_;
   std::unordered_map<std::string, uint32_t> gauge_ids_;
+
+  mutable std::mutex coverage_mutex_;
+  std::vector<CoveragePoint> coverage_curve_;
 };
 
 }  // namespace obs

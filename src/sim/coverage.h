@@ -71,6 +71,11 @@ class CoverageAccumulator {
 
   size_t covered() const { return covered_count_; }
   uint32_t total_blocks() const { return total_blocks_; }
+  // Resizes the block universe after construction — the real backend's
+  // edge signal only learns the instrumented module's region length from
+  // the first feedback block. Affects Fraction()'s denominator only;
+  // already-merged blocks are untouched.
+  void set_total_blocks(uint32_t total_blocks) { total_blocks_ = total_blocks; }
   double Fraction() const {
     return total_blocks_ == 0 ? 0.0
                               : static_cast<double>(covered_count_) / total_blocks_;

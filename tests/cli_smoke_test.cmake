@@ -302,3 +302,75 @@ foreach(phase real.plan_write real.fork_exec real.child_wait)
   endif()
 endforeach()
 message(STATUS "forkserver telemetry: per-test cost is one pipe round-trip")
+
+# --- coverage signal selection ----------------------------------------------
+expect_cli_error("--coverage expects 'auto', 'proxy', or 'edges'"
+  --backend=real "--target-cmd=${AFEX_WALUTIL} {test}" "--interposer=${AFEX_INTERPOSER}"
+  --budget=5 --coverage=branches)
+expect_cli_error("only apply to --backend=real"
+  --target=minidb --budget=5 --coverage=edges)
+# --coverage=edges against the uninstrumented build must fail before any
+# test runs.
+expect_cli_error("not sancov-instrumented"
+  --backend=real "--target-cmd=${AFEX_WALUTIL} {test}" "--interposer=${AFEX_INTERPOSER}"
+  --timeout-ms=10000 --budget=5 --coverage=edges)
+# Proxy fallback is behavior-preserving: on an uninstrumented target,
+# --coverage=auto resolves to the proxy and the records must be identical
+# to an explicit --coverage=proxy run.
+set(proxy_export "${CMAKE_CURRENT_BINARY_DIR}/smoke_cov_proxy.csv")
+set(auto_export "${CMAKE_CURRENT_BINARY_DIR}/smoke_cov_auto.csv")
+file(REMOVE "${proxy_export}" "${auto_export}")
+run_cli(cov_proxy_leg --backend=real "--target-cmd=${AFEX_WALUTIL} {test}" --num-tests=6
+  "--interposer=${AFEX_INTERPOSER}" --timeout-ms=10000 --budget=12 --seed=5
+  --coverage=proxy --export=csv "--export-file=${proxy_export}")
+run_cli(cov_auto_leg --backend=real "--target-cmd=${AFEX_WALUTIL} {test}" --num-tests=6
+  "--interposer=${AFEX_INTERPOSER}" --timeout-ms=10000 --budget=12 --seed=5
+  --coverage=auto --export=csv "--export-file=${auto_export}")
+file(READ "${proxy_export}" proxy_csv)
+file(READ "${auto_export}" auto_csv)
+if(NOT proxy_csv STREQUAL auto_csv)
+  message(FATAL_ERROR
+    "--coverage=auto on an uninstrumented target diverged from --coverage=proxy")
+endif()
+message(STATUS "coverage flags: bad values rejected, auto falls back to proxy unchanged")
+
+# --- coverage: sancov edge campaign ------------------------------------------
+# Only when the toolchain built the instrumented walutil variant.
+if(DEFINED AFEX_WALUTIL_COV)
+  set(metrics_file "${CMAKE_CURRENT_BINARY_DIR}/smoke_edges_metrics.json")
+  file(REMOVE "${metrics_file}")
+  run_cli(edges_leg --backend=real "--target-cmd=${AFEX_WALUTIL_COV} {test}" --num-tests=6
+    "--interposer=${AFEX_INTERPOSER}" --timeout-ms=10000 --budget=30 --seed=1
+    --strategy=fitness --status-interval=0.001 "--metrics-file=${metrics_file}")
+  file(READ "${metrics_file}" metrics_json)
+  string(JSON edges_total GET "${metrics_json}" gauges real.edges_total)
+  if(edges_total LESS_EQUAL 0)
+    message(FATAL_ERROR "edge campaign: real.edges_total = ${edges_total}, expected > 0")
+  endif()
+  string(JSON edges_new GET "${metrics_json}" counters real.edges_new)
+  if(edges_new LESS_EQUAL 0)
+    message(FATAL_ERROR "edge campaign: real.edges_new = ${edges_new}, expected > 0")
+  endif()
+  string(JSON merge_count GET "${metrics_json}" histograms real.edge_merge count)
+  if(NOT merge_count EQUAL 30)
+    message(FATAL_ERROR
+      "edge campaign: real.edge_merge count = ${merge_count}, expected 30")
+  endif()
+  string(JSON growth_points LENGTH "${metrics_json}" coverage_growth)
+  if(growth_points LESS_EQUAL 1)
+    message(FATAL_ERROR
+      "edge campaign: coverage_growth has ${growth_points} points, expected a curve")
+  endif()
+  if(NOT edges_leg_stderr MATCHES "blocks")
+    message(FATAL_ERROR
+      "edge campaign progress line carries no covered-blocks facet:\n${edges_leg_stderr}")
+  endif()
+  if(NOT edges_leg MATCHES "coverage [0-9]+ blocks by test")
+    message(FATAL_ERROR
+      "edge campaign synopsis has no coverage-growth note:\n${edges_leg}")
+  endif()
+  message(STATUS
+    "sancov edge campaign: ${edges_total} edges, ${growth_points}-point growth curve")
+else()
+  message(STATUS "sancov edge campaign: skipped (toolchain lacks -fsanitize-coverage)")
+endif()

@@ -30,6 +30,7 @@
 #include "exec/forkserver.h"
 #include "exec/process_runner.h"
 #include "exec/real_target_harness.h"
+#include "obs/telemetry.h"
 
 namespace afex {
 namespace exec {
@@ -1111,6 +1112,344 @@ TEST(TwoPhaseHarnessTest, StorageFaultCampaignRecordIdenticalAcrossExecModes) {
     EXPECT_EQ(spawn[i], forkserver[i]) << "spawn vs forkserver, record " << i;
   }
 }
+
+// ---------------------------------------------------------------------------
+// FeedbackBlock v2: hostile decoding. The block is parent-trusted input
+// written by an arbitrary (possibly crashed, possibly malicious) child —
+// every malformed shape must land in its distinct FeedbackReadStatus.
+// ---------------------------------------------------------------------------
+
+void WriteBlockBytes(const std::string& path, const FeedbackBlock& block, size_t bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(&block), static_cast<std::streamsize>(bytes));
+}
+
+FeedbackBlock AttachedBlock() {
+  FeedbackBlock block;
+  block.magic = kFeedbackMagic;
+  block.version = kFeedbackVersion;
+  block.attached = 1;
+  return block;
+}
+
+TEST(FeedbackBlockHostileTest, MissingFileReadsMissing) {
+  FeedbackBlock block;
+  EXPECT_EQ(ReadFeedbackBlockStatus((TempDir("fb_missing") + "/none.bin").c_str(), block),
+            FeedbackReadStatus::kMissing);
+}
+
+TEST(FeedbackBlockHostileTest, TruncatedBlockReadsShort) {
+  std::string path = TempDir("fb_short") + "/fb.bin";
+  FeedbackBlock block = AttachedBlock();
+  // Cut inside the v1 prefix: unreadable regardless of version.
+  WriteBlockBytes(path, block, 100);
+  FeedbackBlock out;
+  EXPECT_EQ(ReadFeedbackBlockStatus(path.c_str(), out), FeedbackReadStatus::kShort);
+  // A v2 header whose edge region is cut off is short too — a v2 writer
+  // always produces the full block, so a partial one is torn output.
+  WriteBlockBytes(path, block, kFeedbackBlockV1Size + 16);
+  EXPECT_EQ(ReadFeedbackBlockStatus(path.c_str(), out), FeedbackReadStatus::kShort);
+}
+
+TEST(FeedbackBlockHostileTest, BadMagicRejected) {
+  std::string path = TempDir("fb_magic") + "/fb.bin";
+  FeedbackBlock block = AttachedBlock();
+  block.magic = 0x4141414141414141ULL;
+  WriteBlockBytes(path, block, sizeof(block));
+  FeedbackBlock out;
+  EXPECT_EQ(ReadFeedbackBlockStatus(path.c_str(), out), FeedbackReadStatus::kBadMagic);
+}
+
+TEST(FeedbackBlockHostileTest, LegacyV1BlockParsesWithEdgeRegionZeroed) {
+  // An old-interposer block: v1-sized file, version 1, no edge region on
+  // disk. It must parse (uninstrumented fallback), and the in-memory edge
+  // fields must come back zeroed even if the caller's struct held garbage.
+  std::string path = TempDir("fb_v1") + "/fb.bin";
+  FeedbackBlock block = AttachedBlock();
+  block.version = 1;
+  block.calls[0] = 7;
+  WriteBlockBytes(path, block, kFeedbackBlockV1Size);
+  FeedbackBlock out;
+  out.edges_supported = 1;
+  out.edge_hit_count = 99;
+  out.edge_hits[0] = 123;
+  EXPECT_EQ(ReadFeedbackBlockStatus(path.c_str(), out), FeedbackReadStatus::kOk);
+  EXPECT_EQ(out.calls[0], 7u);
+  EXPECT_EQ(out.edges_supported, 0u);
+  EXPECT_EQ(out.edge_overflow, 0u);
+  EXPECT_EQ(out.edge_total, 0u);
+  EXPECT_EQ(out.edge_hit_count, 0u);
+  EXPECT_EQ(out.edge_hits[0], 0u);
+}
+
+TEST(FeedbackBlockHostileTest, UnknownVersionReadsVersionSkew) {
+  std::string path = TempDir("fb_skew") + "/fb.bin";
+  FeedbackBlock block = AttachedBlock();
+  block.version = kFeedbackVersion + 1;  // from a future interposer
+  WriteBlockBytes(path, block, sizeof(block));
+  FeedbackBlock out;
+  EXPECT_EQ(ReadFeedbackBlockStatus(path.c_str(), out), FeedbackReadStatus::kVersionSkew);
+  block.version = 0;
+  WriteBlockBytes(path, block, sizeof(block));
+  EXPECT_EQ(ReadFeedbackBlockStatus(path.c_str(), out), FeedbackReadStatus::kVersionSkew);
+}
+
+// ---------------------------------------------------------------------------
+// Feedback-health counters end to end: a child that corrupts its own
+// feedback block must land in the matching real.feedback_* counter, not
+// poison the campaign. The corrupting step always runs exec env LD_PRELOAD=
+// so no interposer holds a live mapping of the block while it is mangled.
+// ---------------------------------------------------------------------------
+
+uint64_t CounterValue(const obs::MetricsSnapshot& snapshot, const std::string& name) {
+  for (const auto& [counter, value] : snapshot.counters) {
+    if (counter == name) {
+      return value;
+    }
+  }
+  return 0;
+}
+
+double GaugeValue(const obs::MetricsSnapshot& snapshot, const std::string& name) {
+  for (const auto& [gauge, value] : snapshot.gauges) {
+    if (gauge == name) {
+      return value;
+    }
+  }
+  return -1.0;
+}
+
+// Runs one spawn-mode test whose target is `script` (a /bin/sh -c body) and
+// returns the telemetry snapshot plus the outcome.
+obs::MetricsSnapshot RunShellTarget(const std::string& name, const std::string& script,
+                                    TestOutcome* outcome_out = nullptr,
+                                    bool use_edges = false) {
+  RealTargetConfig config;
+  config.target_argv = {"/bin/sh", "-c", script, "afex-feedback-health"};
+  config.num_tests = 1;
+  config.interposer_path = AFEX_INTERPOSER_PATH;
+  config.work_root = TempDir(name);
+  config.timeout_ms = 10000;
+  config.use_edges = use_edges;
+  RealTargetHarness harness(config);
+  obs::CampaignTelemetry telemetry{obs::TelemetryConfig{}};
+  harness.set_metrics_sink(&telemetry);
+  FaultSpace space = harness.MakeSpace(/*max_call=*/2);
+  // A fault the shell never reaches (no sockets): the corrupting script
+  // must run to completion, unperturbed by injection.
+  TestOutcome outcome = harness.RunFault(space, MakeFault(space, 1, "send", 2));
+  if (outcome_out != nullptr) {
+    *outcome_out = outcome;
+  }
+  return telemetry.Snapshot();
+}
+
+TEST(FeedbackHealthCounterTest, TruncatedBlockCountsShort) {
+  obs::MetricsSnapshot snapshot = RunShellTarget(
+      "health_short",
+      "exec env LD_PRELOAD= /bin/sh -c 'printf AFEX > \"$AFEX_FEEDBACK\"'");
+  EXPECT_EQ(CounterValue(snapshot, "real.feedback_short"), 1u);
+  EXPECT_EQ(CounterValue(snapshot, "real.feedback_ok"), 0u);
+}
+
+TEST(FeedbackHealthCounterTest, ZeroedBlockCountsBadMagic) {
+  obs::MetricsSnapshot snapshot = RunShellTarget(
+      "health_magic",
+      "exec env LD_PRELOAD= /bin/sh -c "
+      "'dd if=/dev/zero of=\"$AFEX_FEEDBACK\" bs=600 count=1 conv=notrunc status=none'");
+  EXPECT_EQ(CounterValue(snapshot, "real.feedback_bad_magic"), 1u);
+  EXPECT_EQ(CounterValue(snapshot, "real.feedback_ok"), 0u);
+}
+
+TEST(FeedbackHealthCounterTest, FutureVersionCountsVersionSkew) {
+  // Patch the version field to kFeedbackVersion+1 after the interposer
+  // stamped it; the parent must refuse the block it cannot decode.
+  std::string script =
+      "exec env LD_PRELOAD= /bin/sh -c 'printf \"\\003\\000\\000\\000\" | "
+      "dd of=\"$AFEX_FEEDBACK\" bs=1 seek=" +
+      std::to_string(offsetof(FeedbackBlock, version)) + " conv=notrunc status=none'";
+  obs::MetricsSnapshot snapshot = RunShellTarget("health_skew", script);
+  EXPECT_EQ(CounterValue(snapshot, "real.feedback_version"), 1u);
+  EXPECT_EQ(CounterValue(snapshot, "real.feedback_ok"), 0u);
+}
+
+TEST(FeedbackHealthCounterTest, StaleTestSeqCountsStaleInForkserverMode) {
+  // Forkserver mode stamps test_seq before each fork; a child that mangles
+  // it must be counted stale and contribute no coverage.
+  RealTargetConfig config;
+  config.target_argv = {
+      "/bin/sh", "-c",
+      "printf '\\177\\177\\177\\177' | dd of=\"$AFEX_FEEDBACK\" bs=1 seek=" +
+          std::to_string(offsetof(FeedbackBlock, test_seq)) +
+          " conv=notrunc status=none 2>/dev/null",
+      "afex-stale-seq"};
+  config.num_tests = 1;
+  config.interposer_path = AFEX_INTERPOSER_PATH;
+  config.work_root = TempDir("health_stale");
+  config.timeout_ms = 10000;
+  config.exec_mode = ExecMode::kForkserver;
+  RealTargetHarness harness(config);
+  obs::CampaignTelemetry telemetry{obs::TelemetryConfig{}};
+  harness.set_metrics_sink(&telemetry);
+  FaultSpace space = harness.MakeSpace(/*max_call=*/2);
+  TestOutcome outcome = harness.RunFault(space, MakeFault(space, 1, "send", 2));
+  obs::MetricsSnapshot snapshot = telemetry.Snapshot();
+  EXPECT_EQ(CounterValue(snapshot, "real.feedback_stale"), 1u);
+  EXPECT_TRUE(outcome.new_block_ids.empty());
+}
+
+TEST(FeedbackHealthCounterTest, HostileEdgeBlockIsClampedNotTrusted) {
+  // A crafted v2 block with saturated and out-of-range edge fields: the
+  // parent must clamp the entry count, drop wild ids (no multi-hundred-MB
+  // bitmap), cap the coverage universe, and count the saturation.
+  std::string dir = TempDir("health_edges");
+  FeedbackBlock crafted = AttachedBlock();
+  crafted.test_seq = 0;  // spawn mode: no expected seq
+  crafted.edges_supported = 1;
+  crafted.edge_total = UINT64_MAX;
+  crafted.edge_hit_count = UINT64_MAX;  // claims more entries than exist
+  crafted.edge_overflow = 3;            // per-test new-edge list saturated
+  for (uint32_t i = 0; i < kMaxEdgeHits; ++i) {
+    crafted.edge_hits[i] = UINT32_MAX;  // wild ids: must all be dropped
+  }
+  for (uint32_t i = 0; i < 11; ++i) {
+    crafted.edge_hits[i] = i;  // ...except these in-range ones
+  }
+  std::string crafted_path = dir + "/crafted.bin";
+  WriteBlockBytes(crafted_path, crafted, sizeof(crafted));
+
+  TestOutcome outcome;
+  obs::MetricsSnapshot snapshot = RunShellTarget(
+      "health_edges_run",
+      "exec env LD_PRELOAD= /bin/sh -c 'dd if=" + crafted_path +
+          " of=\"$AFEX_FEEDBACK\" conv=notrunc status=none'",
+      &outcome, /*use_edges=*/true);
+  EXPECT_EQ(CounterValue(snapshot, "real.feedback_ok"), 1u);
+  EXPECT_EQ(CounterValue(snapshot, "real.edge_overflow"), 1u);
+  EXPECT_EQ(CounterValue(snapshot, "real.edges_new"), 11u);
+  EXPECT_EQ(GaugeValue(snapshot, "real.edges_total"), 11.0);
+  // Exactly the in-range edges surface, offset into the edge block range.
+  ASSERT_EQ(outcome.new_block_ids.size(), 11u);
+  for (uint32_t i = 0; i < 11; ++i) {
+    EXPECT_EQ(outcome.new_block_ids[i], kEdgeBlockBase + i);
+  }
+}
+
+#ifdef AFEX_WALUTIL_COV_PATH
+
+// ---------------------------------------------------------------------------
+// SanitizerCoverage end to end: the instrumented walutil build streams real
+// edges through the interposer. Gated on the toolchain supporting a
+// -fsanitize-coverage mode (AFEX_WALUTIL_COV_PATH defined by CMake).
+// ---------------------------------------------------------------------------
+
+RealTargetConfig WalutilCovConfig(const std::string& work_root) {
+  RealTargetConfig config = WalutilConfig(work_root);
+  config.target_argv = {AFEX_WALUTIL_COV_PATH, "{test}"};
+  config.use_edges = true;
+  return config;
+}
+
+TEST(SancovCoverageTest, InstrumentedTargetStreamsRealEdges) {
+  RealTargetHarness harness(WalutilCovConfig(TempDir("sancov_e2e")));
+  obs::CampaignTelemetry telemetry{obs::TelemetryConfig{}};
+  harness.set_metrics_sink(&telemetry);
+  FaultSpace space = harness.MakeSpace(/*max_call=*/8);
+
+  // First run: every edge the scenario touches is new, and all coverage
+  // blocks live in the edge range (proxy slots are excluded in edges mode).
+  TestOutcome first = harness.RunFault(space, MakeFault(space, 1, "send", 8));
+  EXPECT_GT(first.new_blocks_covered, 0u);
+  for (uint32_t id : first.new_block_ids) {
+    EXPECT_GE(id, kEdgeBlockBase);
+  }
+
+  // Same scenario again: the child re-reports its edges (fresh process),
+  // but none are new to the session.
+  TestOutcome repeat = harness.RunFault(space, MakeFault(space, 1, "send", 8));
+  EXPECT_EQ(repeat.new_blocks_covered, 0u);
+
+  // A different scenario reaches different code: coverage keeps growing.
+  TestOutcome other = harness.RunFault(space, MakeFault(space, 4, "send", 8));
+  EXPECT_GT(other.new_blocks_covered, 0u);
+
+  obs::MetricsSnapshot snapshot = telemetry.Snapshot();
+  EXPECT_EQ(CounterValue(snapshot, "real.feedback_ok"), 3u);
+  EXPECT_EQ(CounterValue(snapshot, "real.edges_missing"), 0u);
+  EXPECT_EQ(GaugeValue(snapshot, "real.edges_total"),
+            static_cast<double>(first.new_blocks_covered + other.new_blocks_covered));
+  // The edge signal sized the coverage universe from the counter region.
+  EXPECT_GT(harness.coverage_total_blocks(), kEdgeBlockBase);
+}
+
+TEST(SancovCoverageTest, UninstrumentedTargetCountsEdgesMissing) {
+  // edges mode against the plain build: the interposer reports
+  // edges_supported=0 and the harness counts the mismatch instead of
+  // inventing coverage.
+  RealTargetConfig config = WalutilConfig(TempDir("sancov_missing"));
+  config.use_edges = true;
+  RealTargetHarness harness(config);
+  obs::CampaignTelemetry telemetry{obs::TelemetryConfig{}};
+  harness.set_metrics_sink(&telemetry);
+  FaultSpace space = harness.MakeSpace(/*max_call=*/8);
+  TestOutcome outcome = harness.RunFault(space, MakeFault(space, 1, "send", 8));
+  EXPECT_TRUE(outcome.new_block_ids.empty());
+  obs::MetricsSnapshot snapshot = telemetry.Snapshot();
+  EXPECT_EQ(CounterValue(snapshot, "real.edges_missing"), 1u);
+}
+
+// Edge-fed records must be identical across spawn, forkserver, and
+// persistent execution — cumulative sancov counters plus the child-side
+// seen-bitmap make persistent iterations report exactly what a fresh spawn
+// would.
+std::vector<std::string> EdgeCampaignRecords(ExecMode mode, const std::string& dir,
+                                             size_t budget) {
+  RealTargetConfig config = WalutilCovConfig(dir);
+  config.exec_mode = mode;
+  RealTargetHarness harness(config);
+  FaultSpace space = harness.MakeSpace(/*max_call=*/6);
+  FitnessExplorerConfig explorer_config;
+  explorer_config.seed = 23;
+  FitnessExplorer explorer(space, explorer_config);
+  ExplorationSession session(explorer, harness, space, SessionConfig{});
+  session.Run(SearchTarget{.max_tests = budget});
+  std::vector<std::string> serialized;
+  for (const SessionRecord& record : session.result().records) {
+    serialized.push_back(SerializeRecord(record));
+  }
+  return serialized;
+}
+
+TEST(SancovCoverageTest, EdgeFedCampaignRecordIdenticalAcrossExecModes) {
+  const size_t budget = 30;
+  std::vector<std::string> spawn =
+      EdgeCampaignRecords(ExecMode::kSpawn, TempDir("sancov_eq_spawn"), budget);
+  std::vector<std::string> forkserver =
+      EdgeCampaignRecords(ExecMode::kForkserver, TempDir("sancov_eq_fs"), budget);
+  std::vector<std::string> persistent =
+      EdgeCampaignRecords(ExecMode::kPersistent, TempDir("sancov_eq_pers"), budget);
+  ASSERT_EQ(spawn.size(), budget);
+  ASSERT_EQ(forkserver.size(), budget);
+  ASSERT_EQ(persistent.size(), budget);
+  for (size_t i = 0; i < budget; ++i) {
+    EXPECT_EQ(spawn[i], forkserver[i]) << "spawn vs forkserver, record " << i;
+    EXPECT_EQ(spawn[i], persistent[i]) << "spawn vs persistent, record " << i;
+  }
+}
+
+TEST(SancovCoverageTest, AnalyzerDetectsInstrumentation) {
+  std::string error;
+  std::optional<analysis::TargetProfile> cov =
+      analysis::AnalyzeTargetBinary(AFEX_WALUTIL_COV_PATH, error);
+  ASSERT_TRUE(cov.has_value()) << error;
+  EXPECT_TRUE(cov->sancov_instrumented);
+  std::optional<analysis::TargetProfile> plain =
+      analysis::AnalyzeTargetBinary(AFEX_WALUTIL_PATH, error);
+  ASSERT_TRUE(plain.has_value()) << error;
+  EXPECT_FALSE(plain->sancov_instrumented);
+}
+
+#endif  // AFEX_WALUTIL_COV_PATH
 
 }  // namespace
 }  // namespace exec

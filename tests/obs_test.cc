@@ -372,6 +372,31 @@ TEST(ProgressReporter, ComposeLineCarriesEveryField) {
   EXPECT_NE(line.find("pool 64"), std::string::npos) << line;
 }
 
+TEST(ProgressReporter, ComposeLineDiscoveryFacetsAppearOnlyWhenProduced) {
+  ProgressReporter reporter(ProgressConfig{});
+  ProgressUpdate update;
+  update.tests_executed = 10;
+  // Campaigns without recovery/verify phases or coverage keep the short line.
+  std::string bare = reporter.ComposeLine(update);
+  EXPECT_EQ(bare.find("recfail"), std::string::npos) << bare;
+  EXPECT_EQ(bare.find("inv"), std::string::npos) << bare;
+  EXPECT_EQ(bare.find("blocks"), std::string::npos) << bare;
+
+  update.recovery_failures = 2;
+  update.invariant_violations = 1;
+  update.covered_blocks = 57;
+  std::string full = reporter.ComposeLine(update);
+  EXPECT_NE(full.find("2 recfail"), std::string::npos) << full;
+  EXPECT_NE(full.find("1 inv"), std::string::npos) << full;
+  EXPECT_NE(full.find("57 blocks"), std::string::npos) << full;
+
+  // Either two-phase facet alone brings the pair (reads as one unit).
+  update.recovery_failures = 0;
+  update.covered_blocks = 0;
+  std::string inv_only = reporter.ComposeLine(update);
+  EXPECT_NE(inv_only.find("0 recfail, 1 inv"), std::string::npos) << inv_only;
+}
+
 // ---- campaign telemetry sink ------------------------------------------------
 
 TEST(CampaignTelemetry, PhasesFeedHistogramsAndOptionallyTrace) {
@@ -425,6 +450,61 @@ TEST(CampaignTelemetry, SynopsisLineReportsPipelineShares) {
   EXPECT_NE(line.find("explorer.next 10.0%"), std::string::npos) << line;
   EXPECT_NE(line.find("backend.run 90.0%"), std::string::npos) << line;
   EXPECT_NE(line.find("backend.run p50="), std::string::npos) << line;
+}
+
+TEST(CampaignTelemetry, CoverageGrowthCurveRecordsOnlyGrowth) {
+  CampaignTelemetry telemetry;
+  ProgressUpdate update;
+  update.tests_executed = 1;
+  update.covered_blocks = 10;
+  telemetry.OnTestExecuted(update);
+  update.tests_executed = 2;  // no growth: no point
+  telemetry.OnTestExecuted(update);
+  update.tests_executed = 3;
+  update.covered_blocks = 25;
+  telemetry.OnTestExecuted(update);
+  MetricsSnapshot snapshot = telemetry.Snapshot();
+  ASSERT_EQ(snapshot.coverage_growth.size(), 2u);
+  EXPECT_EQ(snapshot.coverage_growth[0].tests, 1u);
+  EXPECT_EQ(snapshot.coverage_growth[0].covered, 10u);
+  EXPECT_EQ(snapshot.coverage_growth[1].tests, 3u);
+  EXPECT_EQ(snapshot.coverage_growth[1].covered, 25u);
+
+  // The curve lands in the JSON snapshot and the synopsis.
+  std::ostringstream out;
+  snapshot.WriteJson(out);
+  EXPECT_NE(out.str().find("\"coverage_growth\": [[1, 10], [3, 25]]"), std::string::npos)
+      << out.str();
+  telemetry.RecordPhase(Phase::kBackendRun, 0, 1000);
+  std::string line = telemetry.SynopsisLine();
+  EXPECT_NE(line.find("coverage 25 blocks by test 3"), std::string::npos) << line;
+
+  // No coverage signal: the key is omitted entirely.
+  CampaignTelemetry none;
+  std::ostringstream empty_out;
+  none.Snapshot().WriteJson(empty_out);
+  EXPECT_EQ(empty_out.str().find("coverage_growth"), std::string::npos);
+}
+
+TEST(CampaignTelemetry, CoverageGrowthCurveDecimatesButKeepsTheFinalPoint) {
+  CampaignTelemetry telemetry;
+  ProgressUpdate update;
+  for (size_t i = 1; i <= 5000; ++i) {
+    update.tests_executed = i;
+    update.covered_blocks = i;  // strictly growing: every test adds a point
+    telemetry.OnTestExecuted(update);
+  }
+  MetricsSnapshot snapshot = telemetry.Snapshot();
+  ASSERT_FALSE(snapshot.coverage_growth.empty());
+  EXPECT_LE(snapshot.coverage_growth.size(), 2048u + 1u);
+  EXPECT_EQ(snapshot.coverage_growth.back().tests, 5000u);
+  EXPECT_EQ(snapshot.coverage_growth.back().covered, 5000u);
+  // Monotone in both axes after decimation.
+  for (size_t i = 1; i < snapshot.coverage_growth.size(); ++i) {
+    EXPECT_LT(snapshot.coverage_growth[i - 1].tests, snapshot.coverage_growth[i].tests);
+    EXPECT_LT(snapshot.coverage_growth[i - 1].covered,
+              snapshot.coverage_growth[i].covered);
+  }
 }
 
 TEST(CampaignTelemetry, WritesMetricsAndTraceFiles) {

@@ -123,6 +123,9 @@ void PrintHuman(const analysis::TargetProfile& profile, const Options& options) 
   }
   std::printf("\nfingerprint: %016llx\n",
               static_cast<unsigned long long>(analysis::TargetProfileFingerprint(profile)));
+  std::printf("sancov: %s\n",
+              profile.sancov_instrumented ? "instrumented (edge coverage available)"
+                                          : "not instrumented (libc proxy coverage only)");
   std::printf("\n%-20s %9s %10s %12s\n", "function", "callsites", "profiled",
               "interposable");
   // Interposable imports print in libc-profile (category) order — the same
@@ -168,6 +171,8 @@ void PrintJson(const analysis::TargetProfile& profile, const Options& options) {
               static_cast<unsigned long long>(analysis::TargetProfileFingerprint(profile)));
   std::printf("  \"callsites_scanned\": %s,\n",
               profile.callsites_scanned ? "true" : "false");
+  std::printf("  \"sancov_instrumented\": %s,\n",
+              profile.sancov_instrumented ? "true" : "false");
   std::printf("  \"needed\": [");
   for (size_t i = 0; i < profile.needed.size(); ++i) {
     std::printf("%s\"%s\"", i > 0 ? ", " : "", JsonEscape(profile.needed[i]).c_str());

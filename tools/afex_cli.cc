@@ -114,12 +114,18 @@ struct Options {
   // actually imports, and fitness priorities are seeded from callsite
   // weights (paper §7 fault-space definition methodology).
   bool auto_space = false;
+  // Which coverage signal feeds fitness on the real backend: the libc call
+  // proxy (every interposed libc call = one block), real sancov edge
+  // coverage from an instrumented build, or auto (edges when the static
+  // analyzer finds sancov instrumentation, proxy otherwise).
+  std::string coverage = "auto";
   // Explicit-use tracking, so flags belonging to the other backend are
   // rejected instead of silently ignored.
   bool target_set = false;
   bool timeout_ms_set = false;
   bool num_tests_set = false;
   bool exec_mode_set = false;
+  bool coverage_set = false;
 };
 
 void PrintUsage() {
@@ -135,6 +141,7 @@ void PrintUsage() {
                "                [--recovery-cmd='BIN ARGS...'] [--verify-cmd='BIN ARGS...']\n"
                "                [--interposer=SO] [--timeout-ms=N] [--num-tests=N]\n"
                "                [--exec-mode=<spawn|forkserver|persistent>]\n"
+               "                [--coverage=<auto|proxy|edges>]\n"
                "                [--auto-space] [--log-level=debug|info|warn|error|off]\n"
                "                [--metrics-file=FILE] [--trace-file=FILE]\n"
                "                [--status-interval=SEC]\n"
@@ -157,6 +164,10 @@ void PrintUsage() {
                "bare fork per test), or persistent (in-process iterations via the\n"
                "afex_persistent_run hook, falling back to forkserver when the\n"
                "target never adopts it). All modes produce identical records.\n"
+               "--coverage picks the fitness coverage signal: proxy (one block per\n"
+               "interposed libc call), edges (real SanitizerCoverage edges streamed\n"
+               "from a -fsanitize-coverage build, e.g. the afex_*_cov variants), or\n"
+               "auto (edges when static analysis detects instrumentation; default).\n"
                "\n"
                "crash-recovery campaigns: --recovery-cmd re-runs the target in\n"
                "recovery mode after every workload run, and --verify-cmd then checks\n"
@@ -251,6 +262,9 @@ bool ParseOptions(int argc, char** argv, Options& options) {
     } else if (ParseFlag(arg, "exec-mode", value)) {
       options.exec_mode = value;
       options.exec_mode_set = true;
+    } else if (ParseFlag(arg, "coverage", value)) {
+      options.coverage = value;
+      options.coverage_set = true;
     } else if (ParseFlag(arg, "log-level", value)) {
       options.log_level = value;
     } else if (ParseFlag(arg, "metrics-file", value)) {
@@ -303,10 +317,11 @@ bool ParseOptions(int argc, char** argv, Options& options) {
   if (options.backend != "real" &&
       (!options.target_cmd.empty() || !options.interposer.empty() ||
        !options.recovery_cmd.empty() || !options.verify_cmd.empty() ||
-       options.timeout_ms_set || options.num_tests_set || options.exec_mode_set)) {
+       options.timeout_ms_set || options.num_tests_set || options.exec_mode_set ||
+       options.coverage_set)) {
     std::fprintf(stderr,
                  "--target-cmd/--recovery-cmd/--verify-cmd/--interposer/--timeout-ms/"
-                 "--num-tests/--exec-mode only apply to --backend=real\n");
+                 "--num-tests/--exec-mode/--coverage only apply to --backend=real\n");
     return false;
   }
   if (options.exec_mode != "spawn" && options.exec_mode != "forkserver" &&
@@ -314,6 +329,12 @@ bool ParseOptions(int argc, char** argv, Options& options) {
     std::fprintf(stderr,
                  "--exec-mode expects 'spawn', 'forkserver', or 'persistent', got '%s'\n",
                  options.exec_mode.c_str());
+    return false;
+  }
+  if (options.coverage != "auto" && options.coverage != "proxy" &&
+      options.coverage != "edges") {
+    std::fprintf(stderr, "--coverage expects 'auto', 'proxy', or 'edges', got '%s'\n",
+                 options.coverage.c_str());
     return false;
   }
   if (options.auto_space && options.backend != "real") {
@@ -613,6 +634,27 @@ int main(int argc, char** argv) {
       }
       real_config.functions = std::move(imported);
     }
+    // Coverage signal resolution (README "Coverage feedback"): edge coverage
+    // needs a sancov-instrumented build, which the static analyzer detects
+    // from the hand-off symbol in the binary's dynsym. `edges` against a
+    // provably uninstrumented target fails here rather than running a whole
+    // campaign whose every record counts real.edges_missing.
+    const bool sancov = profile.has_value() && profile->sancov_instrumented;
+    if (options.coverage == "edges") {
+      if (profile.has_value() && !sancov) {
+        std::fprintf(stderr,
+                     "--coverage=edges: '%s' is not sancov-instrumented (build the "
+                     "target with -fsanitize-coverage, e.g. the afex_*_cov variants), "
+                     "or use --coverage=proxy\n",
+                     target_binary.c_str());
+        return 2;
+      }
+      real_config.use_edges = true;  // analysis unavailable: trust the caller
+    } else if (options.coverage == "auto") {
+      real_config.use_edges = sancov;
+    }
+    AFEX_LOG(kInfo) << "coverage signal: "
+                    << (real_config.use_edges ? "sancov edges" : "libc proxy");
     real_harness = std::make_unique<exec::RealTargetHarness>(real_config);
     backend = real_harness.get();
     default_max_call = 8;
